@@ -1,0 +1,87 @@
+// Command quicprobe performs the paper's §6 active measurement: it
+// connects to QUIC servers and reports whether they demand RETRY
+// address validation. The paper probed the ten most-attacked Google
+// and Facebook servers and found RETRY universally disabled.
+//
+// Usage:
+//
+//	quicprobe host:port [host:port ...]   probe the given servers
+//	quicprobe -demo                       probe two local servers
+//	                                      (RETRY off and on)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"quicsand/internal/quicclient"
+	"quicsand/internal/quicserver"
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+func main() {
+	var (
+		demo    = flag.Bool("demo", false, "spin up local servers with RETRY off/on and probe them")
+		sni     = flag.String("sni", "probe.quicsand.test", "server name to offer")
+		version = flag.Uint("version", uint(wire.Version1), "wire version to offer")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-RTT timeout")
+	)
+	flag.Parse()
+
+	if *demo {
+		runDemo(*sni)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: quicprobe [-demo] host:port ...")
+		os.Exit(2)
+	}
+	for _, target := range flag.Args() {
+		probe(target, *sni, wire.Version(*version), *timeout)
+	}
+}
+
+func probe(target, sni string, v wire.Version, timeout time.Duration) {
+	res, err := quicclient.Dial(target, quicclient.Config{
+		Version: v, ServerName: sni, Timeout: timeout,
+	})
+	if err != nil {
+		fmt.Printf("%-28s error: %v\n", target, err)
+		return
+	}
+	retry := "RETRY NOT DEPLOYED"
+	if res.SawRetry {
+		retry = "RETRY deployed (+1 RTT)"
+	}
+	fmt.Printf("%-28s completed=%-5v version=%-14s rtts=%d  %s\n",
+		target, res.Completed, res.Version, res.RTTs, retry)
+}
+
+func runDemo(sni string) {
+	id, err := tlsmini.GenerateSelfSigned(sni, 600)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, retry := range []bool{false, true} {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv, err := quicserver.New(pc, quicserver.Config{Identity: id, Workers: 2, EnableRetry: retry})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("local server (retry=%v):\n  ", retry)
+		probe(srv.Addr().String(), sni, wire.Version1, 2*time.Second)
+		srv.Close()
+	}
+	fmt.Println("\nThe paper's observation: production Google/Facebook servers behave")
+	fmt.Println("like the first case — no RETRY, trading robustness for one RTT.")
+}

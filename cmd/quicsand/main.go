@@ -1,0 +1,105 @@
+// Command quicsand runs the full measurement pipeline — simulated
+// telescope month, dissection, sessionization, DoS detection and
+// correlation — and prints the paper's figures.
+//
+// Usage:
+//
+//	quicsand [-seed N] [-scale F] [-thin N] [-skip-research] [-fig SECTION] [-trace FILE]
+//
+// SECTION is one of: all, headline, 2–13, section6. At -scale 1.0 the
+// run reproduces paper-scale magnitudes and takes a few minutes; the
+// default 0.1 finishes in seconds with identical shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quicsand"
+	"quicsand/internal/telescope"
+)
+
+func main() {
+	var (
+		seed         = flag.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)")
+		scale        = flag.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes")
+		thin         = flag.Uint("thin", 64, "research-scan thinning weight")
+		skipResearch = flag.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)")
+		fig          = flag.String("fig", "all", "section to print: all, headline, 2..13, section6")
+		tracePath    = flag.String("trace", "", "write the captured month to this trace file")
+	)
+	flag.Parse()
+
+	cfg := quicsand.Config{
+		Seed:         *seed,
+		Scale:        *scale,
+		ResearchThin: uint32(*thin),
+		SkipResearch: *skipResearch,
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		w := telescope.NewWriter(f)
+		cfg.Trace = w
+		defer func() {
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", w.Count(), *tracePath)
+		}()
+	}
+	_ = traceFile
+
+	a, err := quicsand.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *fig {
+	case "all":
+		fmt.Println(a.RenderAll())
+	case "headline":
+		fmt.Println(a.Headline())
+	case "2":
+		fmt.Println(a.Figure2())
+	case "3":
+		fmt.Println(a.Figure3())
+	case "4":
+		fmt.Println(a.Figure4())
+	case "5":
+		fmt.Println(a.Figure5())
+	case "6":
+		fmt.Println(a.Figure6())
+	case "7":
+		fmt.Println(a.Figure7())
+	case "8":
+		fmt.Println(a.Figure8())
+	case "9":
+		fmt.Println(a.Figure9())
+	case "10":
+		fmt.Println(a.Figure10())
+	case "11":
+		fmt.Println(a.Figure11())
+	case "12":
+		fmt.Println(a.Figure12())
+	case "13":
+		fmt.Println(a.Figure13())
+	case "section6":
+		fmt.Println(a.Section6())
+	default:
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quicsand:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command telescoped is a live miniature telescope: it binds a UDP
+// socket and classifies every arriving datagram with the full QUIC
+// dissector, printing one line per packet — the same pipeline the
+// simulation feeds, attached to a real socket.
+//
+// Point any QUIC client at it (or run cmd/quicsand's generated trace
+// through it) to watch the classification logic work on live traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"quicsand/internal/dissect"
+	"quicsand/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8443", "UDP address to observe")
+	flag.Parse()
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telescoped:", err)
+		os.Exit(1)
+	}
+	defer pc.Close()
+	fmt.Printf("telescoped: observing %s (ctrl-c to stop)\n", pc.LocalAddr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		pc.Close()
+	}()
+
+	d := dissect.NewDissector()
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		r, err := d.Dissect(buf[:n])
+		if err != nil {
+			fmt.Printf("%-21s %5dB  not QUIC\n", addr, n)
+			continue
+		}
+		for _, pi := range r.Packets {
+			line := fmt.Sprintf("%-21s %5dB  %-18s", addr, n, pi.Type)
+			if pi.Type != wire.PacketTypeOneRTT {
+				line += fmt.Sprintf(" %-14s scid=%s dcid=%s", pi.Version, pi.SCID, pi.DCID)
+			}
+			if pi.HasClientHello {
+				line += fmt.Sprintf(" ClientHello sni=%q", pi.SNI)
+			} else if pi.Type == wire.PacketTypeInitial && !pi.Decrypted {
+				line += " (undecryptable: backscatter-shaped)"
+			}
+			fmt.Println(line)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Retry mitigation: the paper's §6 defence evaluation in miniature.
+// Two identical servers — one with RETRY, one without — receive the
+// same spoofed-Initial flood; the state they allocate diverges exactly
+// as Table 1 predicts, while a legitimate client still completes
+// against both (paying one extra RTT on the validated path).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"quicsand/internal/flood"
+	"quicsand/internal/quicclient"
+	"quicsand/internal/quicserver"
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+func main() {
+	id, err := tlsmini.GenerateSelfSigned("retry.example", 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := flood.RecordTrace(150, wire.Version1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, retry := range []bool{false, true} {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := quicserver.New(pc, quicserver.Config{
+			Identity: id, Workers: 2, QueuePerWorker: 64, EnableRetry: retry,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The flood: replayed Initials from unvalidated sources.
+		if _, err := flood.RunLive(flood.LiveConfig{
+			Target: srv.Addr().String(), RatePPS: 300, Trace: trace,
+			Collect: 500 * time.Millisecond,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		// A legitimate client during/after the flood.
+		res, err := quicclient.Dial(srv.Addr().String(), quicclient.Config{ServerName: "retry.example"})
+		legit := "completed"
+		if err != nil || !res.Completed {
+			legit = "FAILED"
+		}
+		rtts := 0
+		if res != nil {
+			rtts = res.RTTs
+		}
+
+		fmt.Printf("retry=%-5v  flood state allocated: %3d conns, retries sent: %3d  |  legit client: %s (%d RTTs)\n",
+			retry, srv.Metrics.Accepted.Load(), srv.Metrics.RetriesSent.Load(), legit, rtts)
+		srv.Close()
+	}
+	fmt.Println("\nWithout RETRY the flood occupies connection state; with RETRY the")
+	fmt.Println("server stays stateless against spoofed sources at the cost of one RTT —")
+	fmt.Println("the trade-off the paper's Table 1 quantifies.")
+}

@@ -1,0 +1,94 @@
+package activescan
+
+import (
+	"testing"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/wire"
+)
+
+func TestBuildCensus(t *testing.T) {
+	in := netmodel.BuildInternet()
+	c := Build(in, netmodel.NewRNG(42), Config{ServersPerOrg: 100})
+
+	if len(c.Servers) != 100*len(in.ContentASNs) {
+		t.Fatalf("census size = %d", len(c.Servers))
+	}
+
+	// Versions per operator match the paper's deployment observations.
+	for _, s := range c.ByOrg("Google") {
+		if s.Version != wire.VersionDraft29 {
+			t.Fatalf("google version = %v", s.Version)
+		}
+	}
+	for _, s := range c.ByOrg("Facebook") {
+		if s.Version != wire.VersionMVFST27 {
+			t.Fatalf("facebook version = %v", s.Version)
+		}
+	}
+
+	// Every server lives inside its operator's allocation.
+	for _, s := range c.Servers[:50] {
+		as := in.Registry.Lookup(s.Addr)
+		if as == nil || as.ASN != s.ASN {
+			t.Fatalf("server %v not in AS%d", s.Addr, s.ASN)
+		}
+	}
+}
+
+func TestCensusLookups(t *testing.T) {
+	in := netmodel.BuildInternet()
+	c := Build(in, netmodel.NewRNG(1), Config{ServersPerOrg: 50})
+
+	known := c.Servers[0].Addr
+	if !c.IsKnown(known) {
+		t.Error("census member not known")
+	}
+	if c.Lookup(known) == nil || c.Lookup(known).Org == "" {
+		t.Error("lookup failed")
+	}
+	if c.OrgOf(known) != c.Servers[0].Org {
+		t.Error("OrgOf mismatch")
+	}
+	dark := netmodel.MustAddr("44.1.2.3")
+	if c.IsKnown(dark) || c.Lookup(dark) != nil || c.OrgOf(dark) != "" {
+		t.Error("dark address should be unknown")
+	}
+}
+
+func TestKnownShare(t *testing.T) {
+	in := netmodel.BuildInternet()
+	c := Build(in, netmodel.NewRNG(9), Config{ServersPerOrg: 50})
+	victims := []netmodel.Addr{
+		c.Servers[0].Addr, c.Servers[1].Addr, c.Servers[2].Addr,
+		netmodel.MustAddr("8.8.8.8"), // not in census
+	}
+	if share := c.KnownShare(victims); share != 75 {
+		t.Errorf("share = %f", share)
+	}
+	if c.KnownShare(nil) != 0 {
+		t.Error("empty share")
+	}
+}
+
+func TestCensusDeterminism(t *testing.T) {
+	in := netmodel.BuildInternet()
+	a := Build(in, netmodel.NewRNG(5), Config{ServersPerOrg: 20})
+	b := Build(in, netmodel.NewRNG(5), Config{ServersPerOrg: 20})
+	if len(a.Servers) != len(b.Servers) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Servers {
+		if a.Servers[i] != b.Servers[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	in := netmodel.BuildInternet()
+	c := Build(in, netmodel.NewRNG(2), Config{})
+	if len(c.Servers) != 2048*len(in.ContentASNs) {
+		t.Errorf("default census size = %d", len(c.Servers))
+	}
+}

@@ -1,0 +1,226 @@
+// Package dissect is the telescope's QUIC dissector — the stand-in for
+// the paper's Wireshark payload dissection (§4.1). It validates that a
+// UDP/443 payload is structurally QUIC, walks coalesced packets,
+// removes Initial packet protection where a passive observer can (the
+// Initial keys derive from the DCID on the wire), and extracts the
+// fields the analyses join on: packet types, version, SCID/DCID, and
+// whether an Initial carries a client-visible ClientHello.
+//
+// The design follows gopacket's DecodingLayer idiom: a reusable
+// Dissector decodes into preallocated result storage, so the 92 M
+// packet stream dissects without per-packet allocation in the common
+// path.
+package dissect
+
+import (
+	"errors"
+
+	"quicsand/internal/quiccrypto"
+	"quicsand/internal/telescope"
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+// Class is the top-level traffic classification of §4.1.
+type Class int
+
+// Classification outcomes.
+const (
+	ClassNotQUIC Class = iota
+	ClassRequest
+	ClassResponse
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassResponse:
+		return "response"
+	}
+	return "not-quic"
+}
+
+// PacketInfo describes one QUIC packet inside a datagram.
+type PacketInfo struct {
+	Type    wire.PacketType
+	Version wire.Version
+	SCID    wire.ConnectionID
+	DCID    wire.ConnectionID
+
+	// Decrypted reports whether Initial protection was removable with
+	// the on-wire DCID (true for genuine client Initials).
+	Decrypted bool
+	// HasClientHello reports a parseable TLS ClientHello inside a
+	// decrypted Initial — §6's backscatter-vs-scan discriminator.
+	HasClientHello bool
+	// SNI is the server name from the ClientHello, when present.
+	SNI string
+	// FrameTypes lists frame types of a decrypted payload.
+	FrameTypes []wire.FrameType
+}
+
+// Result is the dissection of one datagram.
+type Result struct {
+	// Packets holds one entry per (possibly coalesced) QUIC packet.
+	Packets []PacketInfo
+	// Valid reports at least one structurally valid QUIC packet,
+	// i.e. the datagram survives the paper's false-positive filter.
+	Valid bool
+}
+
+// HasType reports whether any packet has the given type.
+func (r *Result) HasType(t wire.PacketType) bool {
+	for i := range r.Packets {
+		if r.Packets[i].Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// First returns the first packet info, or nil.
+func (r *Result) First() *PacketInfo {
+	if len(r.Packets) == 0 {
+		return nil
+	}
+	return &r.Packets[0]
+}
+
+// Version returns the wire version of the first long-header packet, or
+// 0 when none is present.
+func (r *Result) Version() wire.Version {
+	for i := range r.Packets {
+		if r.Packets[i].Type != wire.PacketTypeOneRTT {
+			return r.Packets[i].Version
+		}
+	}
+	return 0
+}
+
+// Dissector decodes datagrams. It is not safe for concurrent use; use
+// one per goroutine (they are cheap).
+type Dissector struct {
+	// TryDecrypt controls whether Initial packets are trial-decrypted.
+	// The ablation experiment compares port-based classification
+	// (TryDecrypt=false) against full validation.
+	TryDecrypt bool
+
+	result Result
+	// scratch for decrypt attempts; Open restores on failure but works
+	// on the original slice, so no copy is needed.
+}
+
+// NewDissector returns a dissector with full validation enabled.
+func NewDissector() *Dissector { return &Dissector{TryDecrypt: true} }
+
+// ErrNotQUIC reports payloads rejected by deep validation.
+var ErrNotQUIC = errors.New("dissect: not a QUIC datagram")
+
+// Dissect validates and decodes one UDP payload. The returned Result
+// is reused across calls — copy what must outlive the next call.
+func (d *Dissector) Dissect(payload []byte) (*Result, error) {
+	r := &d.result
+	r.Packets = r.Packets[:0]
+	r.Valid = false
+
+	if len(payload) == 0 {
+		return r, ErrNotQUIC
+	}
+	rest := payload
+	for len(rest) > 0 {
+		if !wire.IsLongHeader(rest) {
+			// Short header: plausibly 1-RTT QUIC if the fixed bit is
+			// set and enough bytes follow for CID+pn+sample.
+			if wire.HasFixedBit(rest) && len(rest) >= 21 {
+				r.Packets = append(r.Packets, PacketInfo{Type: wire.PacketTypeOneRTT})
+				r.Valid = true
+			}
+			break // cannot determine CID length; stop walking
+		}
+		h, err := wire.ParseLongHeader(rest)
+		if err != nil {
+			break
+		}
+		info := PacketInfo{
+			Type:    h.Type,
+			Version: h.Version,
+			SCID:    append(wire.ConnectionID(nil), h.SrcConnID...),
+			DCID:    append(wire.ConnectionID(nil), h.DstConnID...),
+		}
+		// Reject long-header packets with unknown versions unless they
+		// are version negotiation: port-based classification would
+		// count them, deep validation does not (except reserved
+		// greasing versions, which are part of VN packets only).
+		structurallyValid := h.Type == wire.PacketTypeVersionNegotiation || h.Version.Known() || h.Version.IsReserved()
+		if structurallyValid {
+			r.Valid = true
+		}
+
+		if d.TryDecrypt && h.Type == wire.PacketTypeInitial && h.Version.Known() {
+			d.tryDecryptInitial(h, rest[:h.PacketLen()], &info)
+		}
+		r.Packets = append(r.Packets, info)
+		rest = rest[h.PacketLen():]
+	}
+	if !r.Valid {
+		return r, ErrNotQUIC
+	}
+	return r, nil
+}
+
+// tryDecryptInitial attempts to remove protection using the client
+// Initial keys derived from the wire DCID — exactly what a passive
+// dissector can do. Server Initials (backscatter) fail here because
+// their keys derive from the client's original DCID, which never
+// appears in the response header.
+func (d *Dissector) tryDecryptInitial(h *wire.Header, pkt []byte, info *PacketInfo) {
+	opener, err := quiccrypto.NewInitialOpener(h.Version, h.DstConnID, quiccrypto.PerspectiveServer)
+	if err != nil {
+		return
+	}
+	payload, _, err := opener.Open(pkt, h.HeaderLen())
+	if err != nil {
+		return
+	}
+	info.Decrypted = true
+	frames, err := wire.ParseFrames(payload)
+	if err != nil {
+		return
+	}
+	for _, f := range frames {
+		info.FrameTypes = append(info.FrameTypes, f.Type())
+	}
+	crypto, err := wire.CryptoData(frames)
+	if err != nil || len(crypto) == 0 {
+		return
+	}
+	msgs, err := tlsmini.SplitMessages(crypto)
+	if err != nil || len(msgs) == 0 {
+		return
+	}
+	if msgs[0].Type == tlsmini.TypeClientHello {
+		if ch, err := tlsmini.ParseClientHello(msgs[0].Body); err == nil {
+			info.HasClientHello = true
+			info.SNI = ch.ServerName
+		}
+	}
+}
+
+// Classify performs the full §4.1 pipeline on a captured packet:
+// port-based preselection plus payload validation.
+func (d *Dissector) Classify(p *telescope.Packet) Class {
+	if !p.IsQUICCandidate() {
+		return ClassNotQUIC
+	}
+	if p.Payload != nil {
+		if _, err := d.Dissect(p.Payload); err != nil {
+			return ClassNotQUIC
+		}
+	}
+	if p.IsRequest() {
+		return ClassRequest
+	}
+	return ClassResponse
+}

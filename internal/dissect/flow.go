@@ -1,0 +1,59 @@
+package dissect
+
+import (
+	"fmt"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+)
+
+// Endpoint is a hashable (address, port) pair, following gopacket's
+// Endpoint idiom: usable as a map key and comparable.
+type Endpoint struct {
+	Addr netmodel.Addr
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// LessThan orders endpoints (for canonical flow keys).
+func (e Endpoint) LessThan(o Endpoint) bool {
+	if e.Addr != o.Addr {
+		return e.Addr < o.Addr
+	}
+	return e.Port < o.Port
+}
+
+// Flow is a directed (src, dst) endpoint pair.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// FlowOf extracts the transport flow of a packet.
+func FlowOf(p *telescope.Packet) Flow {
+	return Flow{
+		Src: Endpoint{Addr: p.Src, Port: p.SrcPort},
+		Dst: Endpoint{Addr: p.Dst, Port: p.DstPort},
+	}
+}
+
+// Reverse returns the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// String implements fmt.Stringer.
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// FastHash returns a direction-independent hash: A→B and B→A collide,
+// the property gopacket guarantees for flow load-balancing.
+func (f Flow) FastHash() uint64 {
+	a, b := f.Src, f.Dst
+	if b.LessThan(a) {
+		a, b = b, a
+	}
+	h := uint64(a.Addr)<<16 | uint64(a.Port)
+	h = h*0x9e3779b97f4a7c15 + (uint64(b.Addr)<<16 | uint64(b.Port))
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	return h ^ h>>32
+}

@@ -1,0 +1,72 @@
+package dissect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/wire"
+)
+
+// TestDissectNeverPanicsOnRandomBytes: the dissector ingests untrusted
+// telescope payloads; arbitrary input must yield a clean verdict,
+// never a panic.
+func TestDissectNeverPanicsOnRandomBytes(t *testing.T) {
+	d := NewDissector()
+	f := func(payload []byte) bool {
+		_, err := d.Dissect(payload)
+		// Either outcome is fine; reaching here means no panic.
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDissectNeverPanicsOnQUICShapedBytes steers random input into the
+// long-header parse paths (valid version, fixed bit) where more of the
+// dissector runs, including trial decryption.
+func TestDissectNeverPanicsOnQUICShapedBytes(t *testing.T) {
+	d := NewDissector()
+	rng := netmodel.NewRNG(99)
+	versions := []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27}
+	for i := 0; i < 5000; i++ {
+		n := 20 + rng.Intn(1400)
+		payload := make([]byte, n)
+		rng.Bytes(payload)
+		payload[0] = 0xc0 | byte(rng.Intn(4))<<4 | byte(rng.Intn(4))
+		v := versions[rng.Intn(len(versions))]
+		payload[1] = byte(uint32(v) >> 24)
+		payload[2] = byte(uint32(v) >> 16)
+		payload[3] = byte(uint32(v) >> 8)
+		payload[4] = byte(uint32(v))
+		payload[5] = byte(rng.Intn(21)) // plausible DCID length
+		if _, err := d.Dissect(payload); err == nil {
+			// Random bytes must never decrypt to a ClientHello.
+			if r := d.result; r.First() != nil && r.First().HasClientHello {
+				t.Fatalf("random bytes produced a ClientHello (iteration %d)", i)
+			}
+		}
+	}
+}
+
+// TestDissectBitFlipRobustness flips every byte of a genuine Initial
+// in turn: no position may cause a panic, and payload corruption must
+// never yield a decrypted ClientHello (AEAD integrity).
+func TestDissectBitFlipRobustness(t *testing.T) {
+	initial, _ := clientInitialAndServerFlight(t, wire.Version1)
+	d := NewDissector()
+	for i := range initial {
+		mutated := append([]byte(nil), initial...)
+		mutated[i] ^= 0xff
+		r, err := d.Dissect(mutated)
+		if err != nil {
+			continue // rejected outright: fine
+		}
+		// Flips inside the protected region must break decryption.
+		if i > 30 && r.First() != nil && r.First().Decrypted {
+			t.Fatalf("byte %d flip survived AEAD", i)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package dosdetect extracts DoS attacks from backscatter sessions
+// using the thresholds of Moore et al. (ToCS 2006) as applied in §5.2
+// of the paper, including the threshold-weight sensitivity analysis of
+// Appendix B (Figure 10).
+package dosdetect
+
+import (
+	"sort"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/sessions"
+	"quicsand/internal/telescope"
+	"quicsand/internal/wire"
+)
+
+// Thresholds are the Moore et al. attack criteria: a backscatter
+// session is an attack when it strictly exceeds all three.
+type Thresholds struct {
+	// MinPackets: more than this many packets (paper: 25).
+	MinPackets int
+	// MinDuration: longer than this many seconds (paper: 60).
+	MinDuration float64
+	// MinMaxPPS: maximum 1-minute-slot rate above this (paper: 0.5).
+	MinMaxPPS float64
+}
+
+// Default returns the paper's configuration (w = 1).
+func Default() Thresholds {
+	return Thresholds{MinPackets: 25, MinDuration: 60, MinMaxPPS: 0.5}
+}
+
+// Weighted scales every threshold by w — Appendix B's sensitivity
+// knob. w < 1 relaxes detection, w > 1 tightens it.
+func (t Thresholds) Weighted(w float64) Thresholds {
+	return Thresholds{
+		MinPackets:  int(float64(t.MinPackets) * w),
+		MinDuration: t.MinDuration * w,
+		MinMaxPPS:   t.MinMaxPPS * w,
+	}
+}
+
+// Match reports whether a session qualifies as an attack.
+func (t Thresholds) Match(s *sessions.Session) bool {
+	return s.Packets > t.MinPackets &&
+		s.Duration() > t.MinDuration &&
+		s.MaxPPS() > t.MinMaxPPS
+}
+
+// Vector distinguishes the two attack families the paper compares.
+type Vector int
+
+// Attack vectors.
+const (
+	VectorQUIC Vector = iota
+	VectorCommon
+)
+
+// String implements fmt.Stringer.
+func (v Vector) String() string {
+	if v == VectorQUIC {
+		return "QUIC"
+	}
+	return "TCP/ICMP"
+}
+
+// Attack is one detected DoS event. The victim is the backscatter
+// source: the host that answered spoofed packets.
+type Attack struct {
+	Vector     Vector
+	Victim     netmodel.Addr
+	Start, End telescope.Timestamp
+	Packets    int
+	MaxPPS     float64
+
+	// QUIC anatomy (Figure 9), zero for common attacks.
+	UniqueSCIDs    int
+	SpoofedClients int
+	ClientPorts    int
+	Version        wire.Version
+	InitialShare   float64
+	HandshakeShare float64
+}
+
+// Duration returns the attack length in seconds.
+func (a *Attack) Duration() float64 { return float64(a.End-a.Start) / 1000 }
+
+// Overlap returns the overlapping seconds between two attacks
+// (0 when disjoint).
+func (a *Attack) Overlap(b *Attack) float64 {
+	start := a.Start
+	if b.Start > start {
+		start = b.Start
+	}
+	end := a.End
+	if b.End < end {
+		end = b.End
+	}
+	if end <= start {
+		return 0
+	}
+	return float64(end-start) / 1000
+}
+
+// Gap returns the seconds between two non-overlapping attacks
+// (0 when they overlap).
+func (a *Attack) Gap(b *Attack) float64 {
+	switch {
+	case b.Start > a.End:
+		return float64(b.Start-a.End) / 1000
+	case a.Start > b.End:
+		return float64(a.Start-b.End) / 1000
+	default:
+		return 0
+	}
+}
+
+// FromSession converts a qualifying backscatter session into an attack
+// record.
+func FromSession(s *sessions.Session, vec Vector) *Attack {
+	return &Attack{
+		Vector:         vec,
+		Victim:         s.Src,
+		Start:          s.Start,
+		End:            s.End,
+		Packets:        s.Packets,
+		MaxPPS:         s.MaxPPS(),
+		UniqueSCIDs:    len(s.SCIDs),
+		SpoofedClients: len(s.PeerAddrs),
+		ClientPorts:    len(s.PeerPorts),
+		Version:        s.DominantVersion(),
+		InitialShare:   s.InitialShare(),
+		HandshakeShare: s.HandshakeShare(),
+	}
+}
+
+// Detector accumulates sessions and extracts attacks.
+type Detector struct {
+	Thresholds Thresholds
+	Vector     Vector
+	// DropExcluded discards below-threshold sessions instead of
+	// retaining them; set it for the high-volume TCP/ICMP stream.
+	DropExcluded bool
+
+	Attacks []*Attack
+	// Excluded tracks the below-threshold response sessions Appendix B
+	// characterizes (median 11 packets, 7 s, 0.18 max pps).
+	Excluded []*sessions.Session
+	// total response sessions inspected.
+	Inspected int
+}
+
+// NewDetector creates a detector with the paper's default thresholds.
+func NewDetector(vec Vector) *Detector {
+	return &Detector{Thresholds: Default(), Vector: vec}
+}
+
+// Offer inspects one session; response-only sessions qualify.
+func (d *Detector) Offer(s *sessions.Session) {
+	if d.Vector == VectorQUIC && s.Kind() != sessions.KindResponseOnly {
+		return
+	}
+	d.Inspected++
+	if d.Thresholds.Match(s) {
+		d.Attacks = append(d.Attacks, FromSession(s, d.Vector))
+	} else if !d.DropExcluded {
+		d.Excluded = append(d.Excluded, s)
+	}
+}
+
+// Sorted returns attacks ordered by start time.
+func (d *Detector) Sorted() []*Attack {
+	sort.Slice(d.Attacks, func(i, j int) bool {
+		if d.Attacks[i].Start != d.Attacks[j].Start {
+			return d.Attacks[i].Start < d.Attacks[j].Start
+		}
+		return d.Attacks[i].Victim < d.Attacks[j].Victim
+	})
+	return d.Attacks
+}
+
+// VictimCounts aggregates attacks per victim — Figure 6's CDF input.
+func VictimCounts(attacks []*Attack) map[netmodel.Addr]int {
+	m := make(map[netmodel.Addr]int)
+	for _, a := range attacks {
+		m[a.Victim]++
+	}
+	return m
+}
+
+// WeightSweep re-runs detection over the retained sessions for each
+// weight — Figure 10. It returns attack counts and, via shareFn, the
+// share of attacks whose victim satisfies a predicate (the paper uses
+// "victim belongs to Facebook or Google").
+func WeightSweep(sessionList []*sessions.Session, weights []float64, victimPred func(netmodel.Addr) bool) (counts []int, shares []float64) {
+	base := Default()
+	for _, w := range weights {
+		th := base.Weighted(w)
+		n, match := 0, 0
+		for _, s := range sessionList {
+			if s.Kind() != sessions.KindResponseOnly || !th.Match(s) {
+				continue
+			}
+			n++
+			if victimPred != nil && victimPred(s.Src) {
+				match++
+			}
+		}
+		counts = append(counts, n)
+		if n > 0 {
+			shares = append(shares, float64(match)/float64(n)*100)
+		} else {
+			shares = append(shares, 0)
+		}
+	}
+	return counts, shares
+}

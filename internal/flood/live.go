@@ -1,0 +1,93 @@
+package flood
+
+import (
+	"net"
+	"time"
+
+	"quicsand/internal/quicclient"
+	"quicsand/internal/wire"
+)
+
+// LiveConfig parameterizes a replay against a real UDP server.
+type LiveConfig struct {
+	// Target is the server address.
+	Target string
+	// RatePPS is the replay rate; keep modest (≤ a few thousand) for
+	// meaningful results on loopback.
+	RatePPS int
+	// Trace holds the recorded Initial datagrams to replay.
+	Trace [][]byte
+	// Collect is how long to gather responses after the replay.
+	Collect time.Duration
+}
+
+// LiveResult summarizes a live replay.
+type LiveResult struct {
+	Sent      int
+	Responses int
+	// RetryResponses counts Retry packets among responses.
+	RetryResponses int
+	Elapsed        time.Duration
+}
+
+// RecordTrace produces a replay trace with the real client — the
+// paper's quiche-recording step.
+func RecordTrace(n int, version wire.Version) ([][]byte, error) {
+	return quicclient.RecordInitials(n, version, "bench.quicsand.test")
+}
+
+// RunLive replays the trace from a single spoofing socket. Responses
+// are counted (not matched per-connection): on loopback the kernel
+// delivers everything, so the response ratio mirrors server-side
+// acceptance.
+func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if cfg.Collect == 0 {
+		cfg.Collect = time.Second
+	}
+
+	res := &LiveResult{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 65535)
+		for {
+			if err := conn.SetReadDeadline(time.Now().Add(cfg.Collect)); err != nil {
+				return
+			}
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			res.Responses++
+			if h, err := wire.ParseLongHeader(buf[:n]); err == nil && h.Type == wire.PacketTypeRetry {
+				res.RetryResponses++
+			}
+		}
+	}()
+
+	start := time.Now()
+	interval := time.Second / time.Duration(cfg.RatePPS)
+	next := start
+	for _, pkt := range cfg.Trace {
+		if _, err := conn.Write(pkt); err != nil {
+			return nil, err
+		}
+		res.Sent++
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	<-done
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

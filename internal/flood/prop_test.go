@@ -1,0 +1,70 @@
+package flood
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestModelAvailabilityMonotoneInRate: for a fixed server, higher
+// attack rates never improve availability.
+func TestModelAvailabilityMonotoneInRate(t *testing.T) {
+	cfg := ModelConfig{Workers: 8}
+	prev := 1.1
+	for _, pps := range []int{10, 50, 100, 500, 1000, 5000, 20000} {
+		r := RunModel(cfg, pps*30, pps)
+		if r.Availability > prev+1e-9 {
+			t.Fatalf("availability rose with rate at %d pps: %.3f > %.3f", pps, r.Availability, prev)
+		}
+		prev = r.Availability
+	}
+}
+
+// TestModelAvailabilityMonotoneInWorkers: at a fixed rate, more
+// workers never hurt.
+func TestModelAvailabilityMonotoneInWorkers(t *testing.T) {
+	prev := -0.1
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		r := RunModel(ModelConfig{Workers: w}, 60000, 2000)
+		if r.Availability < prev-1e-9 {
+			t.Fatalf("availability fell with workers at %d: %.3f < %.3f", w, r.Availability, prev)
+		}
+		prev = r.Availability
+	}
+}
+
+// TestModelRetryDominates: at any load, RETRY availability is at least
+// the no-RETRY availability — the Table 1 conclusion as an invariant.
+func TestModelRetryDominates(t *testing.T) {
+	f := func(rateSeed uint16, workerSeed uint8) bool {
+		pps := 10 + int(rateSeed)%50000
+		workers := 1 + int(workerSeed)%128
+		n := pps * 10
+		plain := RunModel(ModelConfig{Workers: workers}, n, pps)
+		retry := RunModel(ModelConfig{Workers: workers, Retry: true}, n, pps)
+		return retry.Availability >= plain.Availability-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelAccounting: answered ≤ requests, drops ≤ requests, and the
+// response count follows the per-mode datagram accounting.
+func TestModelAccounting(t *testing.T) {
+	f := func(rateSeed uint16, retry bool) bool {
+		pps := 10 + int(rateSeed)%20000
+		n := pps * 5
+		r := RunModel(ModelConfig{Workers: 4, Retry: retry}, n, pps)
+		if r.Answered > r.ClientReqs || r.DroppedQueue > r.ClientReqs {
+			return false
+		}
+		want := r.Answered * ResponsesPerHandshake
+		if retry {
+			want = r.Answered
+		}
+		return r.ServerResps == want && r.Availability >= 0 && r.Availability <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package handshake
+
+import (
+	"testing"
+
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+// TestAmplificationFactorBounded asserts the §3 property QUIC was
+// designed around: the unvalidated first flight never exceeds 3× the
+// client's bytes, even with oversized certificate chains.
+func TestAmplificationFactorBounded(t *testing.T) {
+	for _, padding := range []int{0, 600, 2500, 6000} {
+		id, err := tlsmini.GenerateSelfSigned("amp.test", padding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := NewClient(ClientConfig{ServerName: "amp.test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := client.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := wire.ParseLongHeader(first)
+		server, err := NewServerConn(ServerConfig{Identity: id}, wire.Version1, h.DstConnID, h.SrcConnID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flight, err := server.HandleDatagram(append([]byte(nil), first...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := 0
+		for _, d := range flight {
+			sent += len(d)
+		}
+		if factor := float64(sent) / float64(len(first)); factor > 3.0 {
+			t.Errorf("padding %d: amplification factor %.2f exceeds 3×", padding, factor)
+		}
+	}
+}
+
+// TestDeferredFlightFlushesAfterValidation: with a huge certificate,
+// part of the server flight is withheld until the client proves its
+// address, then delivered — and the handshake still completes.
+func TestDeferredFlightFlushesAfterValidation(t *testing.T) {
+	id, err := tlsmini.GenerateSelfSigned("big.test", 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{ServerName: "big.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := client.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := wire.ParseLongHeader(first)
+	server, err := NewServerConn(ServerConfig{Identity: id}, wire.Version1, h.DstConnID, h.SrcConnID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight, err := server.HandleDatagram(append([]byte(nil), first...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(server.deferred) == 0 {
+		t.Fatal("big-certificate flight should be partially deferred")
+	}
+
+	// Pump rounds: the client acks/answers what it has; each client
+	// Handshake datagram validates the address and releases more.
+	toServer := [][]byte{}
+	toClient := flight
+	for round := 0; round < 12 && !client.Done(); round++ {
+		toServer = toServer[:0]
+		for _, d := range toClient {
+			out, err := client.HandleDatagram(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toServer = append(toServer, out...)
+		}
+		toClient = toClient[:0]
+		if len(toServer) == 0 && !client.Done() {
+			// Client is stalled waiting for deferred data; a real
+			// client retransmits ACKs — model with an empty-ACK
+			// Handshake datagram via a PING exchange from the server
+			// side (the deferred flush path).
+			pings, err := server.KeepAlivePings(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toClient = append(toClient, pings...)
+			continue
+		}
+		for _, d := range toServer {
+			out, err := server.HandleDatagram(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toClient = append(toClient, out...)
+		}
+	}
+	if !client.Done() {
+		t.Fatalf("handshake with deferred flight did not complete: %v", client.State())
+	}
+	if !server.Done() {
+		t.Fatalf("server state %v", server.State())
+	}
+}

@@ -1,0 +1,117 @@
+package handshake
+
+import (
+	"testing"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/wire"
+)
+
+// TestClientSurvivesCorruptedFlights injects bit flips into every
+// byte position of the server's first flight: the client must either
+// reject the datagram with an error or ignore it — never panic, and
+// never complete a handshake off corrupted data.
+func TestClientSurvivesCorruptedFlights(t *testing.T) {
+	mkPair := func() (*Client, [][]byte) {
+		client, err := NewClient(ClientConfig{ServerName: "corrupt.test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := client.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := wire.ParseLongHeader(first)
+		server, err := NewServerConn(ServerConfig{Identity: testIdentity}, wire.Version1, h.DstConnID, h.SrcConnID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flight, err := server.HandleDatagram(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client, flight
+	}
+
+	_, flight := mkPair()
+	stride := 7 // every 7th byte keeps the test fast while covering all regions
+	for _, di := range []int{0, 1} {
+		if di >= len(flight) {
+			break
+		}
+		for i := 0; i < len(flight[di]); i += stride {
+			client, origFlight := mkPair()
+			mutated := make([][]byte, len(origFlight))
+			for k := range origFlight {
+				mutated[k] = append([]byte(nil), origFlight[k]...)
+			}
+			mutated[di][i%len(mutated[di])] ^= 0xa5
+
+			done := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at datagram %d byte %d: %v", di, i, r)
+					}
+				}()
+				for _, d := range mutated {
+					if _, err := client.HandleDatagram(d); err != nil {
+						return
+					}
+				}
+				done = client.Done()
+			}()
+			if done {
+				t.Fatalf("handshake completed despite corruption at datagram %d byte %d", di, i)
+			}
+		}
+	}
+}
+
+// TestServerSurvivesRandomDatagrams: random garbage against a fresh
+// server connection must produce clean errors, never panics.
+func TestServerSurvivesRandomDatagrams(t *testing.T) {
+	rng := netmodel.NewRNG(4)
+	for i := 0; i < 2000; i++ {
+		client, _ := NewClient(ClientConfig{})
+		first, _ := client.Start()
+		h, _ := wire.ParseLongHeader(first)
+		server, err := NewServerConn(ServerConfig{Identity: testIdentity}, wire.Version1, h.DstConnID, h.SrcConnID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(1500)
+		junk := make([]byte, n)
+		rng.Bytes(junk)
+		if _, err := server.HandleDatagram(junk); err == nil && server.Done() {
+			t.Fatal("server completed on garbage")
+		}
+	}
+}
+
+// TestReplayedInitialIsIdempotent: duplicate client Initials (network
+// retransmission or replay attack) must not crash the server or
+// double its flight.
+func TestReplayedInitialIsIdempotent(t *testing.T) {
+	client, _ := NewClient(ClientConfig{ServerName: "replay.test"})
+	first, _ := client.Start()
+	h, _ := wire.ParseLongHeader(first)
+	server, err := NewServerConn(ServerConfig{Identity: testIdentity}, wire.Version1, h.DstConnID, h.SrcConnID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight1, err := server.HandleDatagram(append([]byte(nil), first...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight2, err := server.HandleDatagram(append([]byte(nil), first...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flight1) == 0 {
+		t.Fatal("no first flight")
+	}
+	if len(flight2) != 0 {
+		t.Fatalf("duplicate Initial elicited %d datagrams", len(flight2))
+	}
+}

@@ -1,0 +1,21 @@
+package handshake
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"fmt"
+)
+
+// parseLeafECDSA extracts the ECDSA-P256 public key from a DER leaf
+// certificate.
+func parseLeafECDSA(der []byte) (*ecdsa.PublicKey, error) {
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: leaf certificate: %w", err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("handshake: leaf key is %T, want ECDSA", cert.PublicKey)
+	}
+	return pub, nil
+}

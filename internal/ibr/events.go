@@ -1,0 +1,288 @@
+package ibr
+
+import (
+	"sort"
+	"time"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+	"quicsand/internal/wire"
+)
+
+// measurementSeconds is the simulated capture length.
+var measurementSeconds = telescope.MeasurementEnd.Sub(telescope.MeasurementStart).Seconds()
+
+func tsAt(offsetSec float64) telescope.Timestamp {
+	return telescope.TS(telescope.MeasurementStart) + telescope.Timestamp(offsetSec*1000)
+}
+
+// ---------------------------------------------------------------------------
+// Research scanners (Figure 2's 98.5 % bias)
+
+// researchScan emits one full-IPv4 sweep's telescope slice: 2^23
+// single packets from one university host, thinned by `thin` with
+// per-record weight, spread over the scan duration.
+type researchScan struct {
+	src      netmodel.Addr
+	start    telescope.Timestamp
+	duration time.Duration
+	total    uint64 // packets that reach the telescope (2^23)
+	weight   uint32 // packets represented per emitted record
+	emit     uint64 // records to emit (total/weight)
+	i        uint64
+	rng      *netmodel.RNG
+}
+
+func newResearchScan(rng *netmodel.RNG, src netmodel.Addr, startSec float64, dur time.Duration, thinWeight uint32) *researchScan {
+	total := netmodel.TelescopePrefix.Size()
+	if thinWeight == 0 {
+		thinWeight = 1
+	}
+	return &researchScan{
+		src:      src,
+		start:    tsAt(startSec),
+		duration: dur,
+		total:    total,
+		weight:   thinWeight,
+		emit:     total / uint64(thinWeight),
+		rng:      rng,
+	}
+}
+
+func (r *researchScan) StartTime() telescope.Timestamp { return r.start }
+
+func (r *researchScan) Next() (*telescope.Packet, bool) {
+	if r.i >= r.emit {
+		return nil, false
+	}
+	// Records advance linearly through the scan window; the zmap-style
+	// address permutation appears as a uniform draw from the prefix.
+	frac := float64(r.i) / float64(r.emit)
+	ts := r.start + telescope.Timestamp(frac*r.duration.Seconds()*1000)
+	p := &telescope.Packet{
+		TS:      ts,
+		Src:     r.src,
+		Dst:     netmodel.TelescopePrefix.Random(r.rng),
+		SrcPort: 40000 + uint16(r.i%20000),
+		DstPort: telescope.PortQUIC,
+		Proto:   telescope.ProtoUDP,
+		Size:    1200,
+		Weight:  r.weight,
+	}
+	r.i++
+	return p, true
+}
+
+// ---------------------------------------------------------------------------
+// Malicious scanners (bot request sessions)
+
+// botSpec describes one scanning bot; each visit becomes one request
+// session after the 5-minute timeout.
+type botSpec struct {
+	src      netmodel.Addr
+	version  wire.Version
+	visits   []float64 // session start offsets (seconds)
+	pktsPer  int       // mean packets per session
+	srcPort  uint16
+	rng      *netmodel.RNG
+	tpl      *Templates
+	withload bool // carry real QUIC payload bytes
+}
+
+// build materializes all of a bot's packets.
+func (b *botSpec) build() []*telescope.Packet {
+	var out []*telescope.Packet
+	payload := b.tpl.ScanPacket(b.version)
+	for _, visit := range b.visits {
+		n := 1 + int(b.rng.Exp(float64(b.pktsPer-1)))
+		if n > 120 {
+			n = 120
+		}
+		at := visit
+		for i := 0; i < n; i++ {
+			p := &telescope.Packet{
+				TS:      tsAt(at),
+				Src:     b.src,
+				Dst:     netmodel.TelescopePrefix.Random(b.rng),
+				SrcPort: b.srcPort,
+				DstPort: telescope.PortQUIC,
+				Proto:   telescope.ProtoUDP,
+				Size:    clampSize(len(payload)),
+			}
+			if b.withload {
+				p.Payload = payload
+			}
+			out = append(out, p)
+			// Scan gaps: bursty with occasional minute-scale pauses so
+			// the Figure 4 sweep shows its 1→5-minute knee.
+			gap := b.rng.Exp(20)
+			if b.rng.Float64() < 0.04 {
+				gap += 60 + b.rng.Float64()*180 // 1–4 minute lull
+			}
+			at += gap
+		}
+	}
+	// Visits may overlap in time; restore the source-order contract.
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Flood backscatter
+
+// floodSpec describes one DoS event's backscatter as seen at the
+// telescope.
+type floodSpec struct {
+	vector    int // 0 QUIC, 1 TCP, 2 ICMP
+	victim    netmodel.Addr
+	version   wire.Version
+	startSec  float64
+	durSec    float64
+	peakPkts  int     // packets inside the peak minute
+	basePkts  int     // packets spread across the full duration
+	nAddrs    int     // spoofed client addresses landing in scope
+	nPorts    int     // spoofed client ports
+	scidRatio float64 // unique SCIDs per (addr,port) tuple (QUIC only)
+	rng       *netmodel.RNG
+	tpl       *Templates
+}
+
+// build materializes the attack's telescope packets in time order.
+func (f *floodSpec) build() []*telescope.Packet {
+	n := 2*f.peakPkts + f.basePkts + 2
+	times := make([]float64, 0, n)
+
+	// Bracket packets pin the observed session to the attack's true
+	// extent: victims emit backscatter from first to last spoofed
+	// packet.
+	times = append(times, 0, f.durSec)
+
+	// Burst phase: peakPkts per minute sustained over a two-minute
+	// window placed uniformly inside the attack. A 120-second window
+	// always covers one full wall-clock minute regardless of phase, so
+	// the Moore max-pps metric observes the intended rate.
+	window := 120.0
+	if f.durSec < window {
+		window = f.durSec
+	}
+	burstStart := 0.0
+	if f.durSec > window {
+		burstStart = f.rng.Float64() * (f.durSec - window)
+	}
+	burstPkts := int(float64(f.peakPkts) * window / 60)
+	for i := 0; i < burstPkts; i++ {
+		times = append(times, burstStart+f.rng.Float64()*window)
+	}
+	for i := 0; i < f.basePkts; i++ {
+		times = append(times, f.rng.Float64()*f.durSec)
+	}
+	sortFloats(times)
+
+	// Spoofed client tuples and their stable SCID mapping.
+	addrs := make([]netmodel.Addr, f.nAddrs)
+	for i := range addrs {
+		addrs[i] = netmodel.TelescopePrefix.Random(f.rng)
+	}
+	ports := make([]uint16, f.nPorts)
+	for i := range ports {
+		ports[i] = uint16(1024 + f.rng.Intn(64000))
+	}
+	scidCache := make(map[uint32][]byte)
+
+	out := make([]*telescope.Packet, 0, n)
+	for _, at := range times {
+		ts := tsAt(f.startSec + at)
+		dst := addrs[f.rng.Intn(len(addrs))]
+		dport := ports[f.rng.Intn(len(ports))]
+
+		var p *telescope.Packet
+		switch f.vector {
+		case 0: // QUIC backscatter with real wire bytes
+			tupleKey := uint32(dst)<<16 ^ uint32(dport)
+			scid := scidCache[tupleKey]
+			if scid == nil {
+				scid = make([]byte, scidLen)
+				if f.rng.Float64() < f.scidRatio {
+					f.rng.Bytes(scid) // fresh per-tuple context
+				} else if len(scidCache) > 0 {
+					// Reuse an existing context (mvfst-style pooling).
+					for _, v := range scidCache {
+						scid = v
+						break
+					}
+				} else {
+					f.rng.Bytes(scid)
+				}
+				scidCache[tupleKey] = scid
+			}
+			kind := pickResponseKind(f.rng)
+			payload := f.tpl.ResponsePacket(f.version, kind, scid)
+			p = &telescope.Packet{
+				TS: ts, Src: f.victim, Dst: dst,
+				SrcPort: telescope.PortQUIC, DstPort: dport,
+				Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),
+				Payload: payload,
+			}
+		case 1: // TCP SYN-ACK / RST backscatter
+			flags := telescope.FlagSYN | telescope.FlagACK
+			if f.rng.Float64() < 0.3 {
+				flags = telescope.FlagRST
+			}
+			p = &telescope.Packet{
+				TS: ts, Src: f.victim, Dst: dst,
+				SrcPort: 80, DstPort: dport,
+				Proto: telescope.ProtoTCP, Flags: flags, Size: 40,
+			}
+			if f.rng.Float64() < 0.5 {
+				p.SrcPort = 443
+			}
+		default: // ICMP echo reply / unreachable
+			p = &telescope.Packet{
+				TS: ts, Src: f.victim, Dst: dst,
+				Proto: telescope.ProtoICMP, Flags: 0, Size: 56,
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// sortFloats orders packet offsets; attacks hold a few hundred
+// entries, so the standard sort is plenty.
+func sortFloats(x []float64) { sort.Float64s(x) }
+
+// ---------------------------------------------------------------------------
+// Misconfiguration noise (Appendix B's excluded response sessions)
+
+type misconfigSpec struct {
+	src     netmodel.Addr
+	version wire.Version
+	visits  []float64
+	rng     *netmodel.RNG
+	tpl     *Templates
+}
+
+func (m *misconfigSpec) build() []*telescope.Packet {
+	var out []*telescope.Packet
+	var scid [scidLen]byte
+	m.rng.Bytes(scid[:])
+	for _, visit := range m.visits {
+		// Appendix B profile: ~11 packets over ~7 s at ~0.18 max pps.
+		n := 5 + m.rng.Intn(13)
+		at := visit
+		dst := netmodel.TelescopePrefix.Random(m.rng)
+		dport := uint16(1024 + m.rng.Intn(64000))
+		for i := 0; i < n; i++ {
+			payload := m.tpl.ResponsePacket(m.version, pickResponseKind(m.rng), scid[:])
+			out = append(out, &telescope.Packet{
+				TS: tsAt(at), Src: m.src, Dst: dst,
+				SrcPort: telescope.PortQUIC, DstPort: dport,
+				Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),
+				Payload: payload,
+			})
+			at += m.rng.Exp(0.8)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}

@@ -1,0 +1,624 @@
+package ibr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"quicsand/internal/activescan"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+// Config parameterizes one simulated measurement month.
+type Config struct {
+	// Seed determines the entire run.
+	Seed uint64
+	// Scale multiplies event counts (bots, attacks, victims); 1.0
+	// reproduces the paper's session/attack magnitudes. Per-event
+	// structure is scale-invariant. Default 1.0.
+	Scale float64
+	// ResearchThin is the thinning weight for research-scan records:
+	// one record stands for this many packets. Default 64. Only the
+	// weighted Figure 2/3 counters observe research traffic, so
+	// thinning is loss-free for every other analysis.
+	ResearchThin uint32
+	// SkipResearch drops research scanners entirely (fast tests).
+	SkipResearch bool
+	// Internet and Census default to freshly built instances.
+	Internet *netmodel.Internet
+	Census   *activescan.Census
+	// Identity signs the template handshakes; generated when nil.
+	Identity *tlsmini.Identity
+}
+
+// Calibration constants: the paper-published magnitudes the generator
+// targets at Scale=1. Each is an *input* intensity; the reported
+// results are still measured from the packet stream.
+const (
+	calBots          = 9600   // distinct scanning bot addresses
+	calBotVisitsMean = 1.25   // extra visits per bot (+1)
+	calQUICAttacks   = 2905   // QUIC flood events
+	calQUICVictims   = 394    // distinct QUIC victims
+	calCommonAttacks = 282000 // TCP/ICMP flood events
+	// calCommonVictims keeps attacks-per-victim near Jonker et al.'s
+	// macroscopic view (millions of targets ⇒ ~1.4 attacks/victim);
+	// small pools would merge attacks into month-long sessions.
+	calCommonVictims   = 200000
+	calMisconfSources  = 3400 // Appendix B low-volume responders
+	calMisconfVisits   = 5.8  // extra visits per source (+1)
+	calResearchScans   = 11   // full-IPv4 sweeps per month (TUM+RWTH)
+	calShareConcurrent = 0.43
+	calShareSequential = 0.48
+)
+
+// GroundTruth records what the generator scheduled, for validation
+// and for seeding the GreyNoise store. Analyses never read it.
+type GroundTruth struct {
+	QUICAttacks    int
+	CommonAttacks  int
+	QUICVictims    map[netmodel.Addr]string // victim → org
+	BotAddrs       []netmodel.Addr
+	TaggedBots     map[netmodel.Addr][]string
+	Concurrent     int
+	Sequential     int
+	QUICOnly       int
+	ResearchHosts  []netmodel.Addr
+	MisconfSources int
+}
+
+// Generator holds the scheduled sources for one run.
+type Generator struct {
+	cfg     Config
+	sources []Source
+	Truth   *GroundTruth
+	tpl     *Templates
+}
+
+// New schedules a full measurement month. The heavy packet material
+// is produced lazily while the stream runs.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.ResearchThin == 0 {
+		cfg.ResearchThin = 64
+	}
+	if cfg.Internet == nil {
+		cfg.Internet = netmodel.BuildInternet()
+	}
+	root := netmodel.NewRNG(cfg.Seed)
+	if cfg.Census == nil {
+		cfg.Census = activescan.Build(cfg.Internet, root.Fork("census"), activescan.Config{})
+	}
+	if cfg.Identity == nil {
+		id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Identity = id
+	}
+	tpl, err := BuildTemplates(root.Fork("templates"), cfg.Identity)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Generator{cfg: cfg, tpl: tpl, Truth: &GroundTruth{
+		QUICVictims: make(map[netmodel.Addr]string),
+		TaggedBots:  make(map[netmodel.Addr][]string),
+	}}
+	g.scheduleResearch(root.Fork("research"))
+	g.scheduleBots(root.Fork("bots"))
+	quicSpecs := g.scheduleQUICAttacks(root.Fork("quic-attacks"))
+	g.scheduleCommonAttacks(root.Fork("common-attacks"), quicSpecs)
+	g.scheduleMisconfig(root.Fork("misconfig"))
+	return g, nil
+}
+
+// Run streams the merged month through sink and returns the ground
+// truth.
+func (g *Generator) Run(sink func(*telescope.Packet)) *GroundTruth {
+	NewMerger(g.sources...).Run(sink)
+	return g.Truth
+}
+
+// Sources exposes the scheduled sources (for custom mergers).
+func (g *Generator) Sources() []Source { return g.sources }
+
+func (g *Generator) scaled(n float64) int {
+	v := int(math.Round(n * g.cfg.Scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+
+func (g *Generator) scheduleResearch(rng *netmodel.RNG) {
+	if g.cfg.SkipResearch {
+		return
+	}
+	tum := g.cfg.Internet.Registry.ByASN(netmodel.ASNTUM)
+	rwth := g.cfg.Internet.Registry.ByASN(netmodel.ASNRWTH)
+	tumHost := tum.Prefixes[0].Nth(77)
+	rwthHost := rwth.Prefixes[0].Nth(42)
+	g.Truth.ResearchHosts = []netmodel.Addr{tumHost, rwthHost}
+
+	// TUM scans roughly every 5 days, RWTH every 6: 11 sweeps/month.
+	starts := []struct {
+		host netmodel.Addr
+		day  float64
+		dur  time.Duration
+	}{
+		{tumHost, 0.3, 10 * time.Hour}, {tumHost, 5.1, 10 * time.Hour},
+		{tumHost, 10.2, 10 * time.Hour}, {tumHost, 15.4, 10 * time.Hour},
+		{tumHost, 20.3, 10 * time.Hour}, {tumHost, 25.2, 10 * time.Hour},
+		{rwthHost, 2.6, 8 * time.Hour}, {rwthHost, 8.5, 8 * time.Hour},
+		{rwthHost, 14.7, 8 * time.Hour}, {rwthHost, 20.9, 8 * time.Hour},
+		{rwthHost, 27.0, 8 * time.Hour},
+	}
+	for i, s := range starts {
+		start := (s.day + rng.Float64()*0.3) * 86400
+		g.sources = append(g.sources,
+			newResearchScan(rng.Fork(fmt.Sprintf("scan/%d", i)), s.host, start, s.dur, g.cfg.ResearchThin))
+	}
+}
+
+// diurnalOffset draws a second-of-month with the request traffic's
+// double peak at 06:00 and 18:00 UTC.
+func diurnalOffset(rng *netmodel.RNG) float64 {
+	for {
+		day := float64(rng.Intn(30)) // whole days keep the hour intact
+		hour := rng.Float64() * 24
+		w := 1 + 2.4*math.Exp(-sq(hour-6)/4) + 2.4*math.Exp(-sq(hour-18)/4)
+		if rng.Float64()*3.5 < w {
+			return day*86400 + hour*3600
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func (g *Generator) scheduleBots(rng *netmodel.RNG) {
+	in := g.cfg.Internet
+	// Country weights over eyeball ASes: BD 34 %, US 27 %, DZ 8 %,
+	// rest spread — the §5.2 origin mix.
+	type pool struct {
+		asns   []uint32
+		weight float64
+	}
+	pools := []pool{
+		{[]uint32{63526, 58717, 45245}, 0.34},       // BD
+		{[]uint32{7922, 20115, 7018}, 0.27},         // US
+		{[]uint32{36947}, 0.08},                     // DZ
+		{[]uint32{45899, 4134, 12389, 28573}, 0.21}, // VN/CN/RU/BR
+		{[]uint32{9829}, 0.10},                      // IN
+	}
+	weights := make([]float64, len(pools))
+	for i, p := range pools {
+		weights[i] = p.weight
+	}
+	versions := []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27}
+	versionWeights := []float64{0.5, 0.3, 0.1, 0.1}
+
+	nBots := g.scaled(calBots)
+	for i := 0; i < nBots; i++ {
+		p := pools[rng.Pick(weights)]
+		asn := p.asns[rng.Intn(len(p.asns))]
+		src := in.RandomHostOf(asn, rng)
+		nVisits := 1 + int(rng.Exp(calBotVisitsMean))
+		if nVisits > 12 {
+			nVisits = 12
+		}
+		visits := make([]float64, nVisits)
+		for j := range visits {
+			visits[j] = diurnalOffset(rng)
+		}
+		sortFloats(visits)
+		bot := &botSpec{
+			src:     src,
+			version: versions[rng.Pick(versionWeights)],
+			visits:  visits,
+			pktsPer: 11,
+			srcPort: uint16(1024 + rng.Intn(60000)),
+			rng:     rng.Fork(fmt.Sprintf("bot/%d", i)),
+			tpl:     g.tpl,
+			// Carrying full payloads on every scan packet is the
+			// default; it exercises the dissector's ClientHello path.
+			withload: true,
+		}
+		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), bot.build))
+		g.Truth.BotAddrs = append(g.Truth.BotAddrs, src)
+		if rng.Float64() < 0.023 {
+			tag := "Mirai"
+			switch x := rng.Float64(); {
+			case x > 0.75:
+				tag = "Eternalblue"
+			case x > 0.55:
+				tag = "SSH Bruteforcer"
+			}
+			g.Truth.TaggedBots[src] = append(g.Truth.TaggedBots[src], tag)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// quicAttackPlan retains scheduling info needed for multi-vector
+// pairing.
+type quicAttackPlan struct {
+	victim   netmodel.Addr
+	startSec float64
+	durSec   float64
+}
+
+// assignVictims distributes nAttacks over a victim pool with the
+// paper's Figure 6 skew: a "cold" majority of victims is hit exactly
+// once while a small "hot" set absorbs the rest via heavy-tailed
+// popularity. Returns one victim per attack.
+func assignVictims(addrs []netmodel.Addr, nAttacks int, rng *netmodel.RNG) []netmodel.Addr {
+	if len(addrs) == 0 || nAttacks == 0 {
+		return nil
+	}
+	nCold := len(addrs) * 3 / 5
+	hot := addrs[:len(addrs)-nCold]
+	cold := addrs[len(addrs)-nCold:]
+	if len(hot) == 0 {
+		hot = addrs
+	}
+	hotWeights := make([]float64, len(hot))
+	for i := range hotWeights {
+		hotWeights[i] = rng.Pareto(1, 1.15)
+	}
+	out := make([]netmodel.Addr, 0, nAttacks)
+	for i := 0; i < len(cold) && len(out) < nAttacks; i++ {
+		out = append(out, cold[i])
+	}
+	for len(out) < nAttacks {
+		out = append(out, hot[rng.Pick(hotWeights)])
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []quicAttackPlan {
+	census := g.cfg.Census
+
+	mkPool := func(servers []activescan.Server, n int, r *netmodel.RNG) []netmodel.Addr {
+		var addrs []netmodel.Addr
+		seen := map[netmodel.Addr]bool{}
+		for len(addrs) < n && len(seen) < len(servers) {
+			s := servers[r.Intn(len(servers))]
+			if seen[s.Addr] {
+				continue
+			}
+			seen[s.Addr] = true
+			addrs = append(addrs, s.Addr)
+		}
+		return addrs
+	}
+	nVictims := g.scaled(calQUICVictims)
+	google := mkPool(census.ByOrg("Google"), maxInt(2, nVictims*43/100), rng.Fork("victims/google"))
+	facebook := mkPool(census.ByOrg("Facebook"), maxInt(2, nVictims*28/100), rng.Fork("victims/facebook"))
+	var otherServers []activescan.Server
+	for _, s := range census.Servers {
+		if s.Org != "Google" && s.Org != "Facebook" {
+			otherServers = append(otherServers, s)
+		}
+	}
+	other := mkPool(otherServers, maxInt(2, nVictims*25/100), rng.Fork("victims/other"))
+	// Unknown victims: content-space hosts absent from the census.
+	var unknown []netmodel.Addr
+	for len(unknown) < maxInt(1, nVictims*4/100) {
+		a := g.cfg.Internet.RandomHostOf(netmodel.ASNCloudflare, rng)
+		if !census.IsKnown(a) {
+			unknown = append(unknown, a)
+		}
+	}
+
+	nAttacks := g.scaled(calQUICAttacks)
+	plans := make([]quicAttackPlan, 0, nAttacks)
+	orgNames := []string{"Google", "Facebook", "Other", "Unknown"}
+	orgShares := []float64{0.58, 0.25, 0.15, 0.02}
+	orgPools := [][]netmodel.Addr{google, facebook, other, unknown}
+
+	// Pre-assign victims per organisation with the Figure 6 skew.
+	type pending struct {
+		orgIdx int
+		victim netmodel.Addr
+	}
+	var queue []pending
+	assigned := 0
+	for oi := range orgNames {
+		n := int(float64(nAttacks) * orgShares[oi])
+		if oi == len(orgNames)-1 {
+			n = nAttacks - assigned
+		}
+		assigned += n
+		for _, v := range assignVictims(orgPools[oi], n, rng.Fork("assign/"+orgNames[oi])) {
+			queue = append(queue, pending{orgIdx: oi, victim: v})
+		}
+	}
+	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+
+	for i, pq := range queue {
+		orgIdx, victim := pq.orgIdx, pq.victim
+		g.Truth.QUICVictims[victim] = orgNames[orgIdx]
+
+		// Version mix per provider (§5.2: mvfst-draft-27 95 % for
+		// Facebook, draft-29 78 % for Google).
+		var version wire.Version
+		switch orgIdx {
+		case 0:
+			version = pickVersion(rng, []wire.Version{wire.VersionDraft29, wire.Version1, wire.VersionDraft27}, []float64{0.78, 0.18, 0.04})
+		case 1:
+			version = pickVersion(rng, []wire.Version{wire.VersionMVFST27, wire.VersionDraft29}, []float64{0.95, 0.05})
+		default:
+			version = pickVersion(rng, []wire.Version{wire.Version1, wire.VersionDraft29}, []float64{0.6, 0.4})
+		}
+
+		// A per-attack magnitude couples duration, rate and packet
+		// budget: large attacks are large in every dimension, giving
+		// the joint tail the Figure 10 weight sweep probes.
+		magnitude := rng.LogNormal(0, 0.9)
+		dur := clampF(rng.LogNormal(math.Log(260), 0.85)*math.Pow(magnitude, 0.5), 65, 30000)
+		start := rng.Float64() * (measurementSeconds - dur)
+
+		// Packet budget: Google floods elicit fewer packets but more
+		// SCIDs (fresh context per tuple); mvfst pools contexts.
+		sizeFactor, scidRatio := 1.0, 0.6
+		switch orgIdx {
+		case 0:
+			sizeFactor, scidRatio = 0.7, 0.95
+		case 1:
+			sizeFactor, scidRatio = 1.4, 0.30
+		}
+		peak := 45 + int(rng.Pareto(7, 1.3)*magnitude*sizeFactor)
+		if peak > 1150 {
+			peak = 1150
+		}
+		baseRate := rng.Exp(0.25) * magnitude * sizeFactor
+		if baseRate < 0.05 {
+			// Floods sustain backscatter for their whole duration; a
+			// floor keeps sessions from fragmenting at the 5-minute
+			// timeout (real victims keep answering while flooded).
+			baseRate = 0.05
+		}
+		base := int(dur * baseRate)
+		if base > 6200 {
+			base = 6200
+		}
+		nAddrs := 1 + int(rng.Pareto(1.2, 1.2))
+		if nAddrs > 20 {
+			nAddrs = 20
+		}
+		nPorts := 3 + int(rng.Pareto(15, 1.1))
+		if nPorts > 200 {
+			nPorts = 200
+		}
+
+		spec := &floodSpec{
+			vector: 0, victim: victim, version: version,
+			startSec: start, durSec: dur,
+			peakPkts: peak, basePkts: base,
+			nAddrs: nAddrs, nPorts: nPorts, scidRatio: scidRatio,
+			rng: rng.Fork(fmt.Sprintf("qattack/%d", i)), tpl: g.tpl,
+		}
+		g.sources = append(g.sources, newLazySource(tsAt(start), spec.build))
+		plans = append(plans, quicAttackPlan{victim: victim, startSec: start, durSec: dur})
+	}
+	g.Truth.QUICAttacks = nAttacks
+	return plans
+}
+
+func pickVersion(rng *netmodel.RNG, vs []wire.Version, w []float64) wire.Version {
+	return vs[rng.Pick(w)]
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+
+func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicPlans []quicAttackPlan) {
+	in := g.cfg.Internet
+
+	mkCommon := func(victim netmodel.Addr, start, dur float64, idx int) {
+		vector := 1 // TCP
+		if rng.Float64() < 0.2 {
+			vector = 2 // ICMP
+		}
+		magnitude := rng.LogNormal(0, 0.9)
+		peak := 40 + int(rng.Pareto(8, 1.3)*magnitude)
+		if peak > 2000 {
+			peak = 2000
+		}
+		baseRate := rng.Exp(0.02) * magnitude
+		if baseRate < 0.04 {
+			baseRate = 0.04
+		}
+		base := int(dur * baseRate)
+		if base > 4000 {
+			base = 4000
+		}
+		nAddrs := 2 + int(rng.Pareto(2, 1.1))
+		if nAddrs > 64 {
+			nAddrs = 64
+		}
+		spec := &floodSpec{
+			vector: vector, victim: victim,
+			startSec: start, durSec: dur,
+			peakPkts: peak, basePkts: base,
+			nAddrs: nAddrs, nPorts: 1 + rng.Intn(64),
+			rng: rng.Fork(fmt.Sprintf("cattack/%d", idx)), tpl: g.tpl,
+		}
+		g.sources = append(g.sources, newLazySource(tsAt(start), spec.build))
+		g.Truth.CommonAttacks++
+	}
+
+	// 1) Multi-vector pairing against the QUIC plans. The QUIC-only
+	// category is a property of the victim (a host nobody also floods
+	// over TCP/ICMP), so victims covering ≈9 % of the attack mass are
+	// exempted from pairing first; remaining attacks split between
+	// concurrent and sequential pairings.
+	byVictim := make(map[netmodel.Addr]int)
+	for _, qp := range quicPlans {
+		byVictim[qp.victim]++
+	}
+	victims := make([]netmodel.Addr, 0, len(byVictim))
+	for v := range byVictim {
+		victims = append(victims, v)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if byVictim[victims[i]] != byVictim[victims[j]] {
+			return byVictim[victims[i]] < byVictim[victims[j]]
+		}
+		return victims[i] < victims[j]
+	})
+	quicOnlyTarget := int(float64(len(quicPlans)) * (1 - calShareConcurrent - calShareSequential))
+	quicOnly := make(map[netmodel.Addr]bool)
+	covered := 0
+	for _, v := range victims {
+		if covered >= quicOnlyTarget {
+			break
+		}
+		quicOnly[v] = true
+		covered += byVictim[v]
+	}
+
+	idx := 0
+	for _, qp := range quicPlans {
+		if quicOnly[qp.victim] {
+			g.Truth.QUICOnly++
+			idx++
+			continue
+		}
+		x := rng.Float64() * (calShareConcurrent + calShareSequential)
+		switch {
+		case x < calShareConcurrent:
+			g.Truth.Concurrent++
+			dur := clampF(rng.LogNormal(math.Log(1499), 1.0), qp.durSec*0.3+61, 90000)
+			var start float64
+			if rng.Float64() < 0.78 {
+				// Full containment: the common attack brackets the
+				// QUIC flood (Figure 12's dominant mode).
+				lead := 1 + rng.Exp(0.15*qp.durSec+30)
+				start = qp.startSec - lead
+				if dur < qp.durSec+lead+60 {
+					dur = qp.durSec + lead + 60 + rng.Exp(120)
+				}
+			} else {
+				// Partial overlap: start inside the QUIC attack.
+				start = qp.startSec + qp.durSec*(0.15+0.7*rng.Float64())
+			}
+			if start < 0 {
+				start = 0
+			}
+			mkCommon(qp.victim, start, dur, idx)
+		case x < calShareConcurrent+calShareSequential:
+			g.Truth.Sequential++
+			gap := clampF(rng.LogNormal(math.Log(9*3600), 1.9), 400, 28*86400)
+			dur := clampF(rng.LogNormal(math.Log(1499), 1.2), 65, 90000)
+			var start float64
+			if rng.Float64() < 0.5 {
+				start = qp.startSec + qp.durSec + gap
+			} else {
+				start = qp.startSec - gap - dur
+			}
+			if start < 0 || start+dur > measurementSeconds {
+				// Fold back inside the month on the other side.
+				start = clampF(qp.startSec+qp.durSec+gap, 0, measurementSeconds-dur-1)
+			}
+			mkCommon(qp.victim, start, dur, idx)
+		}
+		idx++
+	}
+
+	// 2) Independent common attacks filling the 282 k total.
+	nTotal := g.scaled(calCommonAttacks)
+	nIndependent := nTotal - g.Truth.CommonAttacks
+	nVictims := g.scaled(calCommonVictims)
+	commonVictims := make([]netmodel.Addr, nVictims)
+	vWeights := make([]float64, nVictims)
+	pickVictim := func(r *netmodel.RNG) netmodel.Addr {
+		switch x := r.Float64(); {
+		case x < 0.30:
+			return in.RandomHostOf(in.ContentASNs[r.Intn(len(in.ContentASNs))], r)
+		case x < 0.55:
+			return in.RandomHostOf(174, r) // Cogent transit space
+		case x < 0.75:
+			return in.RandomHostOf(in.EyeballASNs[r.Intn(len(in.EyeballASNs))], r)
+		case x < 0.85:
+			return in.RandomHostOf(64500, r)
+		default:
+			return netmodel.Addr(r.Uint32()) // unallocated noise
+		}
+	}
+	for i := range commonVictims {
+		commonVictims[i] = pickVictim(rng)
+		vWeights[i] = rng.Pareto(1, 1.5)
+	}
+	for i := 0; i < nIndependent; i++ {
+		dur := clampF(rng.LogNormal(math.Log(1499), 1.2), 65, 90000)
+		start := rng.Float64() * (measurementSeconds - dur)
+		mkCommon(commonVictims[rng.Pick(vWeights)], start, dur, idx)
+		idx++
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func (g *Generator) scheduleMisconfig(rng *netmodel.RNG) {
+	census := g.cfg.Census
+	n := g.scaled(calMisconfSources)
+	for i := 0; i < n; i++ {
+		// Content hosts that answer junk: census members not among the
+		// flood victims (mostly), matching Figure 5's content-heavy
+		// response population.
+		var src netmodel.Addr
+		for {
+			s := census.Servers[rng.Intn(len(census.Servers))]
+			if _, isVictim := g.Truth.QUICVictims[s.Addr]; !isVictim {
+				src = s.Addr
+				break
+			}
+		}
+		version := wire.Version1
+		if s := census.Lookup(src); s != nil {
+			version = s.Version
+		}
+		nVisits := 1 + int(rng.Exp(calMisconfVisits))
+		if nVisits > 40 {
+			nVisits = 40
+		}
+		visits := make([]float64, nVisits)
+		for j := range visits {
+			visits[j] = rng.Float64() * (measurementSeconds - 120)
+		}
+		sortFloats(visits)
+		spec := &misconfigSpec{
+			src: src, version: version, visits: visits,
+			rng: rng.Fork(fmt.Sprintf("misconf/%d", i)), tpl: g.tpl,
+		}
+		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), spec.build))
+		g.Truth.MisconfSources++
+	}
+}

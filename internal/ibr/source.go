@@ -1,0 +1,157 @@
+// Package ibr generates the Internet background radiation the
+// telescope captures: research scanners, malicious scanners from
+// eyeball networks, misconfiguration noise, and — centrally — the
+// backscatter of randomly spoofed QUIC and TCP/ICMP floods. The
+// generator is an event-driven simulation over virtual April 2021 time
+// whose per-event structure is calibrated to the paper's published
+// aggregates; every analysis result downstream is *recomputed* from
+// the emitted packets, never copied from the paper.
+package ibr
+
+import (
+	"container/heap"
+
+	"quicsand/internal/telescope"
+)
+
+// Source produces packets in non-decreasing time order.
+type Source interface {
+	// StartTime returns a lower bound on the first packet's timestamp,
+	// known before any Next call. The merger uses it to activate
+	// sources lazily; activation re-keys on the true first timestamp.
+	StartTime() telescope.Timestamp
+	// Next returns successive packets in non-decreasing time order;
+	// ok=false when exhausted.
+	Next() (*telescope.Packet, bool)
+}
+
+// mergeEntry is a heap element: either a not-yet-activated source
+// (keyed by StartTime) or an active one (keyed by its buffered packet).
+type mergeEntry struct {
+	at  telescope.Timestamp
+	pkt *telescope.Packet // nil until activated
+	src Source
+}
+
+type mergeHeap []*mergeEntry
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Merger interleaves many sources into one time-ordered stream while
+// materializing each source's state only once its first packet is due,
+// keeping memory proportional to concurrently active events.
+type Merger struct {
+	h mergeHeap
+}
+
+// NewMerger builds a merger over the sources.
+func NewMerger(sources ...Source) *Merger {
+	m := &Merger{h: make(mergeHeap, 0, len(sources))}
+	for _, s := range sources {
+		m.h = append(m.h, &mergeEntry{at: s.StartTime(), src: s})
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Add registers another source.
+func (m *Merger) Add(s Source) {
+	heap.Push(&m.h, &mergeEntry{at: s.StartTime(), src: s})
+}
+
+// Next returns the globally next packet, or nil at end of stream.
+func (m *Merger) Next() *telescope.Packet {
+	for m.h.Len() > 0 {
+		e := m.h[0]
+		if e.pkt == nil {
+			// Activate: pull the first packet.
+			pkt, ok := e.src.Next()
+			if !ok {
+				heap.Pop(&m.h)
+				continue
+			}
+			e.pkt = pkt
+			e.at = pkt.TS
+			heap.Fix(&m.h, 0)
+			continue
+		}
+		out := e.pkt
+		if nxt, ok := e.src.Next(); ok {
+			e.pkt = nxt
+			e.at = nxt.TS
+			heap.Fix(&m.h, 0)
+		} else {
+			heap.Pop(&m.h)
+		}
+		return out
+	}
+	return nil
+}
+
+// Run drains the merged stream into sink.
+func (m *Merger) Run(sink func(*telescope.Packet)) {
+	for {
+		p := m.Next()
+		if p == nil {
+			return
+		}
+		sink(p)
+	}
+}
+
+// sliceSource replays a pre-built, time-sorted packet slice. Event
+// generators that materialize lazily wrap themselves in one once
+// activated.
+type sliceSource struct {
+	start telescope.Timestamp
+	pkts  []*telescope.Packet
+	i     int
+}
+
+func newSliceSource(start telescope.Timestamp, pkts []*telescope.Packet) *sliceSource {
+	return &sliceSource{start: start, pkts: pkts}
+}
+
+func (s *sliceSource) StartTime() telescope.Timestamp { return s.start }
+
+func (s *sliceSource) Next() (*telescope.Packet, bool) {
+	if s.i >= len(s.pkts) {
+		return nil, false
+	}
+	p := s.pkts[s.i]
+	s.i++
+	return p, true
+}
+
+// lazySource defers building its packets until the merger activates it
+// (first Next call), bounding peak memory to concurrently live events.
+type lazySource struct {
+	start telescope.Timestamp
+	build func() []*telescope.Packet
+	inner *sliceSource
+}
+
+func newLazySource(start telescope.Timestamp, build func() []*telescope.Packet) *lazySource {
+	return &lazySource{start: start, build: build}
+}
+
+func (s *lazySource) StartTime() telescope.Timestamp { return s.start }
+
+func (s *lazySource) Next() (*telescope.Packet, bool) {
+	if s.inner == nil {
+		s.inner = newSliceSource(s.start, s.build())
+		s.build = nil
+	}
+	return s.inner.Next()
+}

@@ -1,0 +1,213 @@
+package ibr
+
+import (
+	"fmt"
+
+	"quicsand/internal/handshake"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
+)
+
+// Templates holds real wire bytes for every packet shape the
+// generators emit. They are produced once per version by running an
+// actual client/server handshake, then cloned-and-patched per packet
+// (SCID, spoofed destination). Replaying recorded packets instead of
+// hand-crafting them mirrors both real attack tooling and the paper's
+// own benchmark methodology ("replaying avoids bias from hand-crafting
+// QUIC packets").
+type Templates struct {
+	perVersion map[wire.Version]*versionTemplates
+}
+
+type versionTemplates struct {
+	// clientInitial is a complete 1200-byte scan request datagram
+	// (decryptable by a passive observer, ClientHello inside).
+	clientInitial []byte
+	// d1 is the victim's first response datagram: Initial (ServerHello)
+	// coalesced with a Handshake packet. Client used a zero-length
+	// SCID, so the response DCID length is zero.
+	d1 []byte
+	// d2 is the Handshake-only continuation datagram.
+	d2 []byte
+	// ping is a Handshake keep-alive datagram.
+	ping []byte
+	// oneRTT is a short-header packet (stateless-reset-shaped noise).
+	oneRTT []byte
+	// scidOffsets locates the 8-byte server SCID inside each response
+	// template, per coalesced packet, for per-connection patching.
+	d1SCIDOffs   []int
+	d2SCIDOffs   []int
+	pingSCIDOffs []int
+}
+
+// scidLen is the server connection-ID length used by all templates.
+const scidLen = 8
+
+// BuildTemplates runs one handshake per version and captures the
+// flight bytes. rng drives all entropy, keeping templates
+// deterministic per seed.
+func BuildTemplates(rng *netmodel.RNG, identity *tlsmini.Identity) (*Templates, error) {
+	t := &Templates{perVersion: make(map[wire.Version]*versionTemplates)}
+	for _, v := range []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27} {
+		vt, err := buildVersionTemplates(rng.Fork("templates/"+v.String()), identity, v)
+		if err != nil {
+			return nil, fmt.Errorf("ibr: templates for %v: %w", v, err)
+		}
+		t.perVersion[v] = vt
+	}
+	return t, nil
+}
+
+func buildVersionTemplates(rng *netmodel.RNG, identity *tlsmini.Identity, v wire.Version) (*versionTemplates, error) {
+	client, err := handshake.NewClient(handshake.ClientConfig{
+		Version: v, ServerName: "quic.example.net", Rand: rng, EmptySCID: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	first, err := client.Start()
+	if err != nil {
+		return nil, err
+	}
+	h, err := wire.ParseLongHeader(first)
+	if err != nil {
+		return nil, err
+	}
+	server, err := handshake.NewServerConn(handshake.ServerConfig{
+		Identity: identity, Rand: rng,
+	}, v, h.DstConnID, h.SrcConnID)
+	if err != nil {
+		return nil, err
+	}
+	flight, err := server.HandleDatagram(append([]byte(nil), first...))
+	if err != nil {
+		return nil, err
+	}
+	if len(flight) < 2 {
+		return nil, fmt.Errorf("ibr: server flight has %d datagrams", len(flight))
+	}
+	pings, err := server.KeepAlivePings(1)
+	if err != nil {
+		return nil, err
+	}
+
+	vt := &versionTemplates{
+		clientInitial: first,
+		d1:            flight[0],
+		d2:            flight[1],
+		ping:          pings[0],
+	}
+	if vt.d1SCIDOffs, err = scidOffsets(vt.d1); err != nil {
+		return nil, err
+	}
+	if vt.d2SCIDOffs, err = scidOffsets(vt.d2); err != nil {
+		return nil, err
+	}
+	if vt.pingSCIDOffs, err = scidOffsets(vt.ping); err != nil {
+		return nil, err
+	}
+
+	// Short-header noise packet: fixed bit + random body.
+	one := make([]byte, 40)
+	rng.Bytes(one)
+	one[0] = 0x40 | (one[0] & 0x3f &^ 0x80)
+	vt.oneRTT = one
+	return vt, nil
+}
+
+// scidOffsets walks coalesced long-header packets and returns the byte
+// offset of each SCID field (which must be scidLen bytes).
+func scidOffsets(datagram []byte) ([]int, error) {
+	var offs []int
+	base := 0
+	rest := datagram
+	for len(rest) > 0 && wire.IsLongHeader(rest) {
+		h, err := wire.ParseLongHeader(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(h.SrcConnID) != scidLen {
+			return nil, fmt.Errorf("ibr: template SCID length %d", len(h.SrcConnID))
+		}
+		// SCID begins after first byte, version, dcid-len byte, dcid
+		// bytes and the scid-len byte.
+		off := base + 1 + 4 + 1 + len(h.DstConnID) + 1
+		offs = append(offs, off)
+		base += h.PacketLen()
+		rest = rest[h.PacketLen():]
+	}
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("ibr: no long-header packets in template")
+	}
+	return offs, nil
+}
+
+// responseKind selects a backscatter datagram shape. The mixture is
+// tuned so the captured message mix lands near the paper's §6
+// observation (~31 % Initial, ~57 % Handshake, rest other).
+type responseKind int
+
+const (
+	kindD1 responseKind = iota
+	kindD2
+	kindPing
+	kindOneRTT
+)
+
+// pickResponseKind draws from the tuned mixture.
+func pickResponseKind(r *netmodel.RNG) responseKind {
+	switch x := r.Float64(); {
+	case x < 0.45:
+		return kindD1
+	case x < 0.70:
+		return kindD2
+	case x < 0.82:
+		return kindPing
+	default:
+		return kindOneRTT
+	}
+}
+
+// ResponsePacket builds one backscatter packet from the victim to a
+// spoofed client, with the given server SCID patched in.
+func (t *Templates) ResponsePacket(v wire.Version, kind responseKind, scid []byte) []byte {
+	vt := t.perVersion[v]
+	if vt == nil {
+		vt = t.perVersion[wire.Version1]
+	}
+	var tpl []byte
+	var offs []int
+	switch kind {
+	case kindD1:
+		tpl, offs = vt.d1, vt.d1SCIDOffs
+	case kindD2:
+		tpl, offs = vt.d2, vt.d2SCIDOffs
+	case kindPing:
+		tpl, offs = vt.ping, vt.pingSCIDOffs
+	default:
+		return append([]byte(nil), vt.oneRTT...)
+	}
+	out := append([]byte(nil), tpl...)
+	for _, off := range offs {
+		copy(out[off:off+scidLen], scid)
+	}
+	return out
+}
+
+// ScanPacket returns the scan request datagram for a version.
+func (t *Templates) ScanPacket(v wire.Version) []byte {
+	vt := t.perVersion[v]
+	if vt == nil {
+		vt = t.perVersion[wire.Version1]
+	}
+	return vt.clientInitial
+}
+
+// clampSize converts a datagram length to the Packet.Size field.
+func clampSize(n int) uint16 {
+	if n > 0xffff {
+		return 0xffff
+	}
+	return uint16(n)
+}

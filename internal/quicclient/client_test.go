@@ -1,0 +1,73 @@
+package quicclient
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"quicsand/internal/wire"
+)
+
+func TestRecordInitials(t *testing.T) {
+	trace, err := RecordInitials(8, wire.VersionDraft29, "record.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 8 {
+		t.Fatalf("trace = %d", len(trace))
+	}
+	seen := map[string]bool{}
+	for _, d := range trace {
+		h, err := wire.ParseLongHeader(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Type != wire.PacketTypeInitial || h.Version != wire.VersionDraft29 {
+			t.Fatalf("header: %v %v", h.Type, h.Version)
+		}
+		if len(d) < 1200 {
+			t.Fatalf("initial %d bytes", len(d))
+		}
+		// Independent connections: distinct DCIDs.
+		if seen[string(h.DstConnID)] {
+			t.Fatal("duplicate DCID in trace")
+		}
+		seen[string(h.DstConnID)] = true
+	}
+}
+
+func TestDialTimeoutAgainstSilentPeer(t *testing.T) {
+	// A socket nobody answers on: the client must give up cleanly
+	// after its retransmissions, not hang.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	start := time.Now()
+	res, err := Dial(pc.LocalAddr().String(), Config{
+		Timeout: 100 * time.Millisecond, Retries: 1, ServerName: "silent.test",
+	})
+	if err != nil {
+		t.Fatalf("timeout should not be an error: %v", err)
+	}
+	if res.Completed {
+		t.Fatal("completed against a silent peer")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("gave up too slowly: %v", elapsed)
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("not-an-address", Config{}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestDialUnknownVersionRejected(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", Config{Version: wire.Version(0x12345678)}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package quiccrypto
+
+import (
+	"testing"
+
+	"quicsand/internal/wire"
+)
+
+func benchPacket(b *testing.B, payloadLen int) ([]byte, int, *Sealer, *Opener) {
+	b.Helper()
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	sealer, err := NewInitialSealer(wire.Version1, dcid, PerspectiveClient)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opener, err := NewInitialOpener(wire.Version1, dcid, PerspectiveServer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := &wire.LongHeaderBuilder{
+		Type: wire.PacketTypeInitial, Version: wire.Version1,
+		DstConnID: dcid, PktNumLen: 2,
+	}
+	hdr, err := builder.AppendHeader(nil, payloadLen+16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pnOffset := len(hdr)
+	hdr = wire.AppendPacketNumber(hdr, 1, 2)
+	pkt := append(hdr, make([]byte, payloadLen)...)
+	return pkt, pnOffset, sealer, opener
+}
+
+func BenchmarkSeal1200(b *testing.B) {
+	pkt, pnOffset, sealer, _ := benchPacket(b, 1150)
+	scratch := make([]byte, len(pkt), len(pkt)+16)
+	b.SetBytes(int64(len(pkt)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, pkt)
+		if _, err := sealer.Seal(scratch[:len(pkt)], pnOffset, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen1200(b *testing.B) {
+	pkt, pnOffset, sealer, opener := benchPacket(b, 1150)
+	protected, err := sealer.Seal(pkt, pnOffset, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(protected)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opener.Open(protected, pnOffset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInitialKeyDerivation(b *testing.B) {
+	dcid := wire.ConnectionID{8, 7, 6, 5, 4, 3, 2, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := InitialSecrets(wire.Version1, dcid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetryTag(b *testing.B) {
+	odcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	body := make([]byte, 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RetryIntegrityTag(wire.Version1, odcid, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package quiccrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"hash"
+)
+
+// KeySchedule implements the TLS 1.3 key schedule (RFC 8446 §7.1) for
+// the TLS_AES_128_GCM_SHA256 cipher suite, driving the QUIC Handshake
+// and 1-RTT packet-protection levels. The transcript hash is maintained
+// internally: feed every handshake message through WriteTranscript in
+// order.
+type KeySchedule struct {
+	transcript hash.Hash
+	secret     []byte // current schedule secret
+	phase      int    // 0 = early, 1 = handshake, 2 = master
+
+	clientHS []byte
+	serverHS []byte
+}
+
+// NewKeySchedule starts a schedule at the early-secret stage with no
+// PSK (the only mode the handshake experiments need).
+func NewKeySchedule() *KeySchedule {
+	zeros := make([]byte, sha256.Size)
+	return &KeySchedule{
+		transcript: sha256.New(),
+		secret:     hkdfExtract(nil, zeros),
+	}
+}
+
+// WriteTranscript absorbs a handshake message into the transcript hash.
+func (ks *KeySchedule) WriteTranscript(msg []byte) {
+	ks.transcript.Write(msg)
+}
+
+// TranscriptHash returns the running transcript hash.
+func (ks *KeySchedule) TranscriptHash() []byte {
+	return ks.transcript.Sum(nil)
+}
+
+// deriveSecret implements Derive-Secret (RFC 8446 §7.1) over the
+// current transcript.
+func (ks *KeySchedule) deriveSecret(label string) []byte {
+	return hkdfExpandLabel(ks.secret, label, ks.TranscriptHash(), sha256.Size)
+}
+
+// SetHandshakeSecrets advances the schedule past the ECDHE input and
+// derives the client and server handshake traffic secrets. Call after
+// absorbing ClientHello and ServerHello.
+func (ks *KeySchedule) SetHandshakeSecrets(ecdheShared []byte) (clientHS, serverHS []byte) {
+	if ks.phase != 0 {
+		panic("quiccrypto: handshake secrets already derived")
+	}
+	derived := hkdfExpandLabel(ks.secret, "derived", emptyHash(), sha256.Size)
+	ks.secret = hkdfExtract(derived, ecdheShared)
+	ks.phase = 1
+	ks.clientHS = ks.deriveSecret("c hs traffic")
+	ks.serverHS = ks.deriveSecret("s hs traffic")
+	return ks.clientHS, ks.serverHS
+}
+
+// SetMasterSecrets advances to the master secret and derives the
+// application traffic secrets. Call after absorbing the server
+// Finished.
+func (ks *KeySchedule) SetMasterSecrets() (clientApp, serverApp []byte) {
+	if ks.phase != 1 {
+		panic("quiccrypto: key schedule not at handshake phase")
+	}
+	derived := hkdfExpandLabel(ks.secret, "derived", emptyHash(), sha256.Size)
+	ks.secret = hkdfExtract(derived, make([]byte, sha256.Size))
+	ks.phase = 2
+	return ks.deriveSecret("c ap traffic"), ks.deriveSecret("s ap traffic")
+}
+
+// FinishedMAC computes the Finished verify_data for the given handshake
+// traffic secret over the current transcript (RFC 8446 §4.4.4).
+func (ks *KeySchedule) FinishedMAC(trafficSecret []byte) []byte {
+	finishedKey := hkdfExpandLabel(trafficSecret, "finished", nil, sha256.Size)
+	mac := hmac.New(sha256.New, finishedKey)
+	mac.Write(ks.TranscriptHash())
+	return mac.Sum(nil)
+}
+
+// VerifyFinished checks a peer's Finished verify_data in constant time.
+func (ks *KeySchedule) VerifyFinished(trafficSecret, verifyData []byte) bool {
+	return hmac.Equal(ks.FinishedMAC(trafficSecret), verifyData)
+}
+
+// emptyHash returns SHA-256("").
+func emptyHash() []byte {
+	h := sha256.Sum256(nil)
+	return h[:]
+}

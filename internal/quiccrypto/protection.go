@@ -1,0 +1,207 @@
+package quiccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+
+	"quicsand/internal/wire"
+)
+
+// Errors returned by packet protection.
+var (
+	// ErrDecryptFailed reports an AEAD authentication failure — the
+	// telescope dissector uses this to reject packets that carry a QUIC
+	// shape but not QUIC contents.
+	ErrDecryptFailed = errors.New("quiccrypto: decryption failed")
+	// ErrShortPacket reports a packet too short to hold the protection
+	// sample.
+	ErrShortPacket = errors.New("quiccrypto: packet too short")
+)
+
+const (
+	aeadKeyLen   = 16 // AES-128-GCM, TLS_AES_128_GCM_SHA256
+	aeadNonceLen = 12
+	aeadTagLen   = 16
+	sampleLen    = 16
+)
+
+// keys holds the packet-protection key triple derived from a traffic
+// secret (RFC 9001 §5.1).
+type keys struct {
+	aead cipher.AEAD
+	iv   [aeadNonceLen]byte
+	hp   cipher.Block // header-protection AES block
+}
+
+func deriveKeys(trafficSecret []byte) (*keys, error) {
+	key := hkdfExpandLabel(trafficSecret, "quic key", nil, aeadKeyLen)
+	iv := hkdfExpandLabel(trafficSecret, "quic iv", nil, aeadNonceLen)
+	hpKey := hkdfExpandLabel(trafficSecret, "quic hp", nil, aeadKeyLen)
+
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := aes.NewCipher(hpKey)
+	if err != nil {
+		return nil, err
+	}
+	k := &keys{aead: aead, hp: hp}
+	copy(k.iv[:], iv)
+	return k, nil
+}
+
+// nonce XORs the packet number into the static IV (RFC 9001 §5.3).
+func (k *keys) nonce(pn uint64) []byte {
+	n := make([]byte, aeadNonceLen)
+	copy(n, k.iv[:])
+	for i := 0; i < 8; i++ {
+		n[aeadNonceLen-1-i] ^= byte(pn >> (8 * i))
+	}
+	return n
+}
+
+// headerMask computes the 5-byte header-protection mask from the
+// ciphertext sample (RFC 9001 §5.4.3, AES-based).
+func (k *keys) headerMask(sample []byte) [5]byte {
+	var block [16]byte
+	k.hp.Encrypt(block[:], sample)
+	var mask [5]byte
+	copy(mask[:], block[:5])
+	return mask
+}
+
+// A Sealer protects outgoing packets for one encryption level.
+type Sealer struct{ k *keys }
+
+// NewSealer derives a Sealer from a traffic secret.
+func NewSealer(trafficSecret []byte) (*Sealer, error) {
+	k, err := deriveKeys(trafficSecret)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{k: k}, nil
+}
+
+// Overhead returns the AEAD tag length added to every packet.
+func (s *Sealer) Overhead() int { return aeadTagLen }
+
+// Seal protects a packet in place. pkt must contain the complete
+// unprotected packet: header (through the packet number) followed by
+// the plaintext payload; pnOffset is the offset of the packet number,
+// pnLen its length, and pn the full packet number. The header's Length
+// field must already account for the AEAD tag. It returns the protected
+// packet (pkt's backing array is reused when capacity allows).
+func (s *Sealer) Seal(pkt []byte, pnOffset, pnLen int, pn uint64) ([]byte, error) {
+	if pnOffset+pnLen > len(pkt) {
+		return nil, ErrShortPacket
+	}
+	if cap(pkt) < len(pkt)+aeadTagLen {
+		grown := make([]byte, len(pkt), len(pkt)+aeadTagLen)
+		copy(grown, pkt)
+		pkt = grown
+	}
+	header := pkt[:pnOffset+pnLen]
+	payload := pkt[pnOffset+pnLen:]
+
+	sealed := s.k.aead.Seal(payload[:0], s.k.nonce(pn), payload, header)
+	pkt = pkt[:len(header)+len(sealed)]
+
+	// Header protection: sample starts 4 bytes after the start of the
+	// packet number (RFC 9001 §5.4.2).
+	sampleOff := pnOffset + 4
+	if sampleOff+sampleLen > len(pkt) {
+		return nil, ErrShortPacket
+	}
+	mask := s.k.headerMask(pkt[sampleOff : sampleOff+sampleLen])
+	if pkt[0]&0x80 != 0 {
+		pkt[0] ^= mask[0] & 0x0f
+	} else {
+		pkt[0] ^= mask[0] & 0x1f
+	}
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+	}
+	return pkt, nil
+}
+
+// An Opener removes protection from incoming packets.
+type Opener struct {
+	k *keys
+	// largestPN tracks the highest packet number opened, for truncated
+	// packet-number recovery.
+	largestPN uint64
+}
+
+// NewOpener derives an Opener from a traffic secret.
+func NewOpener(trafficSecret []byte) (*Opener, error) {
+	k, err := deriveKeys(trafficSecret)
+	if err != nil {
+		return nil, err
+	}
+	return &Opener{k: k}, nil
+}
+
+// Open removes header and packet protection. pkt must span exactly one
+// QUIC packet; pnOffset is the offset of the (protected) packet number.
+// It returns the decrypted payload (freshly allocated) and the full
+// packet number. pkt is left in its original wire form regardless of
+// outcome, so callers may retry with different keys or dissect shared
+// buffers repeatedly.
+func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err error) {
+	sampleOff := pnOffset + 4
+	if sampleOff+sampleLen > len(pkt) {
+		return nil, 0, ErrShortPacket
+	}
+	mask := o.k.headerMask(pkt[sampleOff : sampleOff+sampleLen])
+	if pkt[0]&0x80 != 0 {
+		pkt[0] ^= mask[0] & 0x0f
+	} else {
+		pkt[0] ^= mask[0] & 0x1f
+	}
+	pnLen := int(pkt[0]&0x03) + 1
+	if pnOffset+pnLen > len(pkt) {
+		return nil, 0, ErrShortPacket
+	}
+	var truncated uint64
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+		truncated = truncated<<8 | uint64(pkt[pnOffset+i])
+	}
+	pn = wire.DecodePacketNumber(o.largestPN, truncated, pnLen)
+
+	header := pkt[:pnOffset+pnLen]
+	ciphertext := pkt[pnOffset+pnLen:]
+	if len(ciphertext) < aeadTagLen {
+		return nil, 0, ErrShortPacket
+	}
+	// Decrypt into a fresh buffer: GCM zeroes dst on authentication
+	// failure, which would clobber the ciphertext for retries.
+	payload, err = o.k.aead.Open(nil, o.k.nonce(pn), ciphertext, header)
+
+	// Restore the protected header in either case: callers may retry
+	// with other keys or dissect the same (possibly shared) buffer
+	// again.
+	for i := pnLen - 1; i >= 0; i-- {
+		pkt[pnOffset+i] ^= mask[1+i]
+	}
+	if pkt[0]&0x80 != 0 {
+		pkt[0] ^= mask[0] & 0x0f
+	} else {
+		pkt[0] ^= mask[0] & 0x1f
+	}
+
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrDecryptFailed, err)
+	}
+	if pn > o.largestPN {
+		o.largestPN = pn
+	}
+	return payload, pn, nil
+}

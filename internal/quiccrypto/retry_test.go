@@ -1,0 +1,82 @@
+package quiccrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"quicsand/internal/wire"
+)
+
+func TestRetryBuildVerifyRoundTrip(t *testing.T) {
+	origDCID := wire.ConnectionID{0x83, 0x94, 0xc8, 0xf0, 0x3e, 0x51, 0x57, 0x08}
+	dcid := wire.ConnectionID{0xaa, 0xbb}
+	scid := wire.ConnectionID{0x01, 0x02, 0x03}
+	token := []byte("address-validation-token")
+
+	for _, v := range []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27} {
+		pkt, err := BuildRetry(v, dcid, scid, origDCID, token)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		h, err := wire.ParseLongHeader(pkt)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", v, err)
+		}
+		if h.Type != wire.PacketTypeRetry {
+			t.Fatalf("%v: type = %v", v, h.Type)
+		}
+		if !bytes.Equal(h.RetryToken, token) {
+			t.Fatalf("%v: token = %q", v, h.RetryToken)
+		}
+		if err := VerifyRetryIntegrity(v, origDCID, pkt); err != nil {
+			t.Fatalf("%v: verify: %v", v, err)
+		}
+	}
+}
+
+func TestRetryIntegrityRejectsWrongODCID(t *testing.T) {
+	pkt, err := BuildRetry(wire.Version1, nil, wire.ConnectionID{1}, wire.ConnectionID{2, 2}, []byte("tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRetryIntegrity(wire.Version1, wire.ConnectionID{9, 9}, pkt); !errors.Is(err, ErrDecryptFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryIntegrityRejectsTamperedToken(t *testing.T) {
+	odcid := wire.ConnectionID{7, 7, 7, 7}
+	pkt, _ := BuildRetry(wire.Version1, nil, wire.ConnectionID{1}, odcid, []byte("token"))
+	pkt[len(pkt)-17] ^= 1 // flip last token byte
+	if err := VerifyRetryIntegrity(wire.Version1, odcid, pkt); !errors.Is(err, ErrDecryptFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryUnknownVersion(t *testing.T) {
+	if _, err := BuildRetry(wire.Version(0x1234), nil, nil, nil, nil); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if err := VerifyRetryIntegrity(wire.Version(0x1234), nil, make([]byte, 20)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if err := VerifyRetryIntegrity(wire.Version1, nil, []byte{1}); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short packet err = %v", err)
+	}
+}
+
+func TestRetryTagsDifferAcrossVersions(t *testing.T) {
+	odcid := wire.ConnectionID{1, 2, 3, 4}
+	body := []byte("identical pseudo packet body")
+	t1, _ := RetryIntegrityTag(wire.Version1, odcid, body)
+	t29, _ := RetryIntegrityTag(wire.VersionDraft29, odcid, body)
+	t27, _ := RetryIntegrityTag(wire.VersionDraft27, odcid, body)
+	if bytes.Equal(t1, t29) || bytes.Equal(t1, t27) || bytes.Equal(t29, t27) {
+		t.Error("retry tags should differ across versions")
+	}
+	tm, _ := RetryIntegrityTag(wire.VersionMVFST27, odcid, body)
+	if !bytes.Equal(t27, tm) {
+		t.Error("mvfst-27 should share draft-27 retry keys")
+	}
+}

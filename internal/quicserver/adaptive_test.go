@@ -1,0 +1,99 @@
+package quicserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"quicsand/internal/flood"
+	"quicsand/internal/quicclient"
+	"quicsand/internal/wire"
+)
+
+// TestAdaptiveRetryKicksInUnderLoad exercises the §6 proposal: with
+// AdaptiveRetryThreshold set, an idle server completes handshakes in
+// one round trip, but once a flood fills its connection table it
+// switches to stateless RETRY validation.
+func TestAdaptiveRetryKicksInUnderLoad(t *testing.T) {
+	s := startServer(t, Config{
+		Workers: 1, QueuePerWorker: 16, AdaptiveRetryThreshold: 0.5,
+	})
+
+	// Idle: no retry, minimal RTTs.
+	res, err := quicclient.Dial(s.Addr().String(), quicclient.Config{ServerName: "server.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SawRetry {
+		t.Fatalf("idle handshake: completed=%v retry=%v", res.Completed, res.SawRetry)
+	}
+
+	// Flood: push the table past 50 % of 16 slots.
+	trace, err := flood.RecordTrace(40, wire.Version1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flood.RunLive(flood.LiveConfig{
+		Target: s.Addr().String(), RatePPS: 400, Trace: trace,
+		Collect: 300 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics.RetriesSent.Load() == 0 {
+		t.Fatalf("adaptive retry never engaged (accepted=%d)", s.Metrics.Accepted.Load())
+	}
+
+	// Under load, a legitimate client still completes — paying the
+	// extra round trip.
+	res2, err := quicclient.Dial(s.Addr().String(), quicclient.Config{ServerName: "server.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Completed {
+		t.Fatal("legitimate client failed under adaptive retry")
+	}
+	if !res2.SawRetry {
+		t.Fatal("loaded server should demand validation")
+	}
+	if res2.RTTs <= res.RTTs {
+		t.Errorf("retry path RTTs (%d) should exceed idle path (%d)", res2.RTTs, res.RTTs)
+	}
+}
+
+// TestAdaptiveRetryStateBounded: the state an adaptive server
+// allocates under flood is bounded by the activation threshold plus
+// validated connections, never the full flood volume.
+func TestAdaptiveRetryStateBounded(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(pc, Config{
+		Identity: serverIdentity, Workers: 1, QueuePerWorker: 32,
+		AdaptiveRetryThreshold: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	trace, err := flood.RecordTrace(100, wire.Version1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flood.RunLive(flood.LiveConfig{
+		Target: s.Addr().String(), RatePPS: 500, Trace: trace,
+		Collect: 300 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	accepted := s.Metrics.Accepted.Load()
+	// Threshold is 8 connections; spoofed floods never validate, so
+	// acceptance should stall near it (small races allowed).
+	if accepted > 12 {
+		t.Errorf("adaptive server accepted %d flood connections, want ≈8", accepted)
+	}
+	if s.Metrics.RetriesSent.Load() < 50 {
+		t.Errorf("retries = %d, want most of the flood deflected", s.Metrics.RetriesSent.Load())
+	}
+}

@@ -1,0 +1,16 @@
+package quicserver
+
+import (
+	"crypto/rand"
+
+	"quicsand/internal/quiccrypto"
+	"quicsand/internal/wire"
+)
+
+// cryptoRandRead indirects crypto/rand for key generation.
+func cryptoRandRead(b []byte) (int, error) { return rand.Read(b) }
+
+// buildRetry delegates to the crypto package's Retry construction.
+func buildRetry(v wire.Version, dcid, scid, odcid wire.ConnectionID, token []byte) ([]byte, error) {
+	return quiccrypto.BuildRetry(v, dcid, scid, odcid, token)
+}

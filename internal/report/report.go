@@ -1,0 +1,171 @@
+// Package report renders analysis results as ASCII tables and charts —
+// the textual equivalents of the paper's figures. The renderers are
+// generic; the figure-specific assembly lives in the quicsand root
+// package.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders one horizontal bar scaled to maxVal over width chars.
+func Bar(value, maxVal float64, width int) string {
+	if maxVal <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / maxVal * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// BarChart renders labelled horizontal bars.
+func BarChart(labels []string, values []float64, width int) string {
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		fmt.Fprintf(&b, "%-*s %12.6g |%s\n", maxLabel, labels[i], v, Bar(v, maxVal, width))
+	}
+	return b.String()
+}
+
+// CDFPlot renders an ASCII CDF over a log-scaled x axis.
+// series maps a name to sorted (x, y) point slices.
+type CDFSeries struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// CDFPlot renders multiple CDF series as rows of quantile markers: a
+// compact textual stand-in for the paper's CDF figures, listing key
+// quantiles per series.
+func CDFPlot(title, xlabel string, series []CDFSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	headers := []string{"series", "n", "p10", "p25", "median", "p75", "p90", "max"}
+	var rows [][]string
+	for _, s := range series {
+		if len(s.Xs) == 0 {
+			rows = append(rows, []string{s.Name, "0", "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		q := func(p float64) string {
+			idx := int(p * float64(len(s.Xs)-1))
+			return fmt.Sprintf("%.4g", s.Xs[idx])
+		}
+		rows = append(rows, []string{
+			s.Name, fmt.Sprint(len(s.Xs)),
+			q(0.10), q(0.25), q(0.50), q(0.75), q(0.90),
+			fmt.Sprintf("%.4g", s.Xs[len(s.Xs)-1]),
+		})
+	}
+	b.WriteString(Table(headers, rows))
+	fmt.Fprintf(&b, "(x axis: %s)\n", xlabel)
+	return b.String()
+}
+
+// Sparkline renders a series as a compact height-coded strip, with a
+// log option for the paper's log-scaled packet counts.
+func Sparkline(values []uint64, buckets int, logScale bool) string {
+	if len(values) == 0 || buckets <= 0 {
+		return ""
+	}
+	ramp := []byte(" .:-=+*#%@")
+	agg := make([]float64, buckets)
+	per := float64(len(values)) / float64(buckets)
+	for i := 0; i < buckets; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum uint64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		x := float64(sum)
+		if logScale && x > 0 {
+			x = math.Log10(x + 1)
+		}
+		agg[i] = x
+	}
+	maxV := 0.0
+	for _, v := range agg {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range agg {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(ramp)-1))
+		}
+		b.WriteByte(ramp[idx])
+	}
+	return b.String()
+}
+
+// Percent formats a share with one decimal.
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Count formats large counts with thousands separators.
+func Count(v uint64) string {
+	s := fmt.Sprint(v)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator width mismatch")
+	}
+	if !strings.HasPrefix(lines[2], "xxxx") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("bar should clamp")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("zero max")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"alpha", "b"}, []float64{10, 5}, 20)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "####") {
+		t.Errorf("chart = %q", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	out := CDFPlot("Durations", "seconds", []CDFSeries{
+		{Name: "QUIC", Xs: []float64{1, 2, 3, 4, 100}},
+		{Name: "empty"},
+	})
+	if !strings.Contains(out, "QUIC") || !strings.Contains(out, "median") {
+		t.Errorf("plot = %q", out)
+	}
+	if !strings.Contains(out, "seconds") {
+		t.Error("xlabel missing")
+	}
+	if !strings.Contains(out, "empty") {
+		t.Error("empty series missing")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = uint64(i * i)
+	}
+	s := Sparkline(vals, 20, false)
+	if len(s) != 20 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] == s[19] {
+		t.Error("sparkline flat")
+	}
+	if Sparkline(nil, 10, false) != "" {
+		t.Error("empty input")
+	}
+	logS := Sparkline(vals, 20, true)
+	if len(logS) != 20 {
+		t.Error("log sparkline length")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Percent(12.34) != "12.3%" {
+		t.Errorf("percent = %q", Percent(12.34))
+	}
+	if Count(1234567) != "1,234,567" {
+		t.Errorf("count = %q", Count(1234567))
+	}
+	if Count(42) != "42" {
+		t.Errorf("count = %q", Count(42))
+	}
+	if Count(1000) != "1,000" {
+		t.Errorf("count = %q", Count(1000))
+	}
+}

@@ -1,0 +1,297 @@
+// Package sessions groups telescope packets into traffic sessions: all
+// packets from one source IP whose inactivity gaps stay below a
+// timeout (§5.1 of the paper, after Moore et al.). It also computes
+// the per-session features the DoS detector thresholds on and the
+// timeout-sweep view of Figure 4.
+package sessions
+
+import (
+	"math"
+	"time"
+
+	"quicsand/internal/dissect"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+	"quicsand/internal/wire"
+)
+
+// DefaultTimeout is the 5-minute knee the paper selects in Figure 4.
+const DefaultTimeout = 5 * time.Minute
+
+// Kind partitions sessions by the packet classes they contain. The
+// paper observes the request/response split is total: no session mixes
+// both.
+type Kind int
+
+// Session kinds.
+const (
+	KindRequestOnly Kind = iota
+	KindResponseOnly
+	KindMixed
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRequestOnly:
+		return "requests-only"
+	case KindResponseOnly:
+		return "responses-only"
+	}
+	return "mixed"
+}
+
+// Session is one aggregated traffic session.
+type Session struct {
+	Src        netmodel.Addr
+	Start, End telescope.Timestamp
+	Packets    int
+	Requests   int
+	Responses  int
+	Bytes      uint64
+
+	// QUIC message mix (per QUIC packet seen, including coalesced).
+	TypeCounts [6]int // indexed by wire.PacketType
+
+	// Version histogram of long-header packets.
+	Versions map[wire.Version]int
+
+	// Response-session anatomy (Figure 9).
+	SCIDs       map[string]struct{} // unique server CIDs
+	PeerAddrs   map[netmodel.Addr]struct{}
+	PeerPorts   map[uint16]struct{}
+	perMinute   map[int64]int
+	maxPerMin   int
+	hasCH       int // Initials carrying a ClientHello
+	totalQUICPk int
+}
+
+// Kind classifies the session.
+func (s *Session) Kind() Kind {
+	switch {
+	case s.Requests > 0 && s.Responses > 0:
+		return KindMixed
+	case s.Responses > 0:
+		return KindResponseOnly
+	default:
+		return KindRequestOnly
+	}
+}
+
+// Duration returns End-Start as seconds.
+func (s *Session) Duration() float64 {
+	return float64(s.End-s.Start) / 1000
+}
+
+// MaxPPS is the maximum packet rate over 1-minute slots, in packets
+// per second — the Moore et al. intensity metric.
+func (s *Session) MaxPPS() float64 {
+	return float64(s.maxPerMin) / 60
+}
+
+// DominantVersion returns the most frequent wire version (0 if none).
+func (s *Session) DominantVersion() wire.Version {
+	var best wire.Version
+	bestN := 0
+	for v, n := range s.Versions {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// InitialShare and HandshakeShare return the fraction of QUIC packets
+// of each type — §6's message-mix check (≈ 1/3 Initial, 2/3 Handshake
+// for flood backscatter).
+func (s *Session) InitialShare() float64 {
+	if s.totalQUICPk == 0 {
+		return 0
+	}
+	return float64(s.TypeCounts[wire.PacketTypeInitial]) / float64(s.totalQUICPk)
+}
+
+// HandshakeShare returns the Handshake-packet fraction.
+func (s *Session) HandshakeShare() float64 {
+	if s.totalQUICPk == 0 {
+		return 0
+	}
+	return float64(s.TypeCounts[wire.PacketTypeHandshake]) / float64(s.totalQUICPk)
+}
+
+// ClientHelloInitials returns how many Initials carried a ClientHello.
+func (s *Session) ClientHelloInitials() int { return s.hasCH }
+
+// Sessionizer aggregates a time-ordered packet stream into sessions.
+// It is a streaming one-pass operator: memory is bounded by the number
+// of sources active within one timeout window.
+type Sessionizer struct {
+	Timeout time.Duration
+	// Emit receives completed sessions.
+	Emit func(*Session)
+
+	active map[netmodel.Addr]*Session
+	// lastSweep bounds the lazy expiry scan.
+	lastSweep telescope.Timestamp
+
+	// GapRecorder, when set, receives every intra-source gap — the
+	// Figure 4 sweep consumes these.
+	GapRecorder func(gap time.Duration)
+
+	// Count of emitted sessions.
+	Emitted int
+}
+
+// NewSessionizer creates a sessionizer with the paper's defaults.
+func NewSessionizer(emit func(*Session)) *Sessionizer {
+	return &Sessionizer{Timeout: DefaultTimeout, Emit: emit, active: make(map[netmodel.Addr]*Session)}
+}
+
+// Observe ingests one classified packet with its (optional) dissection.
+// Packets must arrive in non-decreasing time order.
+func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
+	timeoutMS := telescope.Timestamp(sz.Timeout.Milliseconds())
+
+	s := sz.active[p.Src]
+	if s != nil {
+		gap := p.TS - s.End
+		if sz.GapRecorder != nil && gap > 0 {
+			sz.GapRecorder(time.Duration(gap) * time.Millisecond)
+		}
+		if gap > timeoutMS {
+			sz.finish(s)
+			delete(sz.active, p.Src)
+			s = nil
+		}
+	}
+	if s == nil {
+		s = &Session{
+			Src: p.Src, Start: p.TS, End: p.TS,
+			Versions:  make(map[wire.Version]int),
+			SCIDs:     make(map[string]struct{}),
+			PeerAddrs: make(map[netmodel.Addr]struct{}),
+			PeerPorts: make(map[uint16]struct{}),
+			perMinute: make(map[int64]int),
+		}
+		sz.active[p.Src] = s
+	}
+
+	s.End = p.TS
+	s.Packets++
+	s.Bytes += uint64(p.Size)
+	if p.IsRequest() {
+		s.Requests++
+	} else if p.IsResponse() {
+		s.Responses++
+	}
+	s.PeerAddrs[p.Dst] = struct{}{}
+	if p.IsResponse() {
+		s.PeerPorts[p.DstPort] = struct{}{}
+	} else {
+		s.PeerPorts[p.SrcPort] = struct{}{}
+	}
+	minute := int64(p.TS) / 60000
+	s.perMinute[minute]++
+	if s.perMinute[minute] > s.maxPerMin {
+		s.maxPerMin = s.perMinute[minute]
+	}
+
+	if r != nil {
+		for i := range r.Packets {
+			pi := &r.Packets[i]
+			if int(pi.Type) < len(s.TypeCounts) {
+				s.TypeCounts[pi.Type]++
+			}
+			s.totalQUICPk++
+			if pi.Type != wire.PacketTypeOneRTT && pi.Version != 0 {
+				s.Versions[pi.Version]++
+			}
+			if len(pi.SCID) > 0 && p.IsResponse() {
+				s.SCIDs[string(pi.SCID)] = struct{}{}
+			}
+			if pi.HasClientHello {
+				s.hasCH++
+			}
+		}
+	}
+
+	// Lazy expiry: at most once per timeout interval, sweep sources
+	// whose sessions have aged out, keeping memory proportional to the
+	// active-window population.
+	if p.TS-sz.lastSweep > timeoutMS {
+		sz.lastSweep = p.TS
+		for src, old := range sz.active {
+			if p.TS-old.End > timeoutMS {
+				sz.finish(old)
+				delete(sz.active, src)
+			}
+		}
+	}
+}
+
+func (sz *Sessionizer) finish(s *Session) {
+	s.perMinute = nil // release slot map; maxPerMin is final
+	sz.Emitted++
+	if sz.Emit != nil {
+		sz.Emit(s)
+	}
+}
+
+// Flush emits all still-active sessions (end of stream).
+func (sz *Sessionizer) Flush() {
+	for src, s := range sz.active {
+		sz.finish(s)
+		delete(sz.active, src)
+	}
+}
+
+// TimeoutSweep reproduces Figure 4: given the gap distribution and the
+// number of distinct sources, it computes the session count for each
+// timeout value. sessions(T) = sources + #gaps > T, because every gap
+// exceeding the timeout splits one session in two.
+type TimeoutSweep struct {
+	// gapMinutes[i] counts gaps in (i, i+1] minutes, i ∈ [0, 60).
+	gapMinutes [61]uint64
+	// over60 counts gaps above an hour.
+	over60  uint64
+	Sources map[netmodel.Addr]struct{}
+}
+
+// NewTimeoutSweep creates an empty sweep accumulator.
+func NewTimeoutSweep() *TimeoutSweep {
+	return &TimeoutSweep{Sources: make(map[netmodel.Addr]struct{})}
+}
+
+// RecordSource registers a distinct source.
+func (t *TimeoutSweep) RecordSource(a netmodel.Addr) {
+	t.Sources[a] = struct{}{}
+}
+
+// RecordGap registers one intra-source inactivity gap. A gap g is
+// binned at b = ⌈g⌉ minutes: it splits exactly the sessions of all
+// timeouts m < b (g > m ⇔ b > m for integer m).
+func (t *TimeoutSweep) RecordGap(gap time.Duration) {
+	b := int(math.Ceil(gap.Minutes()))
+	if b < 1 {
+		b = 1
+	}
+	if b > 60 {
+		t.over60++
+		return
+	}
+	t.gapMinutes[b]++
+}
+
+// Sessions returns the session count for a timeout of m minutes
+// (1 ≤ m ≤ 60): the paper's y-axis.
+func (t *TimeoutSweep) Sessions(m int) uint64 {
+	n := uint64(len(t.Sources))
+	// Every gap strictly greater than m minutes adds one session.
+	for b := m + 1; b <= 60; b++ {
+		n += t.gapMinutes[b]
+	}
+	return n + t.over60
+}
+
+// LowerBound returns the timeout=∞ floor: distinct source count.
+func (t *TimeoutSweep) LowerBound() uint64 { return uint64(len(t.Sources)) }

@@ -1,0 +1,106 @@
+package telescope
+
+import (
+	"quicsand/internal/netmodel"
+)
+
+// Sink consumes captured packets. Analysis stages compose as sinks so
+// the month-long stream is processed in one pass with O(state) memory.
+type Sink interface {
+	Capture(p *Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(p *Packet)
+
+// Capture implements Sink.
+func (f SinkFunc) Capture(p *Packet) { f(p) }
+
+// Telescope models the darknet: it accepts only packets addressed into
+// its prefix and fans them out to the attached sinks.
+type Telescope struct {
+	Prefix netmodel.Prefix
+	sinks  []Sink
+
+	// Counters for the §5.1 overview.
+	Total     uint64
+	UDP443    uint64
+	NonQUIC   uint64 // UDP/443 but failed deep validation (set by dissector feedback)
+	TCPICMP   uint64
+	FirstSeen Timestamp
+	LastSeen  Timestamp
+}
+
+// New creates a telescope for the standard /9 prefix.
+func New(sinks ...Sink) *Telescope {
+	return &Telescope{Prefix: netmodel.TelescopePrefix, sinks: sinks}
+}
+
+// Attach adds a sink.
+func (t *Telescope) Attach(s Sink) { t.sinks = append(t.sinks, s) }
+
+// Capture ingests one packet if it falls inside the telescope.
+// Packets outside the prefix are silently dropped, mirroring the fact
+// that a darknet never sees them.
+func (t *Telescope) Capture(p *Packet) {
+	if !t.Prefix.Contains(p.Dst) {
+		return
+	}
+	t.Total++
+	if t.FirstSeen == 0 || p.TS < t.FirstSeen {
+		t.FirstSeen = p.TS
+	}
+	if p.TS > t.LastSeen {
+		t.LastSeen = p.TS
+	}
+	switch {
+	case p.Proto == ProtoUDP && p.IsQUICCandidate():
+		t.UDP443++
+	case p.Proto == ProtoTCP || p.Proto == ProtoICMP:
+		t.TCPICMP++
+	}
+	for _, s := range t.sinks {
+		s.Capture(p)
+	}
+}
+
+// HourlyCounter bins packets per hour into labelled series — the
+// Figure 2/3 views. Thinned records contribute their Weight.
+type HourlyCounter struct {
+	// Series maps a label to per-hour packet counts.
+	Series map[string][]uint64
+	// Classify labels each packet; empty string drops it.
+	Classify func(p *Packet) string
+}
+
+// NewHourlyCounter builds a counter with the given classifier.
+func NewHourlyCounter(classify func(p *Packet) string) *HourlyCounter {
+	return &HourlyCounter{Series: make(map[string][]uint64), Classify: classify}
+}
+
+// Capture implements Sink.
+func (h *HourlyCounter) Capture(p *Packet) {
+	label := h.Classify(p)
+	if label == "" {
+		return
+	}
+	hour := p.TS.Hour()
+	if hour < 0 || hour >= HoursInMeasurement {
+		return
+	}
+	s := h.Series[label]
+	if s == nil {
+		s = make([]uint64, HoursInMeasurement)
+		h.Series[label] = s
+	}
+	s[hour] += p.EffectiveWeight()
+}
+
+// TotalOf sums a series.
+func (h *HourlyCounter) TotalOf(label string) uint64 {
+	var total uint64
+	for _, v := range h.Series[label] {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+package telescope
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"quicsand/internal/netmodel"
+)
+
+// Binary trace store: a minimal pcap analogue. Record layout (little
+// endian):
+//
+//	u32 magic "QSND" (first record only, via Writer header)
+//	per record:
+//	  i64 ts-millis | u32 src | u32 dst | u16 sport | u16 dport
+//	  u8 proto | u8 flags | u16 size | u16 payloadLen | payload…
+//
+// The format exists so experiments can checkpoint generated months and
+// re-analyze without re-simulating; it also exercises the I/O path a
+// real deployment would use against pcaps.
+
+const storeMagic = 0x51534e44 // "QSND"
+
+// ErrBadTrace reports a corrupt or foreign trace file.
+var ErrBadTrace = errors.New("telescope: bad trace file")
+
+// Writer serializes packets to a stream.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+	n     uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one packet record.
+func (tw *Writer) Write(p *Packet) error {
+	if !tw.wrote {
+		if err := binary.Write(tw.w, binary.LittleEndian, uint32(storeMagic)); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(p.TS))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(p.Src))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(p.Dst))
+	binary.LittleEndian.PutUint16(hdr[16:], p.SrcPort)
+	binary.LittleEndian.PutUint16(hdr[18:], p.DstPort)
+	hdr[20] = byte(p.Proto)
+	hdr[21] = p.Flags
+	binary.LittleEndian.PutUint16(hdr[22:], p.Size)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(p.Payload) > 0xffff {
+		return fmt.Errorf("telescope: payload %d bytes: %w", len(p.Payload), ErrBadTrace)
+	}
+	var plen [2]byte
+	binary.LittleEndian.PutUint16(plen[:], uint16(len(p.Payload)))
+	if _, err := tw.w.Write(plen[:]); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(p.Payload); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns records written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush drains buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Capture implements Sink, dropping write errors (checked at Flush).
+func (tw *Writer) Capture(p *Packet) { _ = tw.Write(p) }
+
+// Reader deserializes packets from a stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next packet or io.EOF.
+func (tr *Reader) Read() (*Packet, error) {
+	if !tr.header {
+		var magic uint32
+		if err := binary.Read(tr.r, binary.LittleEndian, &magic); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if magic != storeMagic {
+			return nil, ErrBadTrace
+		}
+		tr.header = true
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("telescope: truncated record: %w", ErrBadTrace)
+	}
+	p := &Packet{
+		TS:      Timestamp(binary.LittleEndian.Uint64(hdr[0:])),
+		Src:     netmodel.Addr(binary.LittleEndian.Uint32(hdr[8:])),
+		Dst:     netmodel.Addr(binary.LittleEndian.Uint32(hdr[12:])),
+		SrcPort: binary.LittleEndian.Uint16(hdr[16:]),
+		DstPort: binary.LittleEndian.Uint16(hdr[18:]),
+		Proto:   Proto(hdr[20]),
+		Flags:   hdr[21],
+		Size:    binary.LittleEndian.Uint16(hdr[22:]),
+	}
+	var plen [2]byte
+	if _, err := io.ReadFull(tr.r, plen[:]); err != nil {
+		return nil, fmt.Errorf("telescope: truncated payload length: %w", ErrBadTrace)
+	}
+	if n := binary.LittleEndian.Uint16(plen[:]); n > 0 {
+		p.Payload = make([]byte, n)
+		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
+			return nil, fmt.Errorf("telescope: truncated payload: %w", ErrBadTrace)
+		}
+	}
+	return p, nil
+}
+
+// ForEach streams all records through fn.
+func (tr *Reader) ForEach(fn func(*Packet) error) error {
+	for {
+		p, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package telescope
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"quicsand/internal/netmodel"
+)
+
+func mkPacket(ts time.Time, src, dst string, sport, dport uint16) *Packet {
+	return &Packet{
+		TS:      TS(ts),
+		Src:     netmodel.MustAddr(src),
+		Dst:     netmodel.MustAddr(dst),
+		SrcPort: sport,
+		DstPort: dport,
+		Proto:   ProtoUDP,
+		Size:    1200,
+	}
+}
+
+func TestClassification(t *testing.T) {
+	ts := MeasurementStart.Add(time.Hour)
+	req := mkPacket(ts, "1.2.3.4", "44.0.0.1", 5555, 443)
+	resp := mkPacket(ts, "142.250.1.1", "44.0.0.2", 443, 6666)
+	both := mkPacket(ts, "1.2.3.4", "44.0.0.1", 443, 443)
+	neither := mkPacket(ts, "1.2.3.4", "44.0.0.1", 53, 53)
+
+	if !req.IsRequest() || req.IsResponse() {
+		t.Error("request misclassified")
+	}
+	if !resp.IsResponse() || resp.IsRequest() {
+		t.Error("response misclassified")
+	}
+	// Source AND destination 443: the paper's disjointness observation
+	// treats these as neither set.
+	if both.IsRequest() || both.IsResponse() || both.IsQUICCandidate() {
+		t.Error("443→443 should be in neither set")
+	}
+	if neither.IsQUICCandidate() {
+		t.Error("non-443 classified as QUIC")
+	}
+	tcp := mkPacket(ts, "1.2.3.4", "44.0.0.1", 9999, 443)
+	tcp.Proto = ProtoTCP
+	if tcp.IsQUICCandidate() {
+		t.Error("TCP/443 classified as QUIC")
+	}
+}
+
+func TestTimestampHelpers(t *testing.T) {
+	ts := TS(MeasurementStart.Add(90 * time.Minute))
+	if ts.Hour() != 1 {
+		t.Errorf("Hour = %d", ts.Hour())
+	}
+	if !ts.Time().Equal(MeasurementStart.Add(90 * time.Minute)) {
+		t.Errorf("round trip = %v", ts.Time())
+	}
+	if TS(MeasurementStart).Seconds() >= TS(MeasurementStart.Add(time.Second)).Seconds() {
+		t.Error("Seconds not monotone")
+	}
+	if HoursInMeasurement != 720 {
+		t.Errorf("HoursInMeasurement = %d", HoursInMeasurement)
+	}
+}
+
+func TestTelescopeFiltersAndCounts(t *testing.T) {
+	var got []*Packet
+	tel := New(SinkFunc(func(p *Packet) { got = append(got, p) }))
+
+	inside := mkPacket(MeasurementStart, "1.1.1.1", "44.5.5.5", 1000, 443)
+	outside := mkPacket(MeasurementStart, "1.1.1.1", "45.5.5.5", 1000, 443)
+	tcp := mkPacket(MeasurementStart.Add(time.Minute), "2.2.2.2", "44.9.9.9", 80, 12345)
+	tcp.Proto = ProtoTCP
+
+	tel.Capture(inside)
+	tel.Capture(outside)
+	tel.Capture(tcp)
+
+	if len(got) != 2 {
+		t.Fatalf("sunk %d packets, want 2", len(got))
+	}
+	if tel.Total != 2 || tel.UDP443 != 1 || tel.TCPICMP != 1 {
+		t.Errorf("counters: total=%d udp=%d tcpicmp=%d", tel.Total, tel.UDP443, tel.TCPICMP)
+	}
+	if tel.FirstSeen != inside.TS || tel.LastSeen != tcp.TS {
+		t.Error("first/last seen wrong")
+	}
+}
+
+func TestHourlyCounter(t *testing.T) {
+	hc := NewHourlyCounter(func(p *Packet) string {
+		if p.IsRequest() {
+			return "req"
+		}
+		if p.IsResponse() {
+			return "resp"
+		}
+		return ""
+	})
+	tel := New(hc)
+	for i := 0; i < 5; i++ {
+		tel.Capture(mkPacket(MeasurementStart.Add(time.Duration(i)*15*time.Minute), "1.1.1.1", "44.0.0.1", 999, 443))
+	}
+	tel.Capture(mkPacket(MeasurementStart.Add(26*time.Hour), "142.250.0.1", "44.0.0.2", 443, 999))
+	// Out-of-window packet is dropped from bins.
+	tel.Capture(mkPacket(MeasurementEnd.Add(time.Hour), "1.1.1.1", "44.0.0.1", 999, 443))
+
+	if hc.TotalOf("req") != 5 {
+		t.Errorf("req total = %d", hc.TotalOf("req"))
+	}
+	if hc.Series["req"][0] != 4 || hc.Series["req"][1] != 1 {
+		t.Errorf("req bins = %v", hc.Series["req"][:2])
+	}
+	if hc.Series["resp"][26] != 1 {
+		t.Errorf("resp bin 26 = %d", hc.Series["resp"][26])
+	}
+}
+
+func TestHourlyCounterWeight(t *testing.T) {
+	hc := NewHourlyCounter(func(*Packet) string { return "x" })
+	p := mkPacket(MeasurementStart, "1.1.1.1", "44.0.0.1", 999, 443)
+	p.Weight = 64
+	hc.Capture(p)
+	hc.Capture(mkPacket(MeasurementStart, "1.1.1.1", "44.0.0.1", 999, 443))
+	if hc.TotalOf("x") != 65 {
+		t.Errorf("weighted total = %d", hc.TotalOf("x"))
+	}
+	if p.EffectiveWeight() != 64 || (&Packet{}).EffectiveWeight() != 1 {
+		t.Error("EffectiveWeight")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pkts := []*Packet{
+		mkPacket(MeasurementStart, "1.2.3.4", "44.0.0.1", 1234, 443),
+		{
+			TS: TS(MeasurementStart.Add(time.Second)), Src: netmodel.MustAddr("142.250.0.9"),
+			Dst: netmodel.MustAddr("44.1.2.3"), SrcPort: 443, DstPort: 9999,
+			Proto: ProtoUDP, Size: 310, Payload: []byte{0xc0, 1, 2, 3, 4, 5},
+		},
+		{
+			TS: TS(MeasurementStart.Add(2 * time.Second)), Src: netmodel.MustAddr("5.6.7.8"),
+			Dst: netmodel.MustAddr("44.9.9.9"), Proto: ProtoTCP, Flags: FlagSYN | FlagACK, Size: 40,
+		},
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r := NewReader(&buf)
+	var got []*Packet
+	if err := r.ForEach(func(p *Packet) error { got = append(got, p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range pkts {
+		a, b := pkts[i], got[i]
+		if a.TS != b.TS || a.Src != b.Src || a.Dst != b.Dst || a.SrcPort != b.SrcPort ||
+			a.DstPort != b.DstPort || a.Proto != b.Proto || a.Flags != b.Flags || a.Size != b.Size {
+			t.Errorf("record %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			t.Errorf("record %d payload mismatch", i)
+		}
+	}
+}
+
+func TestStoreRejectsGarbage(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	if _, err := r.Read(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+	// Truncated mid-record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(mkPacket(MeasurementStart, "1.1.1.1", "44.0.0.1", 1, 443)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r2 := NewReader(bytes.NewReader(trunc))
+	if _, err := r2.Read(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	// Empty stream yields EOF.
+	r3 := NewReader(bytes.NewReader(nil))
+	if _, err := r3.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestStoreRoundTripProperty(t *testing.T) {
+	f := func(ts int64, src, dst uint32, sp, dp uint16, proto uint8, payload []byte) bool {
+		if len(payload) > 1500 {
+			payload = payload[:1500]
+		}
+		in := &Packet{
+			TS: Timestamp(ts), Src: netmodel.Addr(src), Dst: netmodel.Addr(dst),
+			SrcPort: sp, DstPort: dp, Proto: Proto(proto % 3),
+			Size: uint16(len(payload)), Payload: payload,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return out.TS == in.TS && out.Src == in.Src && out.Dst == in.Dst &&
+			out.SrcPort == in.SrcPort && out.DstPort == in.DstPort &&
+			out.Proto == in.Proto && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtoStrings(t *testing.T) {
+	if ProtoUDP.String() != "UDP" || ProtoTCP.String() != "TCP" || ProtoICMP.String() != "ICMP" {
+		t.Error("proto strings")
+	}
+}

@@ -1,0 +1,224 @@
+package tlsmini
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"time"
+)
+
+// EncryptedExtensions carries the server's ALPN selection and QUIC
+// transport parameters.
+type EncryptedExtensions struct {
+	ALPN            string
+	TransportParams []byte
+	DraftParams     bool
+}
+
+// Marshal serializes the message including its handshake header.
+func (ee *EncryptedExtensions) Marshal() []byte {
+	var ext []byte
+	if ee.ALPN != "" {
+		var alpn []byte
+		alpn = appendU16(alpn, uint16(1+len(ee.ALPN)))
+		alpn = append(alpn, byte(len(ee.ALPN)))
+		alpn = append(alpn, ee.ALPN...)
+		ext = appendExtension(ext, extALPN, alpn)
+	}
+	if ee.TransportParams != nil {
+		cp := extQUICTransportParams
+		if ee.DraftParams {
+			cp = extQUICTransportParamsDraft
+		}
+		ext = appendExtension(ext, cp, ee.TransportParams)
+	}
+	var b []byte
+	b = appendU16(b, uint16(len(ext)))
+	b = append(b, ext...)
+	return wrapHandshake(TypeEncryptedExtensions, b)
+}
+
+// ParseEncryptedExtensions parses the message body.
+func ParseEncryptedExtensions(body []byte) (*EncryptedExtensions, error) {
+	c := &cursor{b: body}
+	ee := &EncryptedExtensions{}
+	ext := &cursor{b: c.bytes(int(c.u16()))}
+	if c.err != nil {
+		return nil, c.err
+	}
+	for len(ext.b) > 0 && ext.err == nil {
+		typ := ext.u16()
+		body := ext.bytes(int(ext.u16()))
+		if ext.err != nil {
+			return nil, ext.err
+		}
+		switch typ {
+		case extALPN:
+			e := &cursor{b: body}
+			e.u16()
+			ee.ALPN = string(e.bytes(int(e.u8())))
+			if e.err != nil {
+				return nil, e.err
+			}
+		case extQUICTransportParams:
+			ee.TransportParams = append([]byte(nil), body...)
+		case extQUICTransportParamsDraft:
+			ee.TransportParams = append([]byte(nil), body...)
+			ee.DraftParams = true
+		}
+	}
+	if ext.err != nil {
+		return nil, ext.err
+	}
+	return ee, nil
+}
+
+// Certificate carries the server's certificate chain (DER entries).
+type Certificate struct {
+	Chain [][]byte
+}
+
+// Marshal serializes the message including its handshake header.
+func (m *Certificate) Marshal() []byte {
+	var list []byte
+	for _, der := range m.Chain {
+		list = appendU24(list, len(der))
+		list = append(list, der...)
+		list = appendU16(list, 0) // no per-cert extensions
+	}
+	var b []byte
+	b = append(b, 0) // empty certificate_request_context
+	b = appendU24(b, len(list))
+	b = append(b, list...)
+	return wrapHandshake(TypeCertificate, b)
+}
+
+// ParseCertificate parses the message body.
+func ParseCertificate(body []byte) (*Certificate, error) {
+	c := &cursor{b: body}
+	c.bytes(int(c.u8())) // request context
+	list := &cursor{b: c.bytes(c.u24())}
+	if c.err != nil {
+		return nil, c.err
+	}
+	m := &Certificate{}
+	for len(list.b) > 0 && list.err == nil {
+		der := list.bytes(list.u24())
+		list.bytes(int(list.u16())) // extensions
+		if list.err != nil {
+			return nil, list.err
+		}
+		m.Chain = append(m.Chain, append([]byte(nil), der...))
+	}
+	if list.err != nil {
+		return nil, list.err
+	}
+	return m, nil
+}
+
+// CertificateVerify carries the server's signature over the transcript.
+type CertificateVerify struct {
+	Scheme    uint16
+	Signature []byte
+}
+
+// Marshal serializes the message including its handshake header.
+func (m *CertificateVerify) Marshal() []byte {
+	var b []byte
+	b = appendU16(b, m.Scheme)
+	b = appendU16(b, uint16(len(m.Signature)))
+	b = append(b, m.Signature...)
+	return wrapHandshake(TypeCertificateVerify, b)
+}
+
+// ParseCertificateVerify parses the message body.
+func ParseCertificateVerify(body []byte) (*CertificateVerify, error) {
+	c := &cursor{b: body}
+	m := &CertificateVerify{Scheme: c.u16()}
+	m.Signature = append([]byte(nil), c.bytes(int(c.u16()))...)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return m, nil
+}
+
+// Finished wraps the HMAC verify_data.
+type Finished struct {
+	VerifyData []byte
+}
+
+// Marshal serializes the message including its handshake header.
+func (m *Finished) Marshal() []byte {
+	return wrapHandshake(TypeFinished, m.VerifyData)
+}
+
+// signaturePrefix is the context string for server CertificateVerify
+// (RFC 8446 §4.4.3).
+var signaturePrefix = append(append(make([]byte, 0, 98),
+	[]byte("                                                                ")...),
+	[]byte("TLS 1.3, server CertificateVerify\x00")...)
+
+// SignTranscript produces an ECDSA-P256 CertificateVerify signature
+// over the given transcript hash.
+func SignTranscript(key *ecdsa.PrivateKey, transcriptHash []byte) ([]byte, error) {
+	msg := append(append([]byte(nil), signaturePrefix...), transcriptHash...)
+	digest := sha256.Sum256(msg)
+	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+}
+
+// VerifyTranscript checks a CertificateVerify signature against the
+// transcript hash using the public key of the leaf certificate.
+func VerifyTranscript(pub *ecdsa.PublicKey, transcriptHash, sig []byte) bool {
+	msg := append(append([]byte(nil), signaturePrefix...), transcriptHash...)
+	digest := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(pub, digest[:], sig)
+}
+
+// Identity bundles a server certificate with its private key.
+type Identity struct {
+	CertDER []byte
+	Key     *ecdsa.PrivateKey
+	Leaf    *x509.Certificate
+}
+
+// GenerateSelfSigned creates a self-signed ECDSA-P256 identity for the
+// given DNS name. sizePadding appends that many bytes of subject
+// OU noise, letting experiments model realistic certificate-chain
+// sizes (the paper's amplification discussion depends on reply size).
+func GenerateSelfSigned(name string, sizePadding int) (*Identity, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	subject := pkix.Name{CommonName: name}
+	if sizePadding > 0 {
+		pad := make([]byte, sizePadding)
+		for i := range pad {
+			pad[i] = 'x'
+		}
+		subject.OrganizationalUnit = []string{string(pad)}
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               subject,
+		DNSNames:              []string{name},
+		NotBefore:             time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2031, 1, 1, 0, 0, 0, 0, time.UTC),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{CertDER: der, Key: key, Leaf: leaf}, nil
+}

@@ -1,0 +1,252 @@
+package tlsmini
+
+import "fmt"
+
+// ClientHello models the fields of a TLS 1.3 ClientHello that the QUIC
+// handshake and the telescope dissector care about.
+type ClientHello struct {
+	Random       [32]byte
+	SessionID    []byte
+	CipherSuites []uint16
+	ServerName   string
+	ALPN         []string
+	// KeyShareX25519 is the client's 32-byte x25519 public key.
+	KeyShareX25519 []byte
+	// TransportParams carries the QUIC transport parameters extension
+	// verbatim (contents are opaque to TLS).
+	TransportParams []byte
+	// DraftParams selects the pre-RFC transport-parameter codepoint
+	// (0xffa5) used by draft-27/-29 deployments.
+	DraftParams bool
+}
+
+// Marshal serializes the ClientHello including its handshake header.
+func (ch *ClientHello) Marshal() []byte {
+	var b []byte
+	b = appendU16(b, VersionTLS12) // legacy_version
+	b = append(b, ch.Random[:]...)
+	b = append(b, byte(len(ch.SessionID)))
+	b = append(b, ch.SessionID...)
+
+	suites := ch.CipherSuites
+	if len(suites) == 0 {
+		suites = []uint16{SuiteAES128GCMSHA256}
+	}
+	b = appendU16(b, uint16(2*len(suites)))
+	for _, s := range suites {
+		b = appendU16(b, s)
+	}
+	b = append(b, 1, 0) // legacy_compression_methods: null
+
+	var ext []byte
+	if ch.ServerName != "" {
+		var sni []byte
+		sni = appendU16(sni, uint16(3+len(ch.ServerName))) // server_name_list
+		sni = append(sni, 0)                               // host_name
+		sni = appendU16(sni, uint16(len(ch.ServerName)))
+		sni = append(sni, ch.ServerName...)
+		ext = appendExtension(ext, extServerName, sni)
+	}
+	if len(ch.ALPN) > 0 {
+		var alpn []byte
+		var list []byte
+		for _, p := range ch.ALPN {
+			list = append(list, byte(len(p)))
+			list = append(list, p...)
+		}
+		alpn = appendU16(alpn, uint16(len(list)))
+		alpn = append(alpn, list...)
+		ext = appendExtension(ext, extALPN, alpn)
+	}
+	// supported_groups
+	ext = appendExtension(ext, extSupportedGroups, []byte{0, 2, byte(GroupX25519 >> 8), byte(GroupX25519)})
+	// signature_algorithms
+	ext = appendExtension(ext, extSignatureAlgorithms, []byte{0, 2, byte(SchemeECDSAP256 >> 8), byte(SchemeECDSAP256 & 0xff)})
+	// supported_versions
+	ext = appendExtension(ext, extSupportedVersions, []byte{2, byte(VersionTLS13 >> 8), byte(VersionTLS13 & 0xff)})
+	// key_share
+	if len(ch.KeyShareX25519) > 0 {
+		var ks []byte
+		ks = appendU16(ks, uint16(4+len(ch.KeyShareX25519)))
+		ks = appendU16(ks, GroupX25519)
+		ks = appendU16(ks, uint16(len(ch.KeyShareX25519)))
+		ks = append(ks, ch.KeyShareX25519...)
+		ext = appendExtension(ext, extKeyShare, ks)
+	}
+	if ch.TransportParams != nil {
+		cp := extQUICTransportParams
+		if ch.DraftParams {
+			cp = extQUICTransportParamsDraft
+		}
+		ext = appendExtension(ext, cp, ch.TransportParams)
+	}
+
+	b = appendU16(b, uint16(len(ext)))
+	b = append(b, ext...)
+	return wrapHandshake(TypeClientHello, b)
+}
+
+func appendExtension(dst []byte, typ uint16, body []byte) []byte {
+	dst = appendU16(dst, typ)
+	dst = appendU16(dst, uint16(len(body)))
+	return append(dst, body...)
+}
+
+// ParseClientHello parses the body of a ClientHello message (without
+// the 4-byte handshake header).
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	c := &cursor{b: body}
+	ch := &ClientHello{}
+	if v := c.u16(); v != VersionTLS12 && c.err == nil {
+		return nil, fmt.Errorf("tlsmini: legacy_version %#04x: %w", v, ErrMalformed)
+	}
+	copy(ch.Random[:], c.bytes(32))
+	ch.SessionID = append([]byte(nil), c.bytes(int(c.u8()))...)
+	nSuites := int(c.u16())
+	if nSuites%2 != 0 {
+		return nil, ErrMalformed
+	}
+	for i := 0; i < nSuites/2; i++ {
+		ch.CipherSuites = append(ch.CipherSuites, c.u16())
+	}
+	c.bytes(int(c.u8())) // compression methods
+	extLen := int(c.u16())
+	if c.err != nil {
+		return nil, c.err
+	}
+	ext := &cursor{b: c.bytes(extLen)}
+	if c.err != nil {
+		return nil, c.err
+	}
+	for len(ext.b) > 0 && ext.err == nil {
+		typ := ext.u16()
+		body := ext.bytes(int(ext.u16()))
+		if ext.err != nil {
+			return nil, ext.err
+		}
+		switch typ {
+		case extServerName:
+			e := &cursor{b: body}
+			e.u16() // list length
+			if e.u8() == 0 {
+				ch.ServerName = string(e.bytes(int(e.u16())))
+			}
+			if e.err != nil {
+				return nil, e.err
+			}
+		case extALPN:
+			e := &cursor{b: body}
+			list := &cursor{b: e.bytes(int(e.u16()))}
+			if e.err != nil {
+				return nil, e.err
+			}
+			for len(list.b) > 0 && list.err == nil {
+				ch.ALPN = append(ch.ALPN, string(list.bytes(int(list.u8()))))
+			}
+			if list.err != nil {
+				return nil, list.err
+			}
+		case extKeyShare:
+			e := &cursor{b: body}
+			shares := &cursor{b: e.bytes(int(e.u16()))}
+			if e.err != nil {
+				return nil, e.err
+			}
+			for len(shares.b) > 0 && shares.err == nil {
+				group := shares.u16()
+				key := shares.bytes(int(shares.u16()))
+				if group == GroupX25519 {
+					ch.KeyShareX25519 = append([]byte(nil), key...)
+				}
+			}
+			if shares.err != nil {
+				return nil, shares.err
+			}
+		case extQUICTransportParams:
+			ch.TransportParams = append([]byte(nil), body...)
+		case extQUICTransportParamsDraft:
+			ch.TransportParams = append([]byte(nil), body...)
+			ch.DraftParams = true
+		}
+	}
+	if ext.err != nil {
+		return nil, ext.err
+	}
+	return ch, nil
+}
+
+// ServerHello models a TLS 1.3 ServerHello.
+type ServerHello struct {
+	Random         [32]byte
+	SessionIDEcho  []byte
+	CipherSuite    uint16
+	KeyShareX25519 []byte
+}
+
+// Marshal serializes the ServerHello including its handshake header.
+func (sh *ServerHello) Marshal() []byte {
+	var b []byte
+	b = appendU16(b, VersionTLS12)
+	b = append(b, sh.Random[:]...)
+	b = append(b, byte(len(sh.SessionIDEcho)))
+	b = append(b, sh.SessionIDEcho...)
+	suite := sh.CipherSuite
+	if suite == 0 {
+		suite = SuiteAES128GCMSHA256
+	}
+	b = appendU16(b, suite)
+	b = append(b, 0) // compression: null
+
+	var ext []byte
+	ext = appendExtension(ext, extSupportedVersions, []byte{byte(VersionTLS13 >> 8), byte(VersionTLS13 & 0xff)})
+	var ks []byte
+	ks = appendU16(ks, GroupX25519)
+	ks = appendU16(ks, uint16(len(sh.KeyShareX25519)))
+	ks = append(ks, sh.KeyShareX25519...)
+	ext = appendExtension(ext, extKeyShare, ks)
+
+	b = appendU16(b, uint16(len(ext)))
+	b = append(b, ext...)
+	return wrapHandshake(TypeServerHello, b)
+}
+
+// ParseServerHello parses the body of a ServerHello message.
+func ParseServerHello(body []byte) (*ServerHello, error) {
+	c := &cursor{b: body}
+	sh := &ServerHello{}
+	c.u16() // legacy version
+	copy(sh.Random[:], c.bytes(32))
+	sh.SessionIDEcho = append([]byte(nil), c.bytes(int(c.u8()))...)
+	sh.CipherSuite = c.u16()
+	c.u8() // compression
+	extLen := int(c.u16())
+	if c.err != nil {
+		return nil, c.err
+	}
+	ext := &cursor{b: c.bytes(extLen)}
+	if c.err != nil {
+		return nil, c.err
+	}
+	for len(ext.b) > 0 && ext.err == nil {
+		typ := ext.u16()
+		body := ext.bytes(int(ext.u16()))
+		if ext.err != nil {
+			return nil, ext.err
+		}
+		if typ == extKeyShare {
+			e := &cursor{b: body}
+			group := e.u16()
+			key := e.bytes(int(e.u16()))
+			if e.err != nil {
+				return nil, e.err
+			}
+			if group == GroupX25519 {
+				sh.KeyShareX25519 = append([]byte(nil), key...)
+			}
+		}
+	}
+	if ext.err != nil {
+		return nil, ext.err
+	}
+	return sh, nil
+}

@@ -1,0 +1,242 @@
+package tlsmini
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	in := &ClientHello{
+		SessionID:       []byte{1, 2, 3},
+		CipherSuites:    []uint16{SuiteAES128GCMSHA256},
+		ServerName:      "www.google.com",
+		ALPN:            []string{"h3", "h3-29"},
+		KeyShareX25519:  bytes.Repeat([]byte{0x11}, 32),
+		TransportParams: []byte{0x01, 0x02, 0x03},
+	}
+	copy(in.Random[:], bytes.Repeat([]byte{0xab}, 32))
+
+	raw := in.Marshal()
+	msgs, err := SplitMessages(raw)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("split: %v (%d msgs)", err, len(msgs))
+	}
+	if msgs[0].Type != TypeClientHello {
+		t.Fatalf("type = %v", msgs[0].Type)
+	}
+	out, err := ParseClientHello(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ServerName != in.ServerName {
+		t.Errorf("sni = %q", out.ServerName)
+	}
+	if len(out.ALPN) != 2 || out.ALPN[0] != "h3" || out.ALPN[1] != "h3-29" {
+		t.Errorf("alpn = %v", out.ALPN)
+	}
+	if !bytes.Equal(out.KeyShareX25519, in.KeyShareX25519) {
+		t.Errorf("key share mismatch")
+	}
+	if !bytes.Equal(out.TransportParams, in.TransportParams) {
+		t.Errorf("transport params mismatch")
+	}
+	if out.Random != in.Random {
+		t.Errorf("random mismatch")
+	}
+	if !bytes.Equal(out.SessionID, in.SessionID) {
+		t.Errorf("session id mismatch")
+	}
+}
+
+func TestClientHelloDraftParamsCodepoint(t *testing.T) {
+	in := &ClientHello{TransportParams: []byte{9}, DraftParams: true, KeyShareX25519: make([]byte, 32)}
+	msgs, _ := SplitMessages(in.Marshal())
+	out, err := ParseClientHello(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.DraftParams || !bytes.Equal(out.TransportParams, []byte{9}) {
+		t.Fatalf("draft params not preserved: %+v", out)
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	in := &ServerHello{
+		SessionIDEcho:  []byte{5, 6},
+		CipherSuite:    SuiteAES128GCMSHA256,
+		KeyShareX25519: bytes.Repeat([]byte{0x22}, 32),
+	}
+	copy(in.Random[:], bytes.Repeat([]byte{0xcd}, 32))
+	msgs, err := SplitMessages(in.Marshal())
+	if err != nil || msgs[0].Type != TypeServerHello {
+		t.Fatalf("split: %v", err)
+	}
+	out, err := ParseServerHello(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CipherSuite != SuiteAES128GCMSHA256 || !bytes.Equal(out.KeyShareX25519, in.KeyShareX25519) {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestEncryptedExtensionsRoundTrip(t *testing.T) {
+	in := &EncryptedExtensions{ALPN: "h3-29", TransportParams: []byte{1, 2}, DraftParams: true}
+	msgs, _ := SplitMessages(in.Marshal())
+	out, err := ParseEncryptedExtensions(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ALPN != "h3-29" || !bytes.Equal(out.TransportParams, []byte{1, 2}) || !out.DraftParams {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	in := &Certificate{Chain: [][]byte{bytes.Repeat([]byte{0xaa}, 900), bytes.Repeat([]byte{0xbb}, 1100)}}
+	msgs, _ := SplitMessages(in.Marshal())
+	out, err := ParseCertificate(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Chain) != 2 || !bytes.Equal(out.Chain[0], in.Chain[0]) || !bytes.Equal(out.Chain[1], in.Chain[1]) {
+		t.Fatalf("chain mismatch")
+	}
+}
+
+func TestCertificateVerifySignAndVerify(t *testing.T) {
+	id, err := GenerateSelfSigned("quic.test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcript := sha256.Sum256([]byte("transcript"))
+	sig, err := SignTranscript(id.Key, transcript[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &CertificateVerify{Scheme: SchemeECDSAP256, Signature: sig}
+	msgs, _ := SplitMessages(cv.Marshal())
+	out, err := ParseCertificateVerify(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != SchemeECDSAP256 {
+		t.Fatalf("scheme = %#x", out.Scheme)
+	}
+	if !VerifyTranscript(&id.Key.PublicKey, transcript[:], out.Signature) {
+		t.Fatal("signature does not verify")
+	}
+	other := sha256.Sum256([]byte("other transcript"))
+	if VerifyTranscript(&id.Key.PublicKey, other[:], out.Signature) {
+		t.Fatal("signature verified against wrong transcript")
+	}
+}
+
+func TestGenerateSelfSignedPadding(t *testing.T) {
+	small, err := GenerateSelfSigned("a.test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GenerateSelfSigned("a.test", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.CertDER) <= len(small.CertDER)+1000 {
+		t.Errorf("padding ineffective: %d vs %d", len(big.CertDER), len(small.CertDER))
+	}
+	if small.Leaf.DNSNames[0] != "a.test" {
+		t.Errorf("dns name = %v", small.Leaf.DNSNames)
+	}
+}
+
+func TestSplitMessagesMultiple(t *testing.T) {
+	stream := append((&Finished{VerifyData: make([]byte, 32)}).Marshal(),
+		(&EncryptedExtensions{}).Marshal()...)
+	msgs, err := SplitMessages(stream)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("%v, %d msgs", err, len(msgs))
+	}
+	if msgs[0].Type != TypeFinished || msgs[1].Type != TypeEncryptedExtensions {
+		t.Fatalf("types = %v %v", msgs[0].Type, msgs[1].Type)
+	}
+	if len(msgs[0].Raw) != 4+32 {
+		t.Fatalf("raw len = %d", len(msgs[0].Raw))
+	}
+}
+
+func TestSplitMessagesTruncated(t *testing.T) {
+	full := (&Finished{VerifyData: make([]byte, 32)}).Marshal()
+	for _, cut := range []int{1, 3, 10, len(full) - 1} {
+		if _, err := SplitMessages(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestParseClientHelloMalformed(t *testing.T) {
+	// Garbage must not parse as ClientHello (but truncation errors are
+	// also acceptable) — what matters is rejection, not the category.
+	if _, err := ParseClientHello([]byte{3, 3, 1}); err == nil {
+		t.Error("truncated hello accepted")
+	}
+	// Odd cipher-suite length.
+	body := appendU16(nil, VersionTLS12)
+	body = append(body, make([]byte, 32)...) // random
+	body = append(body, 0)                   // session id
+	body = appendU16(body, 3)                // odd suite bytes
+	body = append(body, 1, 2, 3)
+	if _, err := ParseClientHello(body); err == nil {
+		t.Error("odd cipher suite list accepted")
+	}
+}
+
+func TestHandshakeTypeStrings(t *testing.T) {
+	want := map[HandshakeType]string{
+		TypeClientHello: "ClientHello", TypeServerHello: "ServerHello",
+		TypeEncryptedExtensions: "EncryptedExtensions", TypeCertificate: "Certificate",
+		TypeCertificateVerify: "CertificateVerify", TypeFinished: "Finished",
+		HandshakeType(99): "HandshakeType(99)",
+	}
+	for k, v := range want {
+		if k.String() != v {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestClientHelloRoundTripProperty(t *testing.T) {
+	f := func(sni string, keyShare []byte, sid []byte) bool {
+		if len(sni) > 200 {
+			sni = sni[:200]
+		}
+		for _, r := range sni {
+			if r < 0x20 || r > 0x7e {
+				return true // skip non-ascii hostnames
+			}
+		}
+		if len(keyShare) > 64 {
+			keyShare = keyShare[:64]
+		}
+		if len(sid) > 32 {
+			sid = sid[:32]
+		}
+		in := &ClientHello{ServerName: sni, KeyShareX25519: keyShare, SessionID: sid}
+		msgs, err := SplitMessages(in.Marshal())
+		if err != nil || len(msgs) != 1 {
+			return false
+		}
+		out, err := ParseClientHello(msgs[0].Body)
+		if err != nil {
+			return false
+		}
+		return out.ServerName == sni &&
+			bytes.Equal(out.KeyShareX25519, keyShare) &&
+			bytes.Equal(out.SessionID, sid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

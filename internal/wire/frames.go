@@ -1,0 +1,393 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FrameType enumerates the QUIC frame types relevant to handshake-phase
+// traffic (RFC 9000 §19). Stream and flow-control frames are recognized
+// but not modelled structurally, since no experiment in the paper
+// reaches the data phase.
+type FrameType uint64
+
+// Frame type codepoints, RFC 9000 Table 3.
+const (
+	FrameTypePadding         FrameType = 0x00
+	FrameTypePing            FrameType = 0x01
+	FrameTypeAck             FrameType = 0x02
+	FrameTypeAckECN          FrameType = 0x03
+	FrameTypeResetStream     FrameType = 0x04
+	FrameTypeStopSending     FrameType = 0x05
+	FrameTypeCrypto          FrameType = 0x06
+	FrameTypeNewToken        FrameType = 0x07
+	FrameTypeStreamBase      FrameType = 0x08 // 0x08–0x0f
+	FrameTypeMaxData         FrameType = 0x10
+	FrameTypeConnectionClose FrameType = 0x1c
+	FrameTypeConnCloseApp    FrameType = 0x1d
+	FrameTypeHandshakeDone   FrameType = 0x1e
+)
+
+// ErrBadFrame reports a structurally invalid frame.
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameTypePadding:
+		return "PADDING"
+	case FrameTypePing:
+		return "PING"
+	case FrameTypeAck, FrameTypeAckECN:
+		return "ACK"
+	case FrameTypeCrypto:
+		return "CRYPTO"
+	case FrameTypeNewToken:
+		return "NEW_TOKEN"
+	case FrameTypeConnectionClose, FrameTypeConnCloseApp:
+		return "CONNECTION_CLOSE"
+	case FrameTypeHandshakeDone:
+		return "HANDSHAKE_DONE"
+	}
+	return fmt.Sprintf("FRAME(%#x)", uint64(t))
+}
+
+// Frame is implemented by all parsed frames.
+type Frame interface {
+	// Type returns the frame's wire type.
+	Type() FrameType
+	// Append serializes the frame.
+	Append(dst []byte) []byte
+}
+
+// PaddingFrame represents one or more consecutive PADDING bytes.
+type PaddingFrame struct {
+	// Count is the number of consecutive zero bytes.
+	Count int
+}
+
+// Type implements Frame.
+func (f *PaddingFrame) Type() FrameType { return FrameTypePadding }
+
+// Append implements Frame.
+func (f *PaddingFrame) Append(dst []byte) []byte {
+	for i := 0; i < f.Count; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// PingFrame elicits an acknowledgment. The NGINX response pattern in
+// Table 1 includes two keep-alive PINGs per handshake.
+type PingFrame struct{}
+
+// Type implements Frame.
+func (f *PingFrame) Type() FrameType { return FrameTypePing }
+
+// Append implements Frame.
+func (f *PingFrame) Append(dst []byte) []byte { return append(dst, byte(FrameTypePing)) }
+
+// AckRange is a closed packet-number interval [Smallest, Largest].
+type AckRange struct {
+	Smallest uint64
+	Largest  uint64
+}
+
+// AckFrame acknowledges received packet numbers.
+type AckFrame struct {
+	// Ranges are ordered from the highest-numbered range downwards,
+	// matching the wire encoding. Must be non-empty to serialize.
+	Ranges   []AckRange
+	DelayRaw uint64
+}
+
+// Type implements Frame.
+func (f *AckFrame) Type() FrameType { return FrameTypeAck }
+
+// LargestAcked returns the highest acknowledged packet number.
+func (f *AckFrame) LargestAcked() uint64 {
+	if len(f.Ranges) == 0 {
+		return 0
+	}
+	return f.Ranges[0].Largest
+}
+
+// Acks reports whether packet number pn is covered by the frame.
+func (f *AckFrame) Acks(pn uint64) bool {
+	for _, r := range f.Ranges {
+		if pn >= r.Smallest && pn <= r.Largest {
+			return true
+		}
+	}
+	return false
+}
+
+// Append implements Frame.
+func (f *AckFrame) Append(dst []byte) []byte {
+	if len(f.Ranges) == 0 {
+		panic("wire: ACK frame without ranges")
+	}
+	dst = AppendVarint(dst, uint64(FrameTypeAck))
+	dst = AppendVarint(dst, f.Ranges[0].Largest)
+	dst = AppendVarint(dst, f.DelayRaw)
+	dst = AppendVarint(dst, uint64(len(f.Ranges)-1))
+	dst = AppendVarint(dst, f.Ranges[0].Largest-f.Ranges[0].Smallest)
+	prevSmallest := f.Ranges[0].Smallest
+	for _, r := range f.Ranges[1:] {
+		gap := prevSmallest - r.Largest - 2
+		dst = AppendVarint(dst, gap)
+		dst = AppendVarint(dst, r.Largest-r.Smallest)
+		prevSmallest = r.Smallest
+	}
+	return dst
+}
+
+// CryptoFrame carries TLS handshake bytes at a given offset in the
+// handshake stream.
+type CryptoFrame struct {
+	Offset uint64
+	Data   []byte
+}
+
+// Type implements Frame.
+func (f *CryptoFrame) Type() FrameType { return FrameTypeCrypto }
+
+// Append implements Frame.
+func (f *CryptoFrame) Append(dst []byte) []byte {
+	dst = AppendVarint(dst, uint64(FrameTypeCrypto))
+	dst = AppendVarint(dst, f.Offset)
+	dst = AppendVarint(dst, uint64(len(f.Data)))
+	return append(dst, f.Data...)
+}
+
+// NewTokenFrame delivers an address-validation token for a future
+// connection (used with adaptive RETRY deployments).
+type NewTokenFrame struct {
+	Token []byte
+}
+
+// Type implements Frame.
+func (f *NewTokenFrame) Type() FrameType { return FrameTypeNewToken }
+
+// Append implements Frame.
+func (f *NewTokenFrame) Append(dst []byte) []byte {
+	dst = AppendVarint(dst, uint64(FrameTypeNewToken))
+	dst = AppendVarint(dst, uint64(len(f.Token)))
+	return append(dst, f.Token...)
+}
+
+// ConnectionCloseFrame signals connection termination with an error.
+type ConnectionCloseFrame struct {
+	IsApplication bool
+	ErrorCode     uint64
+	FrameType     uint64 // transport closes only
+	Reason        string
+}
+
+// Type implements Frame.
+func (f *ConnectionCloseFrame) Type() FrameType {
+	if f.IsApplication {
+		return FrameTypeConnCloseApp
+	}
+	return FrameTypeConnectionClose
+}
+
+// Append implements Frame.
+func (f *ConnectionCloseFrame) Append(dst []byte) []byte {
+	dst = AppendVarint(dst, uint64(f.Type()))
+	dst = AppendVarint(dst, f.ErrorCode)
+	if !f.IsApplication {
+		dst = AppendVarint(dst, f.FrameType)
+	}
+	dst = AppendVarint(dst, uint64(len(f.Reason)))
+	return append(dst, f.Reason...)
+}
+
+// HandshakeDoneFrame confirms the handshake to the client.
+type HandshakeDoneFrame struct{}
+
+// Type implements Frame.
+func (f *HandshakeDoneFrame) Type() FrameType { return FrameTypeHandshakeDone }
+
+// Append implements Frame.
+func (f *HandshakeDoneFrame) Append(dst []byte) []byte {
+	return AppendVarint(dst, uint64(FrameTypeHandshakeDone))
+}
+
+// ParseFrames parses a decrypted packet payload into frames. Runs of
+// PADDING bytes are coalesced into a single PaddingFrame. Frame types
+// the handshake never carries (streams, flow control) produce an error,
+// matching the dissector's strict validation role.
+func ParseFrames(payload []byte) ([]Frame, error) {
+	var frames []Frame
+	for len(payload) > 0 {
+		ft, n, err := ConsumeVarint(payload)
+		if err != nil {
+			return frames, err
+		}
+		switch FrameType(ft) {
+		case FrameTypePadding:
+			count := 0
+			for len(payload) > 0 && payload[0] == 0 {
+				count++
+				payload = payload[1:]
+			}
+			frames = append(frames, &PaddingFrame{Count: count})
+			continue
+		case FrameTypePing:
+			frames = append(frames, &PingFrame{})
+			payload = payload[n:]
+		case FrameTypeAck, FrameTypeAckECN:
+			payload = payload[n:]
+			f := &AckFrame{}
+			largest, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			f.DelayRaw, n, err = ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			rangeCount, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			firstRange, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			if firstRange > largest {
+				return frames, fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
+			}
+			f.Ranges = append(f.Ranges, AckRange{Smallest: largest - firstRange, Largest: largest})
+			smallest := largest - firstRange
+			for i := uint64(0); i < rangeCount; i++ {
+				gap, n, err := ConsumeVarint(payload)
+				if err != nil {
+					return frames, err
+				}
+				payload = payload[n:]
+				rlen, n, err := ConsumeVarint(payload)
+				if err != nil {
+					return frames, err
+				}
+				payload = payload[n:]
+				if gap+2 > smallest {
+					return frames, fmt.Errorf("wire: ack gap underflow: %w", ErrBadFrame)
+				}
+				largest = smallest - gap - 2
+				if rlen > largest {
+					return frames, fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
+				}
+				smallest = largest - rlen
+				f.Ranges = append(f.Ranges, AckRange{Smallest: smallest, Largest: largest})
+			}
+			if FrameType(ft) == FrameTypeAckECN {
+				for i := 0; i < 3; i++ { // ECT0, ECT1, CE counts
+					_, n, err := ConsumeVarint(payload)
+					if err != nil {
+						return frames, err
+					}
+					payload = payload[n:]
+				}
+			}
+			frames = append(frames, f)
+		case FrameTypeCrypto:
+			payload = payload[n:]
+			off, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			dlen, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			if uint64(len(payload)) < dlen {
+				return frames, ErrTruncated
+			}
+			frames = append(frames, &CryptoFrame{Offset: off, Data: payload[:dlen]})
+			payload = payload[dlen:]
+		case FrameTypeNewToken:
+			payload = payload[n:]
+			tlen, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			if uint64(len(payload)) < tlen || tlen == 0 {
+				return frames, fmt.Errorf("wire: NEW_TOKEN length %d: %w", tlen, ErrBadFrame)
+			}
+			frames = append(frames, &NewTokenFrame{Token: payload[:tlen]})
+			payload = payload[tlen:]
+		case FrameTypeConnectionClose, FrameTypeConnCloseApp:
+			payload = payload[n:]
+			f := &ConnectionCloseFrame{IsApplication: FrameType(ft) == FrameTypeConnCloseApp}
+			f.ErrorCode, n, err = ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			if !f.IsApplication {
+				f.FrameType, n, err = ConsumeVarint(payload)
+				if err != nil {
+					return frames, err
+				}
+				payload = payload[n:]
+			}
+			rlen, n, err := ConsumeVarint(payload)
+			if err != nil {
+				return frames, err
+			}
+			payload = payload[n:]
+			if uint64(len(payload)) < rlen {
+				return frames, ErrTruncated
+			}
+			f.Reason = string(payload[:rlen])
+			payload = payload[rlen:]
+			frames = append(frames, f)
+		case FrameTypeHandshakeDone:
+			frames = append(frames, &HandshakeDoneFrame{})
+			payload = payload[n:]
+		default:
+			return frames, fmt.Errorf("wire: unexpected frame type %#x in handshake packet: %w", ft, ErrBadFrame)
+		}
+	}
+	return frames, nil
+}
+
+// CryptoData reassembles the CRYPTO stream carried by frames, which
+// must cover a contiguous range starting at offset 0 (single-datagram
+// handshake messages always do). It returns an error on gaps.
+func CryptoData(frames []Frame) ([]byte, error) {
+	var segs []*CryptoFrame
+	for _, f := range frames {
+		if cf, ok := f.(*CryptoFrame); ok {
+			segs = append(segs, cf)
+		}
+	}
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	// Insertion sort by offset; handshake packets carry few segments.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j-1].Offset > segs[j].Offset; j-- {
+			segs[j-1], segs[j] = segs[j], segs[j-1]
+		}
+	}
+	var out []byte
+	var next uint64
+	for _, s := range segs {
+		if s.Offset != next {
+			return nil, fmt.Errorf("wire: crypto stream gap at %d (have %d): %w", next, s.Offset, ErrBadFrame)
+		}
+		out = append(out, s.Data...)
+		next += uint64(len(s.Data))
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package wire
+
+// Packet number encoding and recovery, RFC 9000 §17.1 and Appendix A.
+
+// AppendPacketNumber appends the low pnLen bytes of pn (big endian).
+func AppendPacketNumber(dst []byte, pn uint64, pnLen int) []byte {
+	switch pnLen {
+	case 1:
+		return append(dst, byte(pn))
+	case 2:
+		return append(dst, byte(pn>>8), byte(pn))
+	case 3:
+		return append(dst, byte(pn>>16), byte(pn>>8), byte(pn))
+	case 4:
+		return append(dst, byte(pn>>24), byte(pn>>16), byte(pn>>8), byte(pn))
+	}
+	panic("wire: invalid packet number length")
+}
+
+// PacketNumberLen returns the smallest encoding length that lets a
+// receiver who has seen largestAcked recover pn unambiguously.
+func PacketNumberLen(pn, largestAcked uint64) int {
+	numUnacked := pn - largestAcked
+	switch {
+	case numUnacked < 1<<7:
+		return 1
+	case numUnacked < 1<<15:
+		return 2
+	case numUnacked < 1<<23:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// DecodePacketNumber reconstructs a full packet number from its
+// truncated wire encoding, per the sample algorithm in RFC 9000
+// Appendix A.3.
+func DecodePacketNumber(largest uint64, truncated uint64, pnLen int) uint64 {
+	expected := largest + 1
+	win := uint64(1) << (pnLen * 8)
+	hwin := win / 2
+	mask := win - 1
+	candidate := (expected &^ mask) | truncated
+	if candidate+hwin <= expected && candidate+win < (1<<62) {
+		return candidate + win
+	}
+	if candidate > expected+hwin && candidate >= win {
+		return candidate - win
+	}
+	return candidate
+}

@@ -1,0 +1,108 @@
+// Package wire implements the QUIC wire format as specified by RFC 9000
+// (QUIC v1) and the draft versions observed in the QUICsand measurement
+// period (draft-27/mvfst and draft-29).
+//
+// The package is deliberately free of any I/O or crypto concerns: it
+// converts between bytes and structured packet/frame representations.
+// Packet protection lives in package quiccrypto; the combination of the
+// two is exercised by packages quicclient, quicserver and dissect.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Variable-length integer bounds, RFC 9000 §16.
+const (
+	maxVarint1 = 1<<6 - 1
+	maxVarint2 = 1<<14 - 1
+	maxVarint4 = 1<<30 - 1
+	maxVarint8 = 1<<62 - 1
+
+	// MaxVarint is the largest value representable as a QUIC varint.
+	MaxVarint = maxVarint8
+)
+
+// ErrVarintRange reports a value outside the 62-bit varint range.
+var ErrVarintRange = errors.New("wire: value out of varint range")
+
+// ErrTruncated reports input that ended before a complete field.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// VarintLen returns the number of bytes AppendVarint uses for v,
+// or 0 if v is out of range.
+func VarintLen(v uint64) int {
+	switch {
+	case v <= maxVarint1:
+		return 1
+	case v <= maxVarint2:
+		return 2
+	case v <= maxVarint4:
+		return 4
+	case v <= maxVarint8:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// AppendVarint appends the QUIC varint encoding of v to b.
+// It panics if v is out of range; use VarintLen to validate first
+// when handling untrusted values.
+func AppendVarint(b []byte, v uint64) []byte {
+	switch {
+	case v <= maxVarint1:
+		return append(b, byte(v))
+	case v <= maxVarint2:
+		return append(b, 0x40|byte(v>>8), byte(v))
+	case v <= maxVarint4:
+		return append(b, 0x80|byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v <= maxVarint8:
+		return append(b, 0xc0|byte(v>>56), byte(v>>48), byte(v>>40),
+			byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic(ErrVarintRange)
+	}
+}
+
+// ConsumeVarint parses a varint from the front of b and returns the
+// value and the number of bytes consumed. It returns ErrTruncated if b
+// does not contain a complete varint.
+func ConsumeVarint(b []byte) (v uint64, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	n = 1 << (b[0] >> 6)
+	if len(b) < n {
+		return 0, 0, ErrTruncated
+	}
+	v = uint64(b[0] & 0x3f)
+	for i := 1; i < n; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, n, nil
+}
+
+// AppendVarintWithLen appends v using exactly length bytes (2, 4 or 8),
+// which QUIC permits for any value that fits. It is used to reserve
+// space for fields whose final value is patched later (e.g. the Initial
+// Length field before the payload size is known).
+func AppendVarintWithLen(b []byte, v uint64, length int) ([]byte, error) {
+	if VarintLen(v) > length {
+		return b, fmt.Errorf("wire: value %d does not fit in %d-byte varint: %w", v, length, ErrVarintRange)
+	}
+	switch length {
+	case 1:
+		return append(b, byte(v)), nil
+	case 2:
+		return append(b, 0x40|byte(v>>8), byte(v)), nil
+	case 4:
+		return append(b, 0x80|byte(v>>24), byte(v>>16), byte(v>>8), byte(v)), nil
+	case 8:
+		return append(b, 0xc0|byte(v>>56), byte(v>>48), byte(v>>40),
+			byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v)), nil
+	default:
+		return b, fmt.Errorf("wire: invalid varint length %d", length)
+	}
+}

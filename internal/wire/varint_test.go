@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRFCExamples(t *testing.T) {
+	// Examples from RFC 9000 §A.1.
+	cases := []struct {
+		val uint64
+		enc []byte
+	}{
+		{151288809941952652, []byte{0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c}},
+		{494878333, []byte{0x9d, 0x7f, 0x3e, 0x7d}},
+		{15293, []byte{0x7b, 0xbd}},
+		{37, []byte{0x25}},
+	}
+	for _, c := range cases {
+		got := AppendVarint(nil, c.val)
+		if !bytes.Equal(got, c.enc) {
+			t.Errorf("AppendVarint(%d) = %x, want %x", c.val, got, c.enc)
+		}
+		v, n, err := ConsumeVarint(c.enc)
+		if err != nil || v != c.val || n != len(c.enc) {
+			t.Errorf("ConsumeVarint(%x) = %d,%d,%v want %d,%d", c.enc, v, n, err, c.val, len(c.enc))
+		}
+	}
+}
+
+func TestVarintTwoByteAlternateEncoding(t *testing.T) {
+	// RFC 9000 A.1: 37 can also be encoded as 0x4025.
+	v, n, err := ConsumeVarint([]byte{0x40, 0x25})
+	if err != nil || v != 37 || n != 2 {
+		t.Fatalf("got %d,%d,%v want 37,2,nil", v, n, err)
+	}
+}
+
+func TestVarintBoundaries(t *testing.T) {
+	for _, v := range []uint64{0, 63, 64, 16383, 16384, 1<<30 - 1, 1 << 30, MaxVarint} {
+		enc := AppendVarint(nil, v)
+		if len(enc) != VarintLen(v) {
+			t.Errorf("len(enc(%d)) = %d, VarintLen = %d", v, len(enc), VarintLen(v))
+		}
+		got, n, err := ConsumeVarint(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Errorf("round trip %d failed: %d,%d,%v", v, got, n, err)
+		}
+	}
+}
+
+func TestVarintOutOfRange(t *testing.T) {
+	if VarintLen(MaxVarint+1) != 0 {
+		t.Error("VarintLen should reject 2^62")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendVarint should panic out of range")
+		}
+	}()
+	AppendVarint(nil, math.MaxUint64)
+}
+
+func TestVarintTruncated(t *testing.T) {
+	for _, enc := range [][]byte{{}, {0x40}, {0x80, 1, 2}, {0xc0, 1, 2, 3, 4, 5, 6}} {
+		if _, _, err := ConsumeVarint(enc); !errors.Is(err, ErrTruncated) {
+			t.Errorf("ConsumeVarint(%x) err = %v, want ErrTruncated", enc, err)
+		}
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= MaxVarint
+		got, n, err := ConsumeVarint(AppendVarint(nil, v))
+		return err == nil && got == v && n == VarintLen(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintConsumeIgnoresTrailing(t *testing.T) {
+	b := AppendVarint(nil, 12345)
+	b = append(b, 0xde, 0xad)
+	v, n, err := ConsumeVarint(b)
+	if err != nil || v != 12345 || n != len(b)-2 {
+		t.Fatalf("got %d,%d,%v", v, n, err)
+	}
+}
+
+func TestAppendVarintWithLen(t *testing.T) {
+	b, err := AppendVarintWithLen(nil, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte{0x40, 0x05}) {
+		t.Fatalf("got %x", b)
+	}
+	v, n, err := ConsumeVarint(b)
+	if err != nil || v != 5 || n != 2 {
+		t.Fatalf("decode: %d,%d,%v", v, n, err)
+	}
+	if _, err := AppendVarintWithLen(nil, 1<<20, 2); err == nil {
+		t.Error("expected range error for 2-byte encoding of 2^20")
+	}
+	if _, err := AppendVarintWithLen(nil, 1, 3); err == nil {
+		t.Error("expected error for invalid length 3")
+	}
+	b8, err := AppendVarintWithLen(nil, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, n, _ = ConsumeVarint(b8)
+	if v != 7 || n != 8 {
+		t.Fatalf("8-byte forced encoding decode: %d,%d", v, n)
+	}
+}
+
+func TestPacketNumberDecodeRFCExample(t *testing.T) {
+	// RFC 9000 A.3: largest 0xa82f30ea, truncated 0x9b32, len 2
+	// → 0xa82f9b32.
+	got := DecodePacketNumber(0xa82f30ea, 0x9b32, 2)
+	if got != 0xa82f9b32 {
+		t.Fatalf("DecodePacketNumber = %#x, want 0xa82f9b32", got)
+	}
+}
+
+func TestPacketNumberRoundTripProperty(t *testing.T) {
+	f := func(pn uint64, acked uint64) bool {
+		pn &= 1<<61 - 1
+		if pn == 0 {
+			pn = 1
+		}
+		// Receiver has seen something close behind pn.
+		acked = pn - 1 - acked%64
+		if acked > pn {
+			acked = pn - 1
+		}
+		pnLen := PacketNumberLen(pn, acked)
+		enc := AppendPacketNumber(nil, pn, pnLen)
+		var truncated uint64
+		for _, b := range enc {
+			truncated = truncated<<8 | uint64(b)
+		}
+		return DecodePacketNumber(acked, truncated, pnLen) == pn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

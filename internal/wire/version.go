@@ -1,0 +1,92 @@
+package wire
+
+import "fmt"
+
+// Version identifies a QUIC wire version (RFC 9000 §15).
+type Version uint32
+
+// Versions observed in the QUICsand measurement period. The telescope
+// backscatter is dominated by Facebook's mvfst draft-27 and Google's
+// draft-29 deployments; RFC-9000 QUIC v1 was freshly standardized.
+const (
+	// VersionNegotiation is the reserved version used by Version
+	// Negotiation packets.
+	VersionNegotiation Version = 0x00000000
+	// Version1 is QUIC v1 (RFC 9000).
+	Version1 Version = 0x00000001
+	// VersionDraft27 is IETF draft-27, the basis of Facebook's mvfst
+	// deployment ("mvfst-draft-27" in the paper).
+	VersionDraft27 Version = 0xff00001b
+	// VersionDraft29 is IETF draft-29, deployed by Google during the
+	// measurement period.
+	VersionDraft29 Version = 0xff00001d
+	// VersionMVFST27 is mvfst's vendor alias for draft-27
+	// ("faceb002" on the wire).
+	VersionMVFST27 Version = 0xfaceb002
+	// VersionMVFSTExp is mvfst's experimental vendor version.
+	VersionMVFSTExp Version = 0xfaceb00e
+)
+
+// IsReserved reports whether v matches the 0x?a?a?a?a pattern reserved
+// by RFC 9000 §15 to exercise version negotiation ("greasing").
+func (v Version) IsReserved() bool {
+	return uint32(v)&0x0f0f0f0f == 0x0a0a0a0a
+}
+
+// IsDraft reports whether v is an IETF draft version (0xff0000xx).
+func (v Version) IsDraft() bool {
+	return uint32(v)&0xffffff00 == 0xff000000
+}
+
+// DraftNumber returns the IETF draft number for draft versions
+// (including mvfst aliases), or -1.
+func (v Version) DraftNumber() int {
+	if v.IsDraft() {
+		return int(uint32(v) & 0xff)
+	}
+	switch v {
+	case VersionMVFST27, VersionMVFSTExp:
+		return 27
+	}
+	return -1
+}
+
+// Known reports whether v is a version this library can parse and
+// protect packets for.
+func (v Version) Known() bool {
+	switch v {
+	case Version1, VersionDraft27, VersionDraft29, VersionMVFST27:
+		return true
+	}
+	return false
+}
+
+// String returns the deployment name used throughout the paper's
+// figures (e.g. "draft-29", "mvfst-draft-27").
+func (v Version) String() string {
+	switch v {
+	case VersionNegotiation:
+		return "negotiation"
+	case Version1:
+		return "v1"
+	case VersionDraft27:
+		return "draft-27"
+	case VersionDraft29:
+		return "draft-29"
+	case VersionMVFST27:
+		return "mvfst-draft-27"
+	case VersionMVFSTExp:
+		return "mvfst-exp"
+	}
+	if v.IsReserved() {
+		return fmt.Sprintf("reserved-%#08x", uint32(v))
+	}
+	if v.IsDraft() {
+		return fmt.Sprintf("draft-%d", v.DraftNumber())
+	}
+	return fmt.Sprintf("unknown-%#08x", uint32(v))
+}
+
+// DefaultSupportedVersions is the order-of-preference version list our
+// server and client advertise, mirroring a 2021 deployment.
+var DefaultSupportedVersions = []Version{Version1, VersionDraft29, VersionDraft27, VersionMVFST27}

@@ -1,0 +1,321 @@
+// Package quicsand reproduces the measurement pipeline of "QUICsand:
+// Quantifying QUIC Reconnaissance Scans and DoS Flooding Events"
+// (Nawrocki et al., ACM IMC 2021).
+//
+// The package ties the substrates together into the paper's analysis:
+//
+//	simulated Internet (internal/netmodel)
+//	    → background-radiation generators (internal/ibr)
+//	    → /9 telescope capture (internal/telescope)
+//	    → QUIC dissection (internal/dissect, RFC 9000/9001 via
+//	      internal/wire, internal/quiccrypto, internal/tlsmini)
+//	    → sessionization (internal/sessions)
+//	    → DoS detection (internal/dosdetect)
+//	    → multi-vector correlation (internal/correlate)
+//	    → joins against PeeringDB/GreyNoise/active-scan substitutes
+//
+// Run executes the whole month and returns an Analysis whose Figure*
+// and Headline methods regenerate every figure and table of the
+// paper's evaluation (see EXPERIMENTS.md for the paper-vs-measured
+// record). The server-side DoS benchmark (Table 1) lives in
+// internal/flood with real handshake machinery from internal/quicserver
+// and internal/quicclient.
+package quicsand
+
+import (
+	"fmt"
+
+	"quicsand/internal/activescan"
+	"quicsand/internal/correlate"
+	"quicsand/internal/dissect"
+	"quicsand/internal/dosdetect"
+	"quicsand/internal/greynoise"
+	"quicsand/internal/ibr"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/sessions"
+	"quicsand/internal/stats"
+	"quicsand/internal/telescope"
+)
+
+// Config parameterizes a full pipeline run.
+type Config struct {
+	// Seed fixes all randomness; runs are bit-reproducible.
+	Seed uint64
+	// Scale multiplies event counts; 1.0 reproduces paper-scale
+	// session and attack magnitudes (see DESIGN.md §5).
+	Scale float64
+	// ResearchThin is the research-scan thinning weight (default 64).
+	ResearchThin uint32
+	// SkipResearch omits research scanners (fast shape-only runs;
+	// Figure 2 then lacks its dominant series).
+	SkipResearch bool
+	// Trace, when set, receives every captured packet (checkpointing).
+	Trace telescope.Sink
+}
+
+// Analysis is the result of one pipeline run: every figure's data,
+// recomputed from the packet stream.
+type Analysis struct {
+	Config   Config
+	Internet *netmodel.Internet
+	Census   *activescan.Census
+	Truth    *ibr.GroundTruth
+
+	// Telescope overview (§5.1).
+	Telescope *telescope.Telescope
+	// HourlySource bins all QUIC packets by source family
+	// ("TUM-Scans", "RWTH-Scans", "Other") — Figure 2.
+	HourlySource *telescope.HourlyCounter
+	// HourlyType bins sanitized QUIC packets ("Requests",
+	// "Responses") — Figure 3.
+	HourlyType *telescope.HourlyCounter
+
+	// Sanitized QUIC sessions (requests and responses).
+	QUICSessions     []*sessions.Session
+	RequestSessions  []*sessions.Session
+	ResponseSessions []*sessions.Session
+	Sweep            *sessions.TimeoutSweep
+
+	// Detection results.
+	QUICDetector   *dosdetect.Detector
+	CommonDetector *dosdetect.Detector
+	Correlation    *correlate.Summary
+
+	// Joins.
+	GreyNoise   *greynoise.Store
+	ScanSources *greynoise.SourceStats
+
+	// NonQUIC counts UDP/443 packets rejected by deep dissection
+	// (the false-positive filter ablation).
+	NonQUIC uint64
+}
+
+// Run generates the month and performs every analysis stage in one
+// streaming pass.
+func Run(cfg Config) (*Analysis, error) {
+	gen, err := ibr.New(ibr.Config{
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+		ResearchThin: cfg.ResearchThin,
+		SkipResearch: cfg.SkipResearch,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("quicsand: generator: %w", err)
+	}
+
+	a := &Analysis{Config: cfg}
+	a.Internet = netmodel.BuildInternet()
+	tum := a.Internet.Registry.ByASN(netmodel.ASNTUM)
+	rwth := a.Internet.Registry.ByASN(netmodel.ASNRWTH)
+
+	a.HourlySource = telescope.NewHourlyCounter(func(p *telescope.Packet) string {
+		if !p.IsQUICCandidate() {
+			return ""
+		}
+		switch {
+		case tum.Prefixes[0].Contains(p.Src):
+			return "TUM-Scans"
+		case rwth.Prefixes[0].Contains(p.Src):
+			return "RWTH-Scans"
+		default:
+			return "Other"
+		}
+	})
+	a.HourlyType = telescope.NewHourlyCounter(nil) // classify set below
+
+	a.Sweep = sessions.NewTimeoutSweep()
+	quicSessionizer := sessions.NewSessionizer(func(s *sessions.Session) {
+		a.QUICSessions = append(a.QUICSessions, s)
+	})
+	quicSessionizer.GapRecorder = a.Sweep.RecordGap
+	commonSessionizer := sessions.NewSessionizer(nil)
+
+	a.QUICDetector = dosdetect.NewDetector(dosdetect.VectorQUIC)
+	a.CommonDetector = dosdetect.NewDetector(dosdetect.VectorCommon)
+	a.CommonDetector.DropExcluded = true
+	commonSessionizer.Emit = a.CommonDetector.Offer
+
+	dis := dissect.NewDissector()
+
+	a.HourlyType.Classify = func(p *telescope.Packet) string {
+		if p.IsRequest() {
+			return "Requests"
+		}
+		if p.IsResponse() {
+			return "Responses"
+		}
+		return ""
+	}
+
+	tel := telescope.New()
+	a.Telescope = tel
+	tel.Attach(telescope.SinkFunc(func(p *telescope.Packet) {
+		if cfg.Trace != nil {
+			cfg.Trace.Capture(p)
+		}
+		a.HourlySource.Capture(p)
+
+		// §5.1 sanitization: drop research scanners before analysis.
+		if a.Internet.IsResearchSource(p.Src) {
+			return
+		}
+		switch p.Proto {
+		case telescope.ProtoTCP, telescope.ProtoICMP:
+			commonSessionizer.Observe(p, nil)
+		case telescope.ProtoUDP:
+			if !p.IsQUICCandidate() {
+				return
+			}
+			var res *dissect.Result
+			if p.Payload != nil {
+				r, err := dis.Dissect(p.Payload)
+				if err != nil {
+					a.NonQUIC++
+					return
+				}
+				res = r
+			}
+			a.HourlyType.Capture(p)
+			a.Sweep.RecordSource(p.Src)
+			quicSessionizer.Observe(p, res)
+		}
+	}))
+
+	a.Truth = gen.Run(tel.Capture)
+	quicSessionizer.Flush()
+	commonSessionizer.Flush()
+
+	// Census shared with the generator (same seed path).
+	a.Census = activescan.Build(a.Internet, netmodel.NewRNG(cfg.Seed).Fork("census"), activescan.Config{})
+
+	for _, s := range a.QUICSessions {
+		switch s.Kind() {
+		case sessions.KindRequestOnly:
+			a.RequestSessions = append(a.RequestSessions, s)
+		case sessions.KindResponseOnly:
+			a.ResponseSessions = append(a.ResponseSessions, s)
+			a.QUICDetector.Offer(s)
+		default:
+			// Mixed sessions would contradict the paper's disjointness
+			// observation; surface them loudly in results.
+			a.RequestSessions = append(a.RequestSessions, s)
+		}
+	}
+
+	a.Correlation = correlate.Correlate(a.QUICDetector.Sorted(), a.CommonDetector.Sorted())
+
+	// GreyNoise join over request-session sources.
+	a.GreyNoise = greynoise.NewStore(a.Internet.Registry)
+	for addr, tags := range a.Truth.TaggedBots {
+		a.GreyNoise.Tag(addr, tags...)
+	}
+	var srcs []netmodel.Addr
+	seen := map[netmodel.Addr]bool{}
+	for _, s := range a.RequestSessions {
+		if !seen[s.Src] {
+			seen[s.Src] = true
+			srcs = append(srcs, s.Src)
+		}
+	}
+	a.ScanSources = a.GreyNoise.Summarize(srcs)
+	return a, nil
+}
+
+// Victims returns the unique QUIC flood victims.
+func (a *Analysis) Victims() []netmodel.Addr {
+	counts := dosdetect.VictimCounts(a.QUICDetector.Attacks)
+	out := make([]netmodel.Addr, 0, len(counts))
+	for v := range counts {
+		out = append(out, v)
+	}
+	return out
+}
+
+// OrgShare returns the percentage of QUIC attacks whose victim belongs
+// to the named census operator.
+func (a *Analysis) OrgShare(org string) float64 {
+	if len(a.QUICDetector.Attacks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, atk := range a.QUICDetector.Attacks {
+		if a.Census.OrgOf(atk.Victim) == org {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.QUICDetector.Attacks)) * 100
+}
+
+// AttackDurations returns the duration samples for the given vector.
+func (a *Analysis) AttackDurations(vec dosdetect.Vector) []float64 {
+	det := a.QUICDetector
+	if vec == dosdetect.VectorCommon {
+		det = a.CommonDetector
+	}
+	out := make([]float64, 0, len(det.Attacks))
+	for _, atk := range det.Attacks {
+		out = append(out, atk.Duration())
+	}
+	return out
+}
+
+// AttackIntensities returns max-pps samples for the given vector.
+func (a *Analysis) AttackIntensities(vec dosdetect.Vector) []float64 {
+	det := a.QUICDetector
+	if vec == dosdetect.VectorCommon {
+		det = a.CommonDetector
+	}
+	out := make([]float64, 0, len(det.Attacks))
+	for _, atk := range det.Attacks {
+		out = append(out, atk.MaxPPS)
+	}
+	return out
+}
+
+// MessageMix aggregates the §6 packet-type mix over attack
+// backscatter: Initial share, Handshake share, other.
+func (a *Analysis) MessageMix() (initial, handshake, other float64) {
+	n := 0
+	for _, atk := range a.QUICDetector.Attacks {
+		initial += atk.InitialShare
+		handshake += atk.HandshakeShare
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	initial /= float64(n)
+	handshake /= float64(n)
+	return initial * 100, handshake * 100, 100 - (initial+handshake)*100
+}
+
+// TypeMatrix computes Figure 5: session counts per (network type,
+// session kind).
+func (a *Analysis) TypeMatrix() map[netmodel.NetworkType][2]int {
+	m := make(map[netmodel.NetworkType][2]int)
+	for _, s := range a.RequestSessions {
+		t := a.Internet.Registry.TypeOf(s.Src)
+		e := m[t]
+		e[0]++
+		m[t] = e
+	}
+	for _, s := range a.ResponseSessions {
+		t := a.Internet.Registry.TypeOf(s.Src)
+		e := m[t]
+		e[1]++
+		m[t] = e
+	}
+	return m
+}
+
+// ExcludedProfile summarizes the Appendix B non-attack backscatter
+// sessions (median packets, duration, max pps).
+func (a *Analysis) ExcludedProfile() (pkts, durSec, maxPPS float64) {
+	var ps, ds, rs []float64
+	for _, s := range a.QUICDetector.Excluded {
+		ps = append(ps, float64(s.Packets))
+		ds = append(ds, s.Duration())
+		rs = append(rs, s.MaxPPS())
+	}
+	return stats.Median(ps), stats.Median(ds), stats.Median(rs)
+}

@@ -1,0 +1,73 @@
+package quicsand
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quicsand/internal/dissect"
+	"quicsand/internal/telescope"
+)
+
+// TestTraceCheckpointRoundTrip runs a small month with a trace sink,
+// reads the checkpoint back, and re-derives the request/response
+// classification from the stored packets — the workflow a user follows
+// to re-analyze without re-simulating.
+func TestTraceCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "month.qsnd")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telescope.NewWriter(f)
+
+	a, err := Run(Config{Seed: 5, Scale: 0.005, SkipResearch: true, Trace: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+
+	d := dissect.NewDissector()
+	var reqs, resps, stored uint64
+	var lastTS telescope.Timestamp
+	err = telescope.NewReader(rf).ForEach(func(p *telescope.Packet) error {
+		stored++
+		if p.TS < lastTS {
+			return errors.New("trace out of order")
+		}
+		lastTS = p.TS
+		switch d.Classify(p) {
+		case dissect.ClassRequest:
+			reqs++
+		case dissect.ClassResponse:
+			resps++
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if stored != a.Telescope.Total {
+		t.Errorf("stored %d packets, telescope saw %d", stored, a.Telescope.Total)
+	}
+	// The re-derived classification must match the original counters.
+	if reqs != a.HourlyType.TotalOf("Requests") {
+		t.Errorf("replayed requests %d != live %d", reqs, a.HourlyType.TotalOf("Requests"))
+	}
+	if resps != a.HourlyType.TotalOf("Responses") {
+		t.Errorf("replayed responses %d != live %d", resps, a.HourlyType.TotalOf("Responses"))
+	}
+}
