@@ -9,6 +9,7 @@ package quicsand
 // §6 lists.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -43,17 +44,47 @@ func benchPipeline(b *testing.B) *Analysis {
 	return benchAnalysis
 }
 
+// benchPipelineCfg is the shared configuration for the pipeline
+// benchmarks: large enough that the streaming stages dominate the
+// fixed scheduling cost, so worker scaling is visible.
+func benchPipelineCfg(workers int) Config {
+	return Config{Seed: 7, Scale: 0.01, ResearchThin: 1 << 20, Workers: workers}
+}
+
 // BenchmarkPipeline measures one complete generate→analyze cycle at a
-// small scale (the §5.1 headline path).
+// small scale (the §5.1 headline path) with the default worker count
+// (all CPUs).
 func BenchmarkPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, err := Run(Config{Seed: uint64(i), Scale: 0.002, ResearchThin: 1 << 20})
+		a, err := Run(benchPipelineCfg(0))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(a.QUICSessions) == 0 {
 			b.Fatal("empty run")
 		}
+		b.ReportMetric(a.Pipeline.Throughput(), "packets/s")
+	}
+}
+
+// BenchmarkPipelineParallel sweeps the engine's worker count over the
+// same month; workers=1 is the sequential baseline against which the
+// multi-core speedup is measured (results are bit-identical across
+// the sweep — TestWorkersBitIdentical).
+func BenchmarkPipelineParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := Run(benchPipelineCfg(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(a.QUICSessions) == 0 {
+					b.Fatal("empty run")
+				}
+				b.ReportMetric(a.Pipeline.Throughput(), "packets/s")
+			}
+		})
 	}
 }
 

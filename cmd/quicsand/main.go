@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	quicsand [-seed N] [-scale F] [-thin N] [-skip-research] [-fig SECTION] [-trace FILE]
+//	quicsand [-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
+//	         [-fig SECTION] [-trace FILE] [-stats]
 //
 // SECTION is one of: all, headline, 2–13, section6. At -scale 1.0 the
 // run reproduces paper-scale magnitudes and takes a few minutes; the
-// default 0.1 finishes in seconds with identical shapes.
+// default 0.1 finishes in seconds with identical shapes. -workers
+// fans the analysis over N shards (0 = all CPUs); results are
+// bit-identical for every worker count. -stats prints per-stage
+// throughput to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"quicsand"
@@ -21,85 +27,107 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "quicsand:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quicsand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed         = flag.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)")
-		scale        = flag.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes")
-		thin         = flag.Uint("thin", 64, "research-scan thinning weight")
-		skipResearch = flag.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)")
-		fig          = flag.String("fig", "all", "section to print: all, headline, 2..13, section6")
-		tracePath    = flag.String("trace", "", "write the captured month to this trace file")
+		seed         = fs.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)")
+		scale        = fs.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes")
+		thin         = fs.Uint("thin", 64, "research-scan thinning weight")
+		skipResearch = fs.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)")
+		workers      = fs.Int("workers", 0, "pipeline shards; 0 = all CPUs, 1 = sequential")
+		fig          = fs.String("fig", "all", "section to print: all, headline, 2..13, section6")
+		tracePath    = fs.String("trace", "", "write the captured month to this trace file")
+		stats        = fs.Bool("stats", false, "print per-stage pipeline throughput to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
 
 	cfg := quicsand.Config{
 		Seed:         *seed,
 		Scale:        *scale,
 		ResearchThin: uint32(*thin),
 		SkipResearch: *skipResearch,
+		Workers:      *workers,
 	}
-	var traceFile *os.File
+	var flushTrace func() error
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		traceFile = f
 		w := telescope.NewWriter(f)
 		cfg.Trace = w
-		defer func() {
+		flushTrace = func() error {
 			if err := w.Flush(); err != nil {
-				fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", w.Count(), *tracePath)
-		}()
+			fmt.Fprintf(stderr, "trace: %d records written to %s\n", w.Count(), *tracePath)
+			return nil
+		}
 	}
-	_ = traceFile
 
 	a, err := quicsand.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		fmt.Fprint(stderr, a.Pipeline)
 	}
 
+	var out string
 	switch *fig {
 	case "all":
-		fmt.Println(a.RenderAll())
+		out = a.RenderAll()
 	case "headline":
-		fmt.Println(a.Headline())
+		out = a.Headline()
 	case "2":
-		fmt.Println(a.Figure2())
+		out = a.Figure2()
 	case "3":
-		fmt.Println(a.Figure3())
+		out = a.Figure3()
 	case "4":
-		fmt.Println(a.Figure4())
+		out = a.Figure4()
 	case "5":
-		fmt.Println(a.Figure5())
+		out = a.Figure5()
 	case "6":
-		fmt.Println(a.Figure6())
+		out = a.Figure6()
 	case "7":
-		fmt.Println(a.Figure7())
+		out = a.Figure7()
 	case "8":
-		fmt.Println(a.Figure8())
+		out = a.Figure8()
 	case "9":
-		fmt.Println(a.Figure9())
+		out = a.Figure9()
 	case "10":
-		fmt.Println(a.Figure10())
+		out = a.Figure10()
 	case "11":
-		fmt.Println(a.Figure11())
+		out = a.Figure11()
 	case "12":
-		fmt.Println(a.Figure12())
+		out = a.Figure12()
 	case "13":
-		fmt.Println(a.Figure13())
+		out = a.Figure13()
 	case "section6":
-		fmt.Println(a.Section6())
+		out = a.Section6()
 	default:
-		fatal(fmt.Errorf("unknown -fig %q", *fig))
+		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "quicsand:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout, out)
+	return nil
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunHeadlineSmoke exercises flag parsing and a tiny-scale run
+// through the real pipeline, including the -workers knob.
+func TestRunHeadlineSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-seed", "3", "-scale", "0.002", "-thin", "1048576",
+		"-workers", "2", "-fig", "headline", "-stats",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "QUIC packets captured") {
+		t.Errorf("headline output missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "2 workers") {
+		t.Errorf("-stats output missing worker count:\n%s", errOut.String())
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "month.qsnd")
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-seed", "3", "-scale", "0.002", "-skip-research",
+		"-workers", "4", "-fig", "headline", "-trace", path,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("trace file empty")
+	}
+	if !strings.Contains(errOut.String(), "records written") {
+		t.Errorf("trace summary missing:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-fig", "nope", "-scale", "0.002", "-skip-research"}, &out, &errOut); err == nil {
+		t.Error("unknown -fig accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -3,6 +3,11 @@
 // dissector, printing one line per packet — the same pipeline the
 // simulation feeds, attached to a real socket.
 //
+// Datagrams are fanned out over the sharded pipeline engine by remote
+// address (-workers, 0 = all CPUs), so each source's packets are
+// dissected in order by a per-shard dissector while the socket reader
+// never blocks on crypto.
+//
 // Point any QUIC client at it (or run cmd/quicsand's generated trace
 // through it) to watch the classification logic work on live traffic.
 package main
@@ -10,16 +15,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 
 	"quicsand/internal/dissect"
+	"quicsand/internal/engine"
 	"quicsand/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8443", "UDP address to observe")
+	workers := flag.Int("workers", 0, "dissection shards; 0 = all CPUs")
 	flag.Parse()
 
 	pc, err := net.ListenPacket("udp", *listen)
@@ -37,29 +47,95 @@ func main() {
 		pc.Close()
 	}()
 
-	d := dissect.NewDissector()
-	buf := make([]byte, 65535)
-	for {
-		n, addr, err := pc.ReadFrom(buf)
-		if err != nil {
-			return
-		}
-		r, err := d.Dissect(buf[:n])
-		if err != nil {
-			fmt.Printf("%-21s %5dB  not QUIC\n", addr, n)
-			continue
-		}
-		for _, pi := range r.Packets {
-			line := fmt.Sprintf("%-21s %5dB  %-18s", addr, n, pi.Type)
-			if pi.Type != wire.PacketTypeOneRTT {
-				line += fmt.Sprintf(" %-14s scid=%s dcid=%s", pi.Version, pi.SCID, pi.DCID)
+	if err := serve(pc, *workers, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "telescoped:", err)
+		os.Exit(1)
+	}
+}
+
+// datagram is one received UDP payload with its remote address.
+type datagram struct {
+	addr string
+	data []byte
+}
+
+// serve drains pc through the sharded engine until the socket closes,
+// then prints pipeline stats. Each shard owns one dissector; lines are
+// serialized onto out with a mutex (completion order — a live view,
+// not a canonical trace).
+func serve(pc net.PacketConn, workers int, out io.Writer) error {
+	n := engine.Config{Workers: workers}.ResolveWorkers()
+	chans := make([]chan datagram, n)
+	for i := range chans {
+		chans[i] = make(chan datagram, 64)
+	}
+
+	// Socket reader: hash the remote address onto a shard so one
+	// source's datagrams stay ordered on one dissector. Inline FNV-1a
+	// keeps the read loop free of per-packet hasher allocations.
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			sz, addr, err := pc.ReadFrom(buf)
+			if err != nil {
+				for _, ch := range chans {
+					close(ch)
+				}
+				return
 			}
-			if pi.HasClientHello {
-				line += fmt.Sprintf(" ClientHello sni=%q", pi.SNI)
-			} else if pi.Type == wire.PacketTypeInitial && !pi.Decrypted {
-				line += " (undecryptable: backscatter-shaped)"
+			d := datagram{addr: addr.String(), data: append([]byte(nil), buf[:sz]...)}
+			h := uint32(2166136261)
+			for i := 0; i < len(d.addr); i++ {
+				h = (h ^ uint32(d.addr[i])) * 16777619
 			}
-			fmt.Println(line)
+			chans[h%uint32(n)] <- d
+		}
+	}()
+
+	feeds := make([]engine.Feed[datagram], n)
+	for i := range feeds {
+		ch := chans[i]
+		feeds[i] = func(emit func(datagram)) {
+			for d := range ch {
+				emit(d)
+			}
 		}
 	}
+
+	dissectors := make([]*dissect.Dissector, n)
+	for i := range dissectors {
+		dissectors[i] = dissect.NewDissector()
+	}
+	var mu sync.Mutex
+	st := engine.Run(engine.Config{Workers: workers}, feeds, func(shard int, d datagram) bool {
+		text := describe(dissectors[shard], d)
+		mu.Lock()
+		fmt.Fprint(out, text)
+		mu.Unlock()
+		return false
+	}, nil)
+	fmt.Fprint(out, st)
+	return nil
+}
+
+// describe classifies one datagram into printable lines.
+func describe(d *dissect.Dissector, dg datagram) string {
+	r, err := d.Dissect(dg.data)
+	if err != nil {
+		return fmt.Sprintf("%-21s %5dB  not QUIC\n", dg.addr, len(dg.data))
+	}
+	var b strings.Builder
+	for _, pi := range r.Packets {
+		fmt.Fprintf(&b, "%-21s %5dB  %-18s", dg.addr, len(dg.data), pi.Type)
+		if pi.Type != wire.PacketTypeOneRTT {
+			fmt.Fprintf(&b, " %-14s scid=%s dcid=%s", pi.Version, pi.SCID, pi.DCID)
+		}
+		if pi.HasClientHello {
+			fmt.Fprintf(&b, " ClientHello sni=%q", pi.SNI)
+		} else if pi.Type == wire.PacketTypeInitial && !pi.Decrypted {
+			b.WriteString(" (undecryptable: backscatter-shaped)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quicsand/internal/handshake"
+)
+
+// lockedBuffer serializes writes (shards print concurrently).
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestServeClassifiesDatagrams drives the live pipeline end to end: a
+// genuine QUIC Initial and a junk payload arrive on the socket, the
+// sharded dissectors classify both, and serve returns once the socket
+// closes.
+func TestServeClassifiesDatagrams(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- serve(pc, 2, out) }()
+
+	client, err := handshake.NewClient(handshake.ClientConfig{ServerName: "live.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := client.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(initial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("definitely not quic")); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "Initial") && strings.Contains(s, "not QUIC") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("classification lines missing after timeout:\n%s", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	pc.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !strings.Contains(s, "ClientHello sni=\"live.test\"") {
+		t.Errorf("ClientHello SNI missing:\n%s", s)
+	}
+	if s := out.String(); !strings.Contains(s, "workers") {
+		t.Errorf("pipeline stats missing:\n%s", s)
+	}
+}

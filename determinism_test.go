@@ -1,0 +1,90 @@
+package quicsand
+
+import (
+	"bytes"
+	"testing"
+
+	"quicsand/internal/telescope"
+	"quicsand/internal/tlsmini"
+)
+
+// TestWorkersBitIdentical is the pipeline's determinism regression:
+// the same seed at Workers=1 (the classic sequential pass) and
+// Workers=8 must yield identical headline numbers, identical figure
+// data, and a byte-identical trace checkpoint. The sharded engine's
+// claim (DESIGN.md §8) is exactly this property — commutative counter
+// merges plus canonical ordering erase the worker count from every
+// result.
+func TestWorkersBitIdentical(t *testing.T) {
+	// One shared identity: certificate bytes are drawn from real
+	// entropy, so byte-level trace comparison across separate runs
+	// needs the runs to sign with the same certificate. Everything
+	// else derives from the seed.
+	id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers int) (*Analysis, []byte) {
+		var trace bytes.Buffer
+		w := telescope.NewWriter(&trace)
+		a, err := Run(Config{
+			Seed: 97, Scale: 0.01, ResearchThin: 1 << 14,
+			Workers: workers, Trace: w, Identity: id,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return a, trace.Bytes()
+	}
+
+	seq, seqTrace := runWith(1)
+	par, parTrace := runWith(8)
+
+	if got, want := par.Headline(), seq.Headline(); got != want {
+		t.Errorf("headline diverged:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", want, got)
+	}
+	if got, want := par.RenderAll(), seq.RenderAll(); got != want {
+		t.Error("figure data diverged between worker counts (see RenderAll)")
+	}
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Errorf("trace checkpoints differ: %d vs %d bytes (or content)", len(seqTrace), len(parTrace))
+	}
+
+	// Spot-check structured results beyond the rendered strings.
+	if len(seq.QUICSessions) != len(par.QUICSessions) {
+		t.Fatalf("session counts: %d vs %d", len(seq.QUICSessions), len(par.QUICSessions))
+	}
+	for i := range seq.QUICSessions {
+		a, b := seq.QUICSessions[i], par.QUICSessions[i]
+		if a.Src != b.Src || a.Start != b.Start || a.End != b.End || a.Packets != b.Packets {
+			t.Fatalf("session %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if seq.NonQUIC != par.NonQUIC || seq.Telescope.Total != par.Telescope.Total {
+		t.Errorf("counters differ: nonQUIC %d/%d total %d/%d",
+			seq.NonQUIC, par.NonQUIC, seq.Telescope.Total, par.Telescope.Total)
+	}
+	if seq.Sweep.Sessions(5) != par.Sweep.Sessions(5) {
+		t.Errorf("sweep differs at 5 min: %d vs %d", seq.Sweep.Sessions(5), par.Sweep.Sessions(5))
+	}
+}
+
+// TestSameSeedSameRun guards plain run-to-run reproducibility (the
+// SCID pooling draw once leaked map iteration order into Figure 9).
+func TestSameSeedSameRun(t *testing.T) {
+	cfg := Config{Seed: 11, Scale: 0.005, ResearchThin: 1 << 14, Workers: 2}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RenderAll() != b.RenderAll() {
+		t.Error("two runs of the same seed diverged")
+	}
+}

@@ -219,7 +219,7 @@ func (a *Analysis) Figure9() string {
 		n := float64(g.n)
 		domV, domN := wire.Version(0), 0
 		for v, c := range g.versions {
-			if c > domN {
+			if c > domN || (c == domN && v < domV) {
 				domV, domN = v, c
 			}
 		}

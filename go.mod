@@ -1,0 +1,3 @@
+module quicsand
+
+go 1.24

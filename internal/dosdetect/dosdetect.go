@@ -167,6 +167,17 @@ func (d *Detector) Offer(s *sessions.Session) {
 	}
 }
 
+// Merge absorbs another detector's findings: attack and excluded
+// lists concatenate (order is canonicalized later by Sorted), the
+// inspection count sums. Used by the sharded pipeline's reduction —
+// each shard detects over its own sources, and no session can span
+// shards, so the merged result equals sequential detection.
+func (d *Detector) Merge(o *Detector) {
+	d.Attacks = append(d.Attacks, o.Attacks...)
+	d.Excluded = append(d.Excluded, o.Excluded...)
+	d.Inspected += o.Inspected
+}
+
 // Sorted returns attacks ordered by start time.
 func (d *Detector) Sorted() []*Attack {
 	sort.Slice(d.Attacks, func(i, j int) bool {

@@ -1,0 +1,310 @@
+// Package engine implements the sharded concurrent pipeline the
+// measurement analyses run on: a set of per-shard item streams (feeds)
+// is processed by one worker goroutine per shard with zero cross-shard
+// locking on the hot path, while an optional tap merges every shard's
+// emissions back into a single canonically ordered stream (the trace
+// checkpoint path). Shard states are reduced by the caller after Run
+// returns; provided the reduction is order-independent (commutative
+// counter merges, canonical sorts), any worker count produces results
+// bit-identical to the sequential single-shard run — see DESIGN.md §8.
+//
+// The engine is generic over the item type and knows nothing about
+// packets: quicsand.Run drives it with *telescope.Packet items, and
+// cmd/telescoped with live datagrams.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Workers is the shard count. 0 selects GOMAXPROCS; 1 runs the
+	// whole pipeline inline on the calling goroutine — the sequential
+	// path, against which parallel runs are bit-identical.
+	Workers int
+	// BatchSize is the number of items per tap batch (default 256).
+	// Larger batches amortize channel operations; smaller ones bound
+	// the reordering buffer.
+	BatchSize int
+	// TapDepth is the per-shard tap queue depth in batches (default 4).
+	// Together with BatchSize it bounds how far a fast shard can run
+	// ahead of the tap merge — the pipeline's backpressure window.
+	TapDepth int
+}
+
+// ResolveWorkers returns the effective shard count.
+func (c Config) ResolveWorkers() int {
+	w := c.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 256
+}
+
+func (c Config) tapDepth() int {
+	if c.TapDepth > 0 {
+		return c.TapDepth
+	}
+	return 4
+}
+
+// Feed streams one shard's items, in that shard's canonical order, by
+// calling emit once per item. It runs on the shard's worker goroutine
+// and returns at end of stream.
+type Feed[T any] func(emit func(T))
+
+// Tap reassembles the per-shard streams into one globally ordered
+// stream. Sink observes every item that Process kept, in the unique
+// order defined by Less — independent of the worker count.
+type Tap[T any] struct {
+	// Less must be a strict weak ordering consistent across shards.
+	// Items comparing equal must originate from the same shard: the
+	// merge is stable within a shard but breaks cross-shard ties by
+	// shard index, which varies with the worker count.
+	Less func(a, b T) bool
+	// Sink receives the merged stream on the caller's goroutine.
+	Sink func(T)
+}
+
+// Stage records one pipeline stage's volume and latency.
+type Stage struct {
+	Name  string
+	Items uint64
+	Wall  time.Duration
+}
+
+// PerSecond returns the stage throughput in items per second.
+func (s Stage) PerSecond() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Items) / s.Wall.Seconds()
+}
+
+// Stats exposes per-stage throughput for one pipeline run. The engine
+// fills the shard fields and the "analyze" (and, when tapped, "tap")
+// stages; callers append their own stages (scheduling, reduction).
+type Stats struct {
+	// Workers is the shard count the run used.
+	Workers int
+	// ShardItems counts items processed per shard.
+	ShardItems []uint64
+	// ShardBusy is each shard worker's busy wall time.
+	ShardBusy []time.Duration
+	// Stages lists stage metrics in pipeline order.
+	Stages []Stage
+	// Wall is the total wall time, set by the caller via Finish.
+	Wall time.Duration
+
+	start time.Time
+}
+
+// NewStats creates a Stats anchored at the current time; Finish stamps
+// the total wall duration.
+func NewStats(workers int) *Stats {
+	return &Stats{Workers: workers, start: time.Now()}
+}
+
+// AddStage appends a caller-defined stage.
+func (st *Stats) AddStage(name string, items uint64, wall time.Duration) {
+	st.Stages = append(st.Stages, Stage{Name: name, Items: items, Wall: wall})
+}
+
+// Finish stamps the total wall time.
+func (st *Stats) Finish() { st.Wall = time.Since(st.start) }
+
+// Items returns the total item count across shards.
+func (st *Stats) Items() uint64 {
+	var n uint64
+	for _, v := range st.ShardItems {
+		n += v
+	}
+	return n
+}
+
+// StageNamed returns the stage with the given name, or a zero Stage.
+func (st *Stats) StageNamed(name string) Stage {
+	for _, s := range st.Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	return Stage{}
+}
+
+// Throughput returns overall items per second over the total wall time.
+func (st *Stats) Throughput() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.Items()) / st.Wall.Seconds()
+}
+
+// String renders a small per-stage table.
+func (st *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: %d workers, %d items, %v wall (%.0f items/s)\n",
+		st.Workers, st.Items(), st.Wall.Round(time.Millisecond), st.Throughput())
+	for _, s := range st.Stages {
+		fmt.Fprintf(&b, "  %-10s %12d items  %10v  %12.0f items/s\n",
+			s.Name, s.Items, s.Wall.Round(time.Microsecond), s.PerSecond())
+	}
+	var busiest time.Duration
+	for _, d := range st.ShardBusy {
+		if d > busiest {
+			busiest = d
+		}
+	}
+	if len(st.ShardBusy) > 1 {
+		fmt.Fprintf(&b, "  busiest shard %v of %d shards\n", busiest.Round(time.Microsecond), len(st.ShardBusy))
+	}
+	return b.String()
+}
+
+// Run executes the sharded pipeline: feeds[i] is drained on shard i's
+// worker goroutine, each item passed to process(i, item). Process
+// returns whether the item is forwarded to the tap. With a single feed
+// everything runs inline on the calling goroutine; otherwise the tap
+// merge runs on the calling goroutine concurrently with the workers,
+// and bounded per-shard queues provide backpressure.
+//
+// Process is called from at most one goroutine per shard index, so
+// per-shard state needs no locking; it must not touch other shards'
+// state. Run returns once every feed is drained and the tap has seen
+// every kept item.
+func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) bool, tap *Tap[T]) *Stats {
+	n := len(feeds)
+	st := NewStats(n)
+	st.ShardItems = make([]uint64, n)
+	st.ShardBusy = make([]time.Duration, n)
+	t0 := time.Now()
+
+	if n == 1 {
+		// Sequential path: no goroutines, no channels.
+		var tapped uint64
+		feeds[0](func(item T) {
+			st.ShardItems[0]++
+			if process(0, item) && tap != nil {
+				tapped++
+				tap.Sink(item)
+			}
+		})
+		st.ShardBusy[0] = time.Since(t0)
+		st.AddStage("analyze", st.ShardItems[0], st.ShardBusy[0])
+		if tap != nil {
+			st.AddStage("tap", tapped, st.ShardBusy[0])
+		}
+		st.Finish()
+		return st
+	}
+
+	batch := cfg.batchSize()
+	var tapChans []chan []T
+	if tap != nil {
+		tapChans = make([]chan []T, n)
+		for i := range tapChans {
+			tapChans[i] = make(chan []T, cfg.tapDepth())
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			var buf []T
+			feeds[i](func(item T) {
+				st.ShardItems[i]++
+				keep := process(i, item)
+				if tapChans != nil && keep {
+					buf = append(buf, item)
+					if len(buf) >= batch {
+						tapChans[i] <- buf
+						buf = nil
+					}
+				}
+			})
+			if tapChans != nil {
+				if len(buf) > 0 {
+					tapChans[i] <- buf
+				}
+				close(tapChans[i])
+			}
+			st.ShardBusy[i] = time.Since(start)
+		}(i)
+	}
+
+	var tapped uint64
+	if tap != nil {
+		tapped = mergeTap(tapChans, tap)
+	}
+	wg.Wait()
+
+	wall := time.Since(t0)
+	st.AddStage("analyze", st.Items(), wall)
+	if tap != nil {
+		st.AddStage("tap", tapped, wall)
+	}
+	st.Finish()
+	return st
+}
+
+// mergeTap performs the streaming k-way merge of the per-shard tap
+// streams. Each stream arrives batched and already ordered by
+// tap.Less; the merge repeatedly emits the least head, refilling a
+// stream's batch (blocking, which backpressures nothing — the channel
+// already holds data or the shard is ahead) as it drains. Memory is
+// bounded by shards × batch items.
+func mergeTap[T any](chans []chan []T, tap *Tap[T]) uint64 {
+	n := len(chans)
+	heads := make([][]T, n) // current batch per shard; nil when closed
+	pos := make([]int, n)
+	live := 0
+	for i, ch := range chans {
+		if b, ok := <-ch; ok {
+			heads[i] = b
+			live++
+		}
+	}
+	var emitted uint64
+	for live > 0 {
+		min := -1
+		for i := 0; i < n; i++ {
+			if heads[i] == nil {
+				continue
+			}
+			if min < 0 || tap.Less(heads[i][pos[i]], heads[min][pos[min]]) {
+				min = i
+			}
+		}
+		tap.Sink(heads[min][pos[min]])
+		emitted++
+		pos[min]++
+		if pos[min] == len(heads[min]) {
+			pos[min] = 0
+			if b, ok := <-chans[min]; ok {
+				heads[min] = b
+			} else {
+				heads[min] = nil
+				live--
+			}
+		}
+	}
+	return emitted
+}

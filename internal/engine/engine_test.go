@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// feedOf replays a fixed int slice.
+func feedOf(items ...int) Feed[int] {
+	return func(emit func(int)) {
+		for _, v := range items {
+			emit(v)
+		}
+	}
+}
+
+func TestRunInlineSequential(t *testing.T) {
+	var got []int
+	st := Run(Config{}, []Feed[int]{feedOf(3, 1, 4, 1, 5)},
+		func(shard int, v int) bool {
+			if shard != 0 {
+				t.Fatalf("shard %d on single-feed run", shard)
+			}
+			got = append(got, v)
+			return true
+		}, nil)
+	if len(got) != 5 || st.Items() != 5 || st.Workers != 1 {
+		t.Fatalf("got %v items=%d workers=%d", got, st.Items(), st.Workers)
+	}
+	if st.StageNamed("analyze").Items != 5 {
+		t.Fatalf("analyze stage = %+v", st.StageNamed("analyze"))
+	}
+}
+
+func TestRunShardIsolation(t *testing.T) {
+	const shards = 4
+	feeds := make([]Feed[int], shards)
+	for i := range feeds {
+		i := i
+		feeds[i] = func(emit func(int)) {
+			for j := 0; j < 1000; j++ {
+				emit(i) // each feed emits its own shard index
+			}
+		}
+	}
+	var wrong atomic.Int64
+	st := Run(Config{Workers: shards}, feeds, func(shard int, v int) bool {
+		if v != shard {
+			wrong.Add(1)
+		}
+		return false
+	}, nil)
+	if wrong.Load() != 0 {
+		t.Fatalf("%d items processed on the wrong shard", wrong.Load())
+	}
+	if st.Items() != shards*1000 {
+		t.Fatalf("items = %d", st.Items())
+	}
+	for i, n := range st.ShardItems {
+		if n != 1000 {
+			t.Fatalf("shard %d processed %d items", i, n)
+		}
+	}
+}
+
+// TestTapMergeOrder checks the k-way tap merge restores the canonical
+// global order from per-shard sorted streams, for several worker
+// counts and batch sizes (forcing batch boundaries mid-stream).
+func TestTapMergeOrder(t *testing.T) {
+	// Items 0..9999 dealt round-robin-ish to shards by modulo; each
+	// shard stream is increasing, the merged stream must be 0..9999.
+	const total = 10000
+	for _, cfg := range []Config{
+		{Workers: 2},
+		{Workers: 3, BatchSize: 7},
+		{Workers: 8, BatchSize: 1, TapDepth: 1},
+	} {
+		feeds := make([]Feed[int], cfg.Workers)
+		for i := range feeds {
+			i := i
+			feeds[i] = func(emit func(int)) {
+				for v := i; v < total; v += cfg.Workers {
+					emit(v)
+				}
+			}
+		}
+		var merged []int
+		st := Run(cfg, feeds,
+			func(shard, v int) bool { return v%3 != 0 }, // tap a subset
+			&Tap[int]{
+				Less: func(a, b int) bool { return a < b },
+				Sink: func(v int) { merged = append(merged, v) },
+			})
+		if !sort.IntsAreSorted(merged) {
+			t.Fatalf("cfg %+v: merged stream out of order", cfg)
+		}
+		want := 0
+		for v := 0; v < total; v++ {
+			if v%3 != 0 {
+				want++
+			}
+		}
+		if len(merged) != want {
+			t.Fatalf("cfg %+v: merged %d items, want %d", cfg, len(merged), want)
+		}
+		if st.StageNamed("tap").Items != uint64(want) {
+			t.Fatalf("tap stage = %+v", st.StageNamed("tap"))
+		}
+	}
+}
+
+// TestTapEqualsSequential is the engine-level determinism property:
+// the tapped stream for any worker count equals the 1-worker stream,
+// provided equal-comparing items share a shard.
+func TestTapEqualsSequential(t *testing.T) {
+	type item struct{ ts, src int }
+	// Build per-src streams with colliding timestamps (same src only).
+	streams := map[int][]item{}
+	for src := 0; src < 13; src++ {
+		ts := src % 3
+		for j := 0; j < 50; j++ {
+			streams[src] = append(streams[src], item{ts: ts, src: src})
+			if j%4 != 0 {
+				ts += j % 5 // repeated timestamps within a src
+			}
+		}
+	}
+	less := func(a, b item) bool {
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.src < b.src
+	}
+	render := func(workers int) string {
+		// Partition srcs over shards, k-way merge within each shard
+		// (stable for equal keys) to mimic the ibr shard mergers.
+		groups := make([][]item, workers)
+		for src := 0; src < 13; src++ {
+			g := src % workers
+			merged := append(groups[g], streams[src]...)
+			sort.SliceStable(merged, func(i, j int) bool { return less(merged[i], merged[j]) })
+			groups[g] = merged
+		}
+		feeds := make([]Feed[item], workers)
+		for i := range feeds {
+			i := i
+			feeds[i] = func(emit func(item)) {
+				for _, v := range groups[i] {
+					emit(v)
+				}
+			}
+		}
+		var b strings.Builder
+		Run(Config{Workers: workers, BatchSize: 3}, feeds,
+			func(int, item) bool { return true },
+			&Tap[item]{Less: less, Sink: func(v item) { fmt.Fprintf(&b, "%d/%d ", v.ts, v.src) }})
+		return b.String()
+	}
+	want := render(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := render(w); got != want {
+			t.Fatalf("workers=%d tap stream diverged", w)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := NewStats(2)
+	st.ShardItems = []uint64{5, 7}
+	st.AddStage("analyze", 12, 1000)
+	st.Finish()
+	out := st.String()
+	for _, want := range []string{"2 workers", "12 items", "analyze"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats string missing %q:\n%s", want, out)
+		}
+	}
+	if st.Items() != 12 {
+		t.Errorf("items = %d", st.Items())
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := (Config{Workers: 3}).ResolveWorkers(); got != 3 {
+		t.Errorf("explicit workers = %d", got)
+	}
+	if got := (Config{}).ResolveWorkers(); got < 1 {
+		t.Errorf("default workers = %d", got)
+	}
+	if got := (Config{Workers: -2}).ResolveWorkers(); got != 1 {
+		t.Errorf("negative workers = %d", got)
+	}
+}

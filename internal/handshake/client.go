@@ -171,7 +171,7 @@ func (c *Client) AppSecrets() (client, server []byte) { return c.clientApp, c.se
 // Start produces the client's first flight: one Initial datagram
 // padded to 1200 bytes.
 func (c *Client) Start() ([]byte, error) {
-	priv, err := ecdh.X25519().GenerateKey(c.cfg.Rand)
+	priv, err := x25519Key(c.cfg.Rand)
 	if err != nil {
 		return nil, err
 	}

@@ -292,7 +292,7 @@ func (s *ServerConn) processClientHello(m tlsmini.Message) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	priv, err := ecdh.X25519().GenerateKey(s.cfg.Rand)
+	priv, err := x25519Key(s.cfg.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +331,7 @@ func (s *ServerConn) processClientHello(m tlsmini.Message) ([][]byte, error) {
 	s.ks.WriteTranscript(ee)
 	certMsg := (&tlsmini.Certificate{Chain: [][]byte{s.cfg.Identity.CertDER}}).Marshal()
 	s.ks.WriteTranscript(certMsg)
-	sig, err := tlsmini.SignTranscript(s.cfg.Identity.Key, s.ks.TranscriptHash())
+	sig, err := tlsmini.SignTranscript(s.cfg.Rand, s.cfg.Identity.Key, s.ks.TranscriptHash())
 	if err != nil {
 		return nil, err
 	}
@@ -430,4 +430,16 @@ func (s *ServerConn) KeepAlivePings(n int) ([][]byte, error) {
 	}
 	s.DatagramsSent += len(out)
 	return out, nil
+}
+
+// x25519Key draws a key deterministically from r: GenerateKey may
+// consume a coin-flip extra byte (randutil.MaybeReadByte), which would
+// shift a seeded reader's stream between runs, so the 32-byte scalar
+// is read explicitly.
+func x25519Key(r io.Reader) (*ecdh.PrivateKey, error) {
+	var scalar [32]byte
+	if _, err := io.ReadFull(r, scalar[:]); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(scalar[:])
 }

@@ -51,6 +51,8 @@ func newResearchScan(rng *netmodel.RNG, src netmodel.Addr, startSec float64, dur
 
 func (r *researchScan) StartTime() telescope.Timestamp { return r.start }
 
+func (r *researchScan) Src() netmodel.Addr { return r.src }
+
 func (r *researchScan) Next() (*telescope.Packet, bool) {
 	if r.i >= r.emit {
 		return nil, false
@@ -188,6 +190,10 @@ func (f *floodSpec) build() []*telescope.Packet {
 		ports[i] = uint16(1024 + f.rng.Intn(64000))
 	}
 	scidCache := make(map[uint32][]byte)
+	// scidPool lists created contexts in creation order so pooled
+	// reuse draws deterministically (map iteration order would leak
+	// scheduler state into the SCID histogram).
+	var scidPool [][]byte
 
 	out := make([]*telescope.Packet, 0, n)
 	for _, at := range times {
@@ -201,17 +207,13 @@ func (f *floodSpec) build() []*telescope.Packet {
 			tupleKey := uint32(dst)<<16 ^ uint32(dport)
 			scid := scidCache[tupleKey]
 			if scid == nil {
-				scid = make([]byte, scidLen)
-				if f.rng.Float64() < f.scidRatio {
-					f.rng.Bytes(scid) // fresh per-tuple context
-				} else if len(scidCache) > 0 {
+				if f.rng.Float64() >= f.scidRatio && len(scidPool) > 0 {
 					// Reuse an existing context (mvfst-style pooling).
-					for _, v := range scidCache {
-						scid = v
-						break
-					}
+					scid = scidPool[f.rng.Intn(len(scidPool))]
 				} else {
+					scid = make([]byte, scidLen) // fresh per-tuple context
 					f.rng.Bytes(scid)
+					scidPool = append(scidPool, scid)
 				}
 				scidCache[tupleKey] = scid
 			}

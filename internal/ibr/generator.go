@@ -91,8 +91,12 @@ func New(cfg Config) (*Generator, error) {
 		cfg.Internet = netmodel.BuildInternet()
 	}
 	root := netmodel.NewRNG(cfg.Seed)
+	// Fork unconditionally: the census stream must be consumed from
+	// root whether or not a prebuilt census is supplied, or every
+	// downstream fork (and with it the whole month) would shift.
+	censusRNG := root.Fork("census")
 	if cfg.Census == nil {
-		cfg.Census = activescan.Build(cfg.Internet, root.Fork("census"), activescan.Config{})
+		cfg.Census = activescan.Build(cfg.Internet, censusRNG, activescan.Config{})
 	}
 	if cfg.Identity == nil {
 		id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
@@ -127,6 +131,20 @@ func (g *Generator) Run(sink func(*telescope.Packet)) *GroundTruth {
 
 // Sources exposes the scheduled sources (for custom mergers).
 func (g *Generator) Sources() []Source { return g.sources }
+
+// Feeds partitions the scheduled month into n canonically ordered
+// per-shard streams keyed by source address — the sharded pipeline's
+// input. Each merger materializes, merges, and streams only its own
+// shard's sources, so generation itself parallelizes across the
+// engine's workers; Feeds(1) yields the sequential stream Run drains.
+func (g *Generator) Feeds(n int) []*Merger {
+	groups := Partition(g.sources, n)
+	feeds := make([]*Merger, n)
+	for i := range feeds {
+		feeds[i] = NewMerger(groups[i]...)
+	}
+	return feeds
+}
 
 func (g *Generator) scaled(n float64) int {
 	v := int(math.Round(n * g.cfg.Scale))
@@ -231,7 +249,7 @@ func (g *Generator) scheduleBots(rng *netmodel.RNG) {
 			// default; it exercises the dissector's ClientHello path.
 			withload: true,
 		}
-		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), bot.build))
+		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, bot.build))
 		g.Truth.BotAddrs = append(g.Truth.BotAddrs, src)
 		if rng.Float64() < 0.023 {
 			tag := "Mirai"
@@ -408,7 +426,7 @@ func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []quicAttackPlan {
 			nAddrs: nAddrs, nPorts: nPorts, scidRatio: scidRatio,
 			rng: rng.Fork(fmt.Sprintf("qattack/%d", i)), tpl: g.tpl,
 		}
-		g.sources = append(g.sources, newLazySource(tsAt(start), spec.build))
+		g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
 		plans = append(plans, quicAttackPlan{victim: victim, startSec: start, durSec: dur})
 	}
 	g.Truth.QUICAttacks = nAttacks
@@ -470,7 +488,7 @@ func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicPlans []quicAtt
 			nAddrs: nAddrs, nPorts: 1 + rng.Intn(64),
 			rng: rng.Fork(fmt.Sprintf("cattack/%d", idx)), tpl: g.tpl,
 		}
-		g.sources = append(g.sources, newLazySource(tsAt(start), spec.build))
+		g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
 		g.Truth.CommonAttacks++
 	}
 
@@ -618,7 +636,7 @@ func (g *Generator) scheduleMisconfig(rng *netmodel.RNG) {
 			src: src, version: version, visits: visits,
 			rng: rng.Fork(fmt.Sprintf("misconf/%d", i)), tpl: g.tpl,
 		}
-		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), spec.build))
+		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, spec.build))
 		g.Truth.MisconfSources++
 	}
 }

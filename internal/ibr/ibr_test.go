@@ -36,7 +36,7 @@ func TestMergerOrdersAcrossSources(t *testing.T) {
 		for _, at := range times {
 			pkts = append(pkts, &telescope.Packet{TS: telescope.Timestamp(at)})
 		}
-		return newSliceSource(telescope.Timestamp(times[0]), pkts)
+		return newSliceSource(telescope.Timestamp(times[0]), 0, pkts)
 	}
 	m := NewMerger(mk(5, 10, 30), mk(1, 20), mk(15))
 	var got []int64
@@ -55,7 +55,7 @@ func TestMergerOrdersAcrossSources(t *testing.T) {
 func TestMergerLazyActivation(t *testing.T) {
 	built := 0
 	mkLazy := func(start int64) Source {
-		return newLazySource(telescope.Timestamp(start), func() []*telescope.Packet {
+		return newLazySource(telescope.Timestamp(start), 0, func() []*telescope.Packet {
 			built++
 			return []*telescope.Packet{{TS: telescope.Timestamp(start)}, {TS: telescope.Timestamp(start + 5)}}
 		})
@@ -79,8 +79,8 @@ func TestMergerLazyActivation(t *testing.T) {
 }
 
 func TestMergerAddAndEmptySources(t *testing.T) {
-	m := NewMerger(newSliceSource(0, nil)) // empty source
-	m.Add(newSliceSource(7, []*telescope.Packet{{TS: 7}}))
+	m := NewMerger(newSliceSource(0, 0, nil)) // empty source
+	m.Add(newSliceSource(7, 0, []*telescope.Packet{{TS: 7}}))
 	p := m.Next()
 	if p == nil || p.TS != 7 {
 		t.Fatalf("got %+v", p)

@@ -11,15 +11,20 @@ package ibr
 import (
 	"container/heap"
 
+	"quicsand/internal/netmodel"
 	"quicsand/internal/telescope"
 )
 
-// Source produces packets in non-decreasing time order.
+// Source produces packets in non-decreasing time order. Every source
+// models one emitting host, so all its packets share one source
+// address — the invariant the sharded pipeline partitions on.
 type Source interface {
 	// StartTime returns a lower bound on the first packet's timestamp,
 	// known before any Next call. The merger uses it to activate
 	// sources lazily; activation re-keys on the true first timestamp.
 	StartTime() telescope.Timestamp
+	// Src returns the single source address all packets carry.
+	Src() netmodel.Addr
 	// Next returns successive packets in non-decreasing time order;
 	// ok=false when exhausted.
 	Next() (*telescope.Packet, bool)
@@ -28,15 +33,32 @@ type Source interface {
 // mergeEntry is a heap element: either a not-yet-activated source
 // (keyed by StartTime) or an active one (keyed by its buffered packet).
 type mergeEntry struct {
-	at  telescope.Timestamp
-	pkt *telescope.Packet // nil until activated
-	src Source
+	at     telescope.Timestamp
+	src    netmodel.Addr
+	id     int               // schedule-order index: the canonical tie-break
+	pkt    *telescope.Packet // nil until activated
+	source Source
 }
 
 type mergeHeap []*mergeEntry
 
-func (h mergeHeap) Len() int            { return len(h) }
-func (h mergeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h mergeHeap) Len() int { return len(h) }
+
+// Less orders by (timestamp, source address, schedule index) — a
+// strict total order over live entries. The address component makes
+// the order reconstructible across shard counts: packets of one
+// address always share a shard, so a cross-shard merge keyed on
+// (timestamp, address) with per-shard stability reproduces exactly
+// this sequence (see DESIGN.md §8).
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].src != h[j].src {
+		return h[i].src < h[j].src
+	}
+	return h[i].id < h[j].id
+}
 func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeEntry)) }
 func (h *mergeHeap) Pop() interface{} {
@@ -48,18 +70,22 @@ func (h *mergeHeap) Pop() interface{} {
 	return e
 }
 
-// Merger interleaves many sources into one time-ordered stream while
-// materializing each source's state only once its first packet is due,
-// keeping memory proportional to concurrently active events.
+// Merger interleaves many sources into one canonically ordered stream
+// while materializing each source's state only once its first packet
+// is due, keeping memory proportional to concurrently active events.
 type Merger struct {
-	h mergeHeap
+	h      mergeHeap
+	nextID int
 }
 
-// NewMerger builds a merger over the sources.
+// NewMerger builds a merger over the sources. Source order fixes the
+// canonical tie-break, so build shard mergers from schedule-ordered
+// subsets.
 func NewMerger(sources ...Source) *Merger {
 	m := &Merger{h: make(mergeHeap, 0, len(sources))}
 	for _, s := range sources {
-		m.h = append(m.h, &mergeEntry{at: s.StartTime(), src: s})
+		m.h = append(m.h, &mergeEntry{at: s.StartTime(), src: s.Src(), id: m.nextID, source: s})
+		m.nextID++
 	}
 	heap.Init(&m.h)
 	return m
@@ -67,7 +93,8 @@ func NewMerger(sources ...Source) *Merger {
 
 // Add registers another source.
 func (m *Merger) Add(s Source) {
-	heap.Push(&m.h, &mergeEntry{at: s.StartTime(), src: s})
+	heap.Push(&m.h, &mergeEntry{at: s.StartTime(), src: s.Src(), id: m.nextID, source: s})
+	m.nextID++
 }
 
 // Next returns the globally next packet, or nil at end of stream.
@@ -76,7 +103,7 @@ func (m *Merger) Next() *telescope.Packet {
 		e := m.h[0]
 		if e.pkt == nil {
 			// Activate: pull the first packet.
-			pkt, ok := e.src.Next()
+			pkt, ok := e.source.Next()
 			if !ok {
 				heap.Pop(&m.h)
 				continue
@@ -87,7 +114,7 @@ func (m *Merger) Next() *telescope.Packet {
 			continue
 		}
 		out := e.pkt
-		if nxt, ok := e.src.Next(); ok {
+		if nxt, ok := e.source.Next(); ok {
 			e.pkt = nxt
 			e.at = nxt.TS
 			heap.Fix(&m.h, 0)
@@ -110,20 +137,43 @@ func (m *Merger) Run(sink func(*telescope.Packet)) {
 	}
 }
 
+// ShardOf maps a source address onto one of n shards with a
+// multiplicative hash; adjacent addresses (one subnet's hosts) spread
+// across shards instead of clustering.
+func ShardOf(a netmodel.Addr, n int) int {
+	return int((uint64(a) * 0x9e3779b97f4a7c15 >> 33) % uint64(n))
+}
+
+// Partition splits schedule-ordered sources into n groups by source
+// address, preserving schedule order within each group. All packets of
+// one address land in one group, so per-group merged streams keep
+// every per-source gap and session boundary intact.
+func Partition(sources []Source, n int) [][]Source {
+	groups := make([][]Source, n)
+	for _, s := range sources {
+		k := ShardOf(s.Src(), n)
+		groups[k] = append(groups[k], s)
+	}
+	return groups
+}
+
 // sliceSource replays a pre-built, time-sorted packet slice. Event
 // generators that materialize lazily wrap themselves in one once
 // activated.
 type sliceSource struct {
 	start telescope.Timestamp
+	src   netmodel.Addr
 	pkts  []*telescope.Packet
 	i     int
 }
 
-func newSliceSource(start telescope.Timestamp, pkts []*telescope.Packet) *sliceSource {
-	return &sliceSource{start: start, pkts: pkts}
+func newSliceSource(start telescope.Timestamp, src netmodel.Addr, pkts []*telescope.Packet) *sliceSource {
+	return &sliceSource{start: start, src: src, pkts: pkts}
 }
 
 func (s *sliceSource) StartTime() telescope.Timestamp { return s.start }
+
+func (s *sliceSource) Src() netmodel.Addr { return s.src }
 
 func (s *sliceSource) Next() (*telescope.Packet, bool) {
 	if s.i >= len(s.pkts) {
@@ -138,19 +188,22 @@ func (s *sliceSource) Next() (*telescope.Packet, bool) {
 // (first Next call), bounding peak memory to concurrently live events.
 type lazySource struct {
 	start telescope.Timestamp
+	src   netmodel.Addr
 	build func() []*telescope.Packet
 	inner *sliceSource
 }
 
-func newLazySource(start telescope.Timestamp, build func() []*telescope.Packet) *lazySource {
-	return &lazySource{start: start, build: build}
+func newLazySource(start telescope.Timestamp, src netmodel.Addr, build func() []*telescope.Packet) *lazySource {
+	return &lazySource{start: start, src: src, build: build}
 }
 
 func (s *lazySource) StartTime() telescope.Timestamp { return s.start }
 
+func (s *lazySource) Src() netmodel.Addr { return s.src }
+
 func (s *lazySource) Next() (*telescope.Packet, bool) {
 	if s.inner == nil {
-		s.inner = newSliceSource(s.start, s.build())
+		s.inner = newSliceSource(s.start, s.src, s.build())
 		s.build = nil
 	}
 	return s.inner.Next()

@@ -2,6 +2,7 @@ package ibr
 
 import (
 	"fmt"
+	"sync"
 
 	"quicsand/internal/handshake"
 	"quicsand/internal/netmodel"
@@ -46,15 +47,33 @@ const scidLen = 8
 
 // BuildTemplates runs one handshake per version and captures the
 // flight bytes. rng drives all entropy, keeping templates
-// deterministic per seed.
+// deterministic per seed: the per-version RNGs are forked up front in
+// a fixed order, so the four handshakes can run concurrently without
+// perturbing any draw.
 func BuildTemplates(rng *netmodel.RNG, identity *tlsmini.Identity) (*Templates, error) {
+	versions := []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27}
+	rngs := make([]*netmodel.RNG, len(versions))
+	for i, v := range versions {
+		rngs[i] = rng.Fork("templates/" + v.String())
+	}
+	vts := make([]*versionTemplates, len(versions))
+	errs := make([]error, len(versions))
+	var wg sync.WaitGroup
+	wg.Add(len(versions))
+	for i := range versions {
+		go func(i int) {
+			defer wg.Done()
+			vts[i], errs[i] = buildVersionTemplates(rngs[i], identity, versions[i])
+		}(i)
+	}
+	wg.Wait()
+
 	t := &Templates{perVersion: make(map[wire.Version]*versionTemplates)}
-	for _, v := range []wire.Version{wire.Version1, wire.VersionDraft29, wire.VersionDraft27, wire.VersionMVFST27} {
-		vt, err := buildVersionTemplates(rng.Fork("templates/"+v.String()), identity, v)
-		if err != nil {
-			return nil, fmt.Errorf("ibr: templates for %v: %w", v, err)
+	for i, v := range versions {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("ibr: templates for %v: %w", v, errs[i])
 		}
-		t.perVersion[v] = vt
+		t.perVersion[v] = vts[i]
 	}
 	return t, nil
 }

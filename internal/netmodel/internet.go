@@ -98,6 +98,11 @@ func BuildInternet() *Internet {
 	add(64502, "IXPFabric", TypeOther, "DE", "80.81.192.0/21")
 	add(64503, "MeasurementCo", TypeOther, "SE", "89.128.0.0/17")
 
+	// Sort the prefix table now: the built Internet is shared
+	// read-only across pipeline shards, and a lazy first-Lookup sort
+	// would race once concurrent workers hit it.
+	reg.ensureSorted()
+
 	inet := &Internet{
 		Registry:     reg,
 		ResearchASNs: []uint32{ASNTUM, ASNRWTH},

@@ -151,32 +151,48 @@ func NewOpener(trafficSecret []byte) (*Opener, error) {
 // Open removes header and packet protection. pkt must span exactly one
 // QUIC packet; pnOffset is the offset of the (protected) packet number.
 // It returns the decrypted payload (freshly allocated) and the full
-// packet number. pkt is left in its original wire form regardless of
-// outcome, so callers may retry with different keys or dissect shared
-// buffers repeatedly.
+// packet number. Open never writes to pkt — the unprotected header is
+// reconstructed in a scratch buffer — so callers may retry with
+// different keys and concurrent dissectors may share one wire buffer
+// (flood backscatter and scan packets alias per-version templates).
 func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err error) {
 	sampleOff := pnOffset + 4
 	if sampleOff+sampleLen > len(pkt) {
 		return nil, 0, ErrShortPacket
 	}
 	mask := o.k.headerMask(pkt[sampleOff : sampleOff+sampleLen])
-	if pkt[0]&0x80 != 0 {
-		pkt[0] ^= mask[0] & 0x0f
+	first := pkt[0]
+	if first&0x80 != 0 {
+		first ^= mask[0] & 0x0f
 	} else {
-		pkt[0] ^= mask[0] & 0x1f
+		first ^= mask[0] & 0x1f
 	}
-	pnLen := int(pkt[0]&0x03) + 1
+	pnLen := int(first&0x03) + 1
 	if pnOffset+pnLen > len(pkt) {
 		return nil, 0, ErrShortPacket
 	}
 	var truncated uint64
 	for i := 0; i < pnLen; i++ {
-		pkt[pnOffset+i] ^= mask[1+i]
-		truncated = truncated<<8 | uint64(pkt[pnOffset+i])
+		truncated = truncated<<8 | uint64(pkt[pnOffset+i]^mask[1+i])
 	}
 	pn = wire.DecodePacketNumber(o.largestPN, truncated, pnLen)
 
-	header := pkt[:pnOffset+pnLen]
+	// The AEAD's associated data is the unprotected header; build it
+	// beside the untouched wire bytes. Long headers stay well under the
+	// stack buffer even with CIDs and a token length.
+	var hdrArr [64]byte
+	var header []byte
+	if pnOffset+pnLen <= len(hdrArr) {
+		header = hdrArr[:pnOffset+pnLen]
+	} else {
+		header = make([]byte, pnOffset+pnLen)
+	}
+	copy(header, pkt[:pnOffset+pnLen])
+	header[0] = first
+	for i := 0; i < pnLen; i++ {
+		header[pnOffset+i] ^= mask[1+i]
+	}
+
 	ciphertext := pkt[pnOffset+pnLen:]
 	if len(ciphertext) < aeadTagLen {
 		return nil, 0, ErrShortPacket
@@ -184,18 +200,6 @@ func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err 
 	// Decrypt into a fresh buffer: GCM zeroes dst on authentication
 	// failure, which would clobber the ciphertext for retries.
 	payload, err = o.k.aead.Open(nil, o.k.nonce(pn), ciphertext, header)
-
-	// Restore the protected header in either case: callers may retry
-	// with other keys or dissect the same (possibly shared) buffer
-	// again.
-	for i := pnLen - 1; i >= 0; i-- {
-		pkt[pnOffset+i] ^= mask[1+i]
-	}
-	if pkt[0]&0x80 != 0 {
-		pkt[0] ^= mask[0] & 0x0f
-	} else {
-		pkt[0] ^= mask[0] & 0x1f
-	}
 
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrDecryptFailed, err)

@@ -7,6 +7,7 @@ package sessions
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"quicsand/internal/dissect"
@@ -137,6 +138,11 @@ type Sessionizer struct {
 	// GapRecorder, when set, receives every intra-source gap — the
 	// Figure 4 sweep consumes these.
 	GapRecorder func(gap time.Duration)
+	// lastSeen persists each source's previous packet time past lazy
+	// session eviction, so gap recording is a pure per-source property
+	// of the stream: every inter-packet gap is recorded exactly once,
+	// whatever the sweep cadence (which varies with shard count).
+	lastSeen map[netmodel.Addr]telescope.Timestamp
 
 	// Count of emitted sessions.
 	Emitted int
@@ -152,13 +158,19 @@ func NewSessionizer(emit func(*Session)) *Sessionizer {
 func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 	timeoutMS := telescope.Timestamp(sz.Timeout.Milliseconds())
 
+	if sz.GapRecorder != nil {
+		if sz.lastSeen == nil {
+			sz.lastSeen = make(map[netmodel.Addr]telescope.Timestamp)
+		}
+		if last, ok := sz.lastSeen[p.Src]; ok && p.TS > last {
+			sz.GapRecorder(time.Duration(p.TS-last) * time.Millisecond)
+		}
+		sz.lastSeen[p.Src] = p.TS
+	}
+
 	s := sz.active[p.Src]
 	if s != nil {
-		gap := p.TS - s.End
-		if sz.GapRecorder != nil && gap > 0 {
-			sz.GapRecorder(time.Duration(gap) * time.Millisecond)
-		}
-		if gap > timeoutMS {
+		if gap := p.TS - s.End; gap > timeoutMS {
 			sz.finish(s)
 			delete(sz.active, p.Src)
 			s = nil
@@ -295,3 +307,36 @@ func (t *TimeoutSweep) Sessions(m int) uint64 {
 
 // LowerBound returns the timeout=∞ floor: distinct source count.
 func (t *TimeoutSweep) LowerBound() uint64 { return uint64(len(t.Sources)) }
+
+// Merge folds another sweep's gap histogram and source set into t.
+// Both operations (bin addition, set union) commute, so shard sweeps
+// merge to exactly the sequential sweep.
+func (t *TimeoutSweep) Merge(o *TimeoutSweep) {
+	for i, n := range o.gapMinutes {
+		t.gapMinutes[i] += n
+	}
+	t.over60 += o.over60
+	for a := range o.Sources {
+		t.Sources[a] = struct{}{}
+	}
+}
+
+// SortCanonical orders sessions by (start, source address, end). The
+// first two alone are unique — one source's sessions are separated by
+// more than the timeout, so a source never starts two sessions at the
+// same instant. Sessionizers emit in expiry order, which varies with
+// sweep timing and shard count; the canonical order is what the
+// deterministic pipeline reduction and every downstream analysis
+// consume.
+func SortCanonical(list []*Session) {
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.End < b.End
+	})
+}

@@ -42,9 +42,14 @@ func (t *Telescope) Attach(s Sink) { t.sinks = append(t.sinks, s) }
 // Capture ingests one packet if it falls inside the telescope.
 // Packets outside the prefix are silently dropped, mirroring the fact
 // that a darknet never sees them.
-func (t *Telescope) Capture(p *Packet) {
+func (t *Telescope) Capture(p *Packet) { t.Offer(p) }
+
+// Offer ingests like Capture and reports whether the packet fell
+// inside the telescope — the predicate the pipeline's trace tap keys
+// on.
+func (t *Telescope) Offer(p *Packet) bool {
 	if !t.Prefix.Contains(p.Dst) {
-		return
+		return false
 	}
 	t.Total++
 	if t.FirstSeen == 0 || p.TS < t.FirstSeen {
@@ -61,6 +66,23 @@ func (t *Telescope) Capture(p *Packet) {
 	}
 	for _, s := range t.sinks {
 		s.Capture(p)
+	}
+	return true
+}
+
+// Merge folds another telescope's counters into t: sums for the
+// volume counters, min/max for the observation window. Counter merging
+// is commutative, so shard order never shows in the result.
+func (t *Telescope) Merge(o *Telescope) {
+	t.Total += o.Total
+	t.UDP443 += o.UDP443
+	t.NonQUIC += o.NonQUIC
+	t.TCPICMP += o.TCPICMP
+	if o.FirstSeen != 0 && (t.FirstSeen == 0 || o.FirstSeen < t.FirstSeen) {
+		t.FirstSeen = o.FirstSeen
+	}
+	if o.LastSeen > t.LastSeen {
+		t.LastSeen = o.LastSeen
 	}
 }
 
@@ -94,6 +116,22 @@ func (h *HourlyCounter) Capture(p *Packet) {
 		h.Series[label] = s
 	}
 	s[hour] += p.EffectiveWeight()
+}
+
+// Merge adds another counter's series into h, element-wise. Addition
+// commutes, so merging shard counters in any order gives the same
+// histogram as sequential counting.
+func (h *HourlyCounter) Merge(o *HourlyCounter) {
+	for label, src := range o.Series {
+		dst := h.Series[label]
+		if dst == nil {
+			dst = make([]uint64, HoursInMeasurement)
+			h.Series[label] = dst
+		}
+		for i, v := range src {
+			dst[i] += v
+		}
+	}
 }
 
 // TotalOf sums a series.

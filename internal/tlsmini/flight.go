@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"crypto/x509"
 	"crypto/x509/pkix"
+	"io"
 	"math/big"
 	"time"
 )
@@ -163,11 +164,41 @@ var signaturePrefix = append(append(make([]byte, 0, 98),
 	[]byte("TLS 1.3, server CertificateVerify\x00")...)
 
 // SignTranscript produces an ECDSA-P256 CertificateVerify signature
-// over the given transcript hash.
-func SignTranscript(key *ecdsa.PrivateKey, transcriptHash []byte) ([]byte, error) {
+// over the given transcript hash. entropy supplies the signing nonce
+// (nil = crypto/rand); simulations pass a seeded reader so template
+// bytes reproduce per seed.
+//
+// With seeded entropy the signature must not depend on how many bytes
+// the signer happens to read: crypto/ecdsa consumes a genuinely random
+// extra byte from its reader about half the time (randutil's
+// MaybeReadByte), which would shift a stream reader. One draw from
+// entropy is therefore expanded into a constant stream, making every
+// read offset yield the same bytes; the hedged nonce derivation then
+// degrades to RFC-6979-style determinism (nonce bound to key and
+// digest), which is sound — and exactly what a reproducible simulation
+// wants.
+func SignTranscript(entropy io.Reader, key *ecdsa.PrivateKey, transcriptHash []byte) ([]byte, error) {
+	r := rand.Reader
+	if entropy != nil {
+		var b [1]byte
+		if _, err := io.ReadFull(entropy, b[:]); err != nil {
+			return nil, err
+		}
+		r = constReader(b[0])
+	}
 	msg := append(append([]byte(nil), signaturePrefix...), transcriptHash...)
 	digest := sha256.Sum256(msg)
-	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+	return ecdsa.SignASN1(r, key, digest[:])
+}
+
+// constReader yields one byte value forever.
+type constReader byte
+
+func (c constReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(c)
+	}
+	return len(p), nil
 }
 
 // VerifyTranscript checks a CertificateVerify signature against the

@@ -113,7 +113,7 @@ func TestCertificateVerifySignAndVerify(t *testing.T) {
 		t.Fatal(err)
 	}
 	transcript := sha256.Sum256([]byte("transcript"))
-	sig, err := SignTranscript(id.Key, transcript[:])
+	sig, err := SignTranscript(nil, id.Key, transcript[:])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,17 +24,20 @@ package quicsand
 
 import (
 	"fmt"
+	"time"
 
 	"quicsand/internal/activescan"
 	"quicsand/internal/correlate"
 	"quicsand/internal/dissect"
 	"quicsand/internal/dosdetect"
+	"quicsand/internal/engine"
 	"quicsand/internal/greynoise"
 	"quicsand/internal/ibr"
 	"quicsand/internal/netmodel"
 	"quicsand/internal/sessions"
 	"quicsand/internal/stats"
 	"quicsand/internal/telescope"
+	"quicsand/internal/tlsmini"
 )
 
 // Config parameterizes a full pipeline run.
@@ -49,8 +52,19 @@ type Config struct {
 	// SkipResearch omits research scanners (fast shape-only runs;
 	// Figure 2 then lacks its dominant series).
 	SkipResearch bool
-	// Trace, when set, receives every captured packet (checkpointing).
+	// Trace, when set, receives every captured packet (checkpointing)
+	// in canonical global time order regardless of Workers.
 	Trace telescope.Sink
+	// Identity signs the generator's template handshakes; generated
+	// fresh when nil. Supply one (with a seeded handshake) to make
+	// template payload bytes — and thus traces — reproduce across
+	// separate runs.
+	Identity *tlsmini.Identity
+	// Workers selects the pipeline shard count: 0 uses every CPU
+	// (GOMAXPROCS), 1 is the classic single-threaded pass, N>1 fans
+	// the month out over N analysis shards keyed by source address.
+	// Analysis results are bit-identical for every value (DESIGN.md §8).
+	Workers int
 }
 
 // Analysis is the result of one pipeline run: every figure's data,
@@ -88,105 +102,196 @@ type Analysis struct {
 	// NonQUIC counts UDP/443 packets rejected by deep dissection
 	// (the false-positive filter ablation).
 	NonQUIC uint64
+
+	// Pipeline reports per-stage throughput (packets/s, stage
+	// latency) for the run. It is the only Analysis field that varies
+	// between runs of the same seed.
+	Pipeline *engine.Stats
+}
+
+// sourceClassifier builds the Figure 2 labeller ("TUM-Scans",
+// "RWTH-Scans", "Other") over the research prefixes.
+func sourceClassifier(tum, rwth netmodel.Prefix) func(p *telescope.Packet) string {
+	return func(p *telescope.Packet) string {
+		if !p.IsQUICCandidate() {
+			return ""
+		}
+		switch {
+		case tum.Contains(p.Src):
+			return "TUM-Scans"
+		case rwth.Contains(p.Src):
+			return "RWTH-Scans"
+		default:
+			return "Other"
+		}
+	}
+}
+
+// typeClassifier labels sanitized QUIC packets for Figure 3.
+func typeClassifier(p *telescope.Packet) string {
+	if p.IsRequest() {
+		return "Requests"
+	}
+	if p.IsResponse() {
+		return "Responses"
+	}
+	return ""
+}
+
+// pipelineShard is one worker's private slice of the analysis state:
+// telescope counters, hourly histograms, sessionizers, sweep and the
+// common-vector detector. All packets of one source address land on
+// one shard, so per-source session state never crosses goroutines and
+// the hot path takes no locks. After the stream drains, shards reduce
+// into the Analysis by commutative merges plus a canonical sort.
+type pipelineShard struct {
+	internet     *netmodel.Internet
+	tel          *telescope.Telescope
+	hourlySource *telescope.HourlyCounter
+	hourlyType   *telescope.HourlyCounter
+	sweep        *sessions.TimeoutSweep
+	quicSz       *sessions.Sessionizer
+	commonSz     *sessions.Sessionizer
+	commonDet    *dosdetect.Detector
+	dis          *dissect.Dissector
+	sessions     []*sessions.Session
+	nonQUIC      uint64
+}
+
+func newPipelineShard(in *netmodel.Internet, tum, rwth netmodel.Prefix) *pipelineShard {
+	sh := &pipelineShard{
+		internet:     in,
+		tel:          telescope.New(),
+		hourlySource: telescope.NewHourlyCounter(sourceClassifier(tum, rwth)),
+		hourlyType:   telescope.NewHourlyCounter(typeClassifier),
+		sweep:        sessions.NewTimeoutSweep(),
+		commonDet:    dosdetect.NewDetector(dosdetect.VectorCommon),
+		dis:          dissect.NewDissector(),
+	}
+	sh.commonDet.DropExcluded = true
+	sh.quicSz = sessions.NewSessionizer(func(s *sessions.Session) {
+		sh.sessions = append(sh.sessions, s)
+	})
+	sh.quicSz.GapRecorder = sh.sweep.RecordGap
+	sh.commonSz = sessions.NewSessionizer(sh.commonDet.Offer)
+	return sh
+}
+
+// process runs one packet through the shard's analysis chain and
+// reports whether the telescope captured it (the trace-tap predicate).
+func (sh *pipelineShard) process(p *telescope.Packet) bool {
+	if !sh.tel.Offer(p) {
+		return false
+	}
+	sh.hourlySource.Capture(p)
+
+	// §5.1 sanitization: drop research scanners before analysis.
+	if sh.internet.IsResearchSource(p.Src) {
+		return true
+	}
+	switch p.Proto {
+	case telescope.ProtoTCP, telescope.ProtoICMP:
+		sh.commonSz.Observe(p, nil)
+	case telescope.ProtoUDP:
+		if !p.IsQUICCandidate() {
+			return true
+		}
+		var res *dissect.Result
+		if p.Payload != nil {
+			r, err := sh.dis.Dissect(p.Payload)
+			if err != nil {
+				sh.nonQUIC++
+				return true
+			}
+			res = r
+		}
+		sh.hourlyType.Capture(p)
+		sh.sweep.RecordSource(p.Src)
+		sh.quicSz.Observe(p, res)
+	}
+	return true
+}
+
+func (sh *pipelineShard) flush() {
+	sh.quicSz.Flush()
+	sh.commonSz.Flush()
 }
 
 // Run generates the month and performs every analysis stage in one
-// streaming pass.
+// sharded streaming pass (see Config.Workers).
 func Run(cfg Config) (*Analysis, error) {
+	schedStart := time.Now()
+	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
+
+	a := &Analysis{Config: cfg}
+	a.Internet = netmodel.BuildInternet()
+	// Census shared with the generator (same seed path).
+	a.Census = activescan.Build(a.Internet, netmodel.NewRNG(cfg.Seed).Fork("census"), activescan.Config{})
 	gen, err := ibr.New(ibr.Config{
 		Seed:         cfg.Seed,
 		Scale:        cfg.Scale,
 		ResearchThin: cfg.ResearchThin,
 		SkipResearch: cfg.SkipResearch,
+		Internet:     a.Internet,
+		Census:       a.Census,
+		Identity:     cfg.Identity,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("quicsand: generator: %w", err)
 	}
+	tum := a.Internet.Registry.ByASN(netmodel.ASNTUM).Prefixes[0]
+	rwth := a.Internet.Registry.ByASN(netmodel.ASNRWTH).Prefixes[0]
+	schedWall := time.Since(schedStart)
 
-	a := &Analysis{Config: cfg}
-	a.Internet = netmodel.BuildInternet()
-	tum := a.Internet.Registry.ByASN(netmodel.ASNTUM)
-	rwth := a.Internet.Registry.ByASN(netmodel.ASNRWTH)
+	shards := make([]*pipelineShard, workers)
+	feeds := make([]engine.Feed[*telescope.Packet], workers)
+	for i, m := range gen.Feeds(workers) {
+		shards[i] = newPipelineShard(a.Internet, tum, rwth)
+		feeds[i] = m.Run
+	}
 
-	a.HourlySource = telescope.NewHourlyCounter(func(p *telescope.Packet) string {
-		if !p.IsQUICCandidate() {
-			return ""
+	var tap *engine.Tap[*telescope.Packet]
+	if cfg.Trace != nil {
+		tap = &engine.Tap[*telescope.Packet]{
+			// (timestamp, source address) totally orders captured
+			// packets across shards: one address never spans shards,
+			// and equal-key packets within a shard keep stream order —
+			// reproducing the sequential merger's canonical sequence.
+			Less: func(x, y *telescope.Packet) bool {
+				if x.TS != y.TS {
+					return x.TS < y.TS
+				}
+				return x.Src < y.Src
+			},
+			Sink: cfg.Trace.Capture,
 		}
-		switch {
-		case tum.Prefixes[0].Contains(p.Src):
-			return "TUM-Scans"
-		case rwth.Prefixes[0].Contains(p.Src):
-			return "RWTH-Scans"
-		default:
-			return "Other"
-		}
-	})
-	a.HourlyType = telescope.NewHourlyCounter(nil) // classify set below
+	}
 
+	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, feeds,
+		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, tap)
+	a.Truth = gen.Truth
+
+	// Reduction: commutative counter merges plus one canonical sort
+	// make the result independent of shard count and interleaving.
+	reduceStart := time.Now()
+	a.Telescope = telescope.New()
+	a.HourlySource = telescope.NewHourlyCounter(sourceClassifier(tum, rwth))
+	a.HourlyType = telescope.NewHourlyCounter(typeClassifier)
 	a.Sweep = sessions.NewTimeoutSweep()
-	quicSessionizer := sessions.NewSessionizer(func(s *sessions.Session) {
-		a.QUICSessions = append(a.QUICSessions, s)
-	})
-	quicSessionizer.GapRecorder = a.Sweep.RecordGap
-	commonSessionizer := sessions.NewSessionizer(nil)
-
 	a.QUICDetector = dosdetect.NewDetector(dosdetect.VectorQUIC)
 	a.CommonDetector = dosdetect.NewDetector(dosdetect.VectorCommon)
 	a.CommonDetector.DropExcluded = true
-	commonSessionizer.Emit = a.CommonDetector.Offer
-
-	dis := dissect.NewDissector()
-
-	a.HourlyType.Classify = func(p *telescope.Packet) string {
-		if p.IsRequest() {
-			return "Requests"
-		}
-		if p.IsResponse() {
-			return "Responses"
-		}
-		return ""
+	for _, sh := range shards {
+		sh.flush()
+		a.Telescope.Merge(sh.tel)
+		a.HourlySource.Merge(sh.hourlySource)
+		a.HourlyType.Merge(sh.hourlyType)
+		a.Sweep.Merge(sh.sweep)
+		a.CommonDetector.Merge(sh.commonDet)
+		a.QUICSessions = append(a.QUICSessions, sh.sessions...)
+		a.NonQUIC += sh.nonQUIC
 	}
-
-	tel := telescope.New()
-	a.Telescope = tel
-	tel.Attach(telescope.SinkFunc(func(p *telescope.Packet) {
-		if cfg.Trace != nil {
-			cfg.Trace.Capture(p)
-		}
-		a.HourlySource.Capture(p)
-
-		// §5.1 sanitization: drop research scanners before analysis.
-		if a.Internet.IsResearchSource(p.Src) {
-			return
-		}
-		switch p.Proto {
-		case telescope.ProtoTCP, telescope.ProtoICMP:
-			commonSessionizer.Observe(p, nil)
-		case telescope.ProtoUDP:
-			if !p.IsQUICCandidate() {
-				return
-			}
-			var res *dissect.Result
-			if p.Payload != nil {
-				r, err := dis.Dissect(p.Payload)
-				if err != nil {
-					a.NonQUIC++
-					return
-				}
-				res = r
-			}
-			a.HourlyType.Capture(p)
-			a.Sweep.RecordSource(p.Src)
-			quicSessionizer.Observe(p, res)
-		}
-	}))
-
-	a.Truth = gen.Run(tel.Capture)
-	quicSessionizer.Flush()
-	commonSessionizer.Flush()
-
-	// Census shared with the generator (same seed path).
-	a.Census = activescan.Build(a.Internet, netmodel.NewRNG(cfg.Seed).Fork("census"), activescan.Config{})
+	sessions.SortCanonical(a.QUICSessions)
 
 	for _, s := range a.QUICSessions {
 		switch s.Kind() {
@@ -218,6 +323,13 @@ func Run(cfg Config) (*Analysis, error) {
 		}
 	}
 	a.ScanSources = a.GreyNoise.Summarize(srcs)
+
+	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
+	pstats.Stages = append(
+		[]engine.Stage{{Name: "schedule", Items: uint64(len(gen.Sources())), Wall: schedWall}},
+		pstats.Stages...)
+	pstats.Wall = time.Since(schedStart)
+	a.Pipeline = pstats
 	return a, nil
 }
 
