@@ -6,6 +6,7 @@
 //
 //	quicsand [-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
 //	         [-fig SECTION] [-trace FILE] [-stats]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // SECTION is one of: all, headline, 2–13, section6. At -scale 1.0 the
 // run reproduces paper-scale magnitudes and takes a few minutes; the
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"quicsand"
 	"quicsand/internal/telescope"
@@ -45,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fig          = fs.String("fig", "all", "section to print: all, headline, 2..13, section6")
 		tracePath    = fs.String("trace", "", "write the captured month to this trace file")
 		stats        = fs.Bool("stats", false, "print per-stage pipeline throughput to stderr")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,9 +85,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Profiling hooks so perf work measures instead of guessing: the
+	// CPU profile brackets exactly the pipeline run; the heap profile
+	// snapshots live allocations after it completes.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	a, err := quicsand.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // stop before rendering so figures stay out of the profile
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle so the profile shows retained, not transient, heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if flushTrace != nil {
 		if err := flushTrace(); err != nil {

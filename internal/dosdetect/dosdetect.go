@@ -124,9 +124,9 @@ func FromSession(s *sessions.Session, vec Vector) *Attack {
 		End:            s.End,
 		Packets:        s.Packets,
 		MaxPPS:         s.MaxPPS(),
-		UniqueSCIDs:    len(s.SCIDs),
-		SpoofedClients: len(s.PeerAddrs),
-		ClientPorts:    len(s.PeerPorts),
+		UniqueSCIDs:    s.UniqueSCIDs(),
+		SpoofedClients: s.UniquePeerAddrs(),
+		ClientPorts:    s.UniquePeerPorts(),
 		Version:        s.DominantVersion(),
 		InitialShare:   s.InitialShare(),
 		HandshakeShare: s.HandshakeShare(),

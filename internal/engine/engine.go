@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"quicsand/internal/losertree"
 )
 
 // Config parameterizes a pipeline run.
@@ -195,30 +197,40 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 	t0 := time.Now()
 
 	if n == 1 {
-		// Sequential path: no goroutines, no channels.
+		// Sequential path: no goroutines, no channels. The tap sink's
+		// own wall time is metered separately so the "tap" stage
+		// reports what the sink actually cost instead of double
+		// counting the whole analyze pass.
 		var tapped uint64
+		var tapWall time.Duration
 		feeds[0](func(item T) {
 			st.ShardItems[0]++
 			if process(0, item) && tap != nil {
 				tapped++
+				s := time.Now()
 				tap.Sink(item)
+				tapWall += time.Since(s)
 			}
 		})
 		st.ShardBusy[0] = time.Since(t0)
-		st.AddStage("analyze", st.ShardItems[0], st.ShardBusy[0])
+		st.AddStage("analyze", st.ShardItems[0], st.ShardBusy[0]-tapWall)
 		if tap != nil {
-			st.AddStage("tap", tapped, st.ShardBusy[0])
+			st.AddStage("tap", tapped, tapWall)
 		}
 		st.Finish()
 		return st
 	}
 
 	batch := cfg.batchSize()
-	var tapChans []chan []T
+	var tapChans, freeChans []chan []T
 	if tap != nil {
 		tapChans = make([]chan []T, n)
+		freeChans = make([]chan []T, n)
 		for i := range tapChans {
 			tapChans[i] = make(chan []T, cfg.tapDepth())
+			// One slot beyond the tap depth so returning a drained
+			// batch never blocks the merge goroutine.
+			freeChans[i] = make(chan []T, cfg.tapDepth()+1)
 		}
 	}
 
@@ -229,10 +241,23 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 			defer wg.Done()
 			start := time.Now()
 			var buf []T
+			nextBuf := func() []T {
+				// Reuse a batch the merge side has drained; allocate
+				// only while the recycling loop is still priming.
+				select {
+				case b := <-freeChans[i]:
+					return b
+				default:
+					return make([]T, 0, batch)
+				}
+			}
 			feeds[i](func(item T) {
 				st.ShardItems[i]++
 				keep := process(i, item)
 				if tapChans != nil && keep {
+					if buf == nil {
+						buf = nextBuf()
+					}
 					buf = append(buf, item)
 					if len(buf) >= batch {
 						tapChans[i] <- buf
@@ -252,7 +277,7 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 
 	var tapped uint64
 	if tap != nil {
-		tapped = mergeTap(tapChans, tap)
+		tapped = mergeTap(tapChans, freeChans, tap)
 	}
 	wg.Wait()
 
@@ -267,11 +292,13 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 
 // mergeTap performs the streaming k-way merge of the per-shard tap
 // streams. Each stream arrives batched and already ordered by
-// tap.Less; the merge repeatedly emits the least head, refilling a
-// stream's batch (blocking, which backpressures nothing — the channel
-// already holds data or the shard is ahead) as it drains. Memory is
-// bounded by shards × batch items.
-func mergeTap[T any](chans []chan []T, tap *Tap[T]) uint64 {
+// tap.Less; a loser tree over the stream heads emits the least head in
+// O(log shards) comparisons per item (the previous linear min-scan
+// paid O(shards) every item), refilling a stream's batch (blocking,
+// which backpressures nothing — the channel already holds data or the
+// shard is ahead) as it drains. Drained batch buffers are recycled to
+// their shard through free. Memory is bounded by shards × batch items.
+func mergeTap[T any](chans, free []chan []T, tap *Tap[T]) uint64 {
 	n := len(chans)
 	heads := make([][]T, n) // current batch per shard; nil when closed
 	pos := make([]int, n)
@@ -283,28 +310,69 @@ func mergeTap[T any](chans []chan []T, tap *Tap[T]) uint64 {
 		}
 	}
 	var emitted uint64
+
+	// advance consumes the current head of stream w, recycling and
+	// refilling its batch as needed. Reports whether the stream closed.
+	advance := func(w int32) bool {
+		pos[w]++
+		if pos[w] < len(heads[w]) {
+			return false
+		}
+		select { // hand the drained buffer back to the shard worker
+		case free[w] <- heads[w][:0]:
+		default:
+		}
+		pos[w] = 0
+		if b, ok := <-chans[w]; ok {
+			heads[w] = b
+			return false
+		}
+		heads[w] = nil
+		live--
+		return true
+	}
+
+	if n == 1 {
+		// Degenerate single-stream case: no tournament needed.
+		for live > 0 {
+			tap.Sink(heads[0][pos[0]])
+			emitted++
+			advance(0)
+		}
+		return emitted
+	}
+
+	// less is a strict total order over stream indices: item order
+	// first, then shard index — equal items must share a shard per the
+	// Tap contract, but the explicit tie-break keeps the merge
+	// deterministic even for contract-violating inputs. Closed streams
+	// sort last.
+	less := func(a, b int32) bool {
+		ca, cb := heads[a] == nil, heads[b] == nil
+		if ca || cb {
+			if ca != cb {
+				return cb
+			}
+			return a < b
+		}
+		x, y := heads[a][pos[a]], heads[b][pos[b]]
+		if tap.Less(x, y) {
+			return true
+		}
+		if tap.Less(y, x) {
+			return false
+		}
+		return a < b
+	}
+
+	// Each advance of the champion costs ⌈log2 n⌉ comparisons.
+	tree := losertree.New(n, less)
 	for live > 0 {
-		min := -1
-		for i := 0; i < n; i++ {
-			if heads[i] == nil {
-				continue
-			}
-			if min < 0 || tap.Less(heads[i][pos[i]], heads[min][pos[min]]) {
-				min = i
-			}
-		}
-		tap.Sink(heads[min][pos[min]])
+		w := tree.Winner()
+		tap.Sink(heads[w][pos[w]])
 		emitted++
-		pos[min]++
-		if pos[min] == len(heads[min]) {
-			pos[min] = 0
-			if b, ok := <-chans[min]; ok {
-				heads[min] = b
-			} else {
-				heads[min] = nil
-				live--
-			}
-		}
+		advance(w)
+		tree.Fix(w)
 	}
 	return emitted
 }

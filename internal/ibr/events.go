@@ -21,7 +21,10 @@ func tsAt(offsetSec float64) telescope.Timestamp {
 
 // researchScan emits one full-IPv4 sweep's telescope slice: 2^23
 // single packets from one university host, thinned by `thin` with
-// per-record weight, spread over the scan duration.
+// per-record weight, spread over the scan duration. Packets are
+// produced into slab chunks — one arena per 256 records — and, when a
+// pool is attached, a chunk is recycled once the chunk after it is
+// exhausted (by which point all its packets are long consumed).
 type researchScan struct {
 	src      netmodel.Addr
 	start    telescope.Timestamp
@@ -31,6 +34,11 @@ type researchScan struct {
 	emit     uint64 // records to emit (total/weight)
 	i        uint64
 	rng      *netmodel.RNG
+
+	pool    *slabPool
+	chunk   []telescope.Packet
+	j       int
+	retired []telescope.Packet
 }
 
 func newResearchScan(rng *netmodel.RNG, src netmodel.Addr, startSec float64, dur time.Duration, thinWeight uint32) *researchScan {
@@ -53,15 +61,34 @@ func (r *researchScan) StartTime() telescope.Timestamp { return r.start }
 
 func (r *researchScan) Src() netmodel.Addr { return r.src }
 
+func (r *researchScan) setPool(p *slabPool) { r.pool = p }
+
 func (r *researchScan) Next() (*telescope.Packet, bool) {
 	if r.i >= r.emit {
+		// The current chunk's tail may still be buffered upstream;
+		// only the retired chunk is certainly consumed.
+		if r.retired != nil {
+			r.pool.put(r.retired)
+			r.retired = nil
+		}
 		return nil, false
+	}
+	if r.j >= len(r.chunk) {
+		r.pool.put(r.retired) // consumed ≥ one whole chunk ago
+		r.retired = r.chunk
+		n := slabChunk
+		if rem := r.emit - r.i; rem < uint64(n) {
+			n = int(rem)
+		}
+		r.chunk = r.pool.get(n)[:n]
+		r.j = 0
 	}
 	// Records advance linearly through the scan window; the zmap-style
 	// address permutation appears as a uniform draw from the prefix.
 	frac := float64(r.i) / float64(r.emit)
 	ts := r.start + telescope.Timestamp(frac*r.duration.Seconds()*1000)
-	p := &telescope.Packet{
+	p := &r.chunk[r.j]
+	*p = telescope.Packet{
 		TS:      ts,
 		Src:     r.src,
 		Dst:     netmodel.TelescopePrefix.Random(r.rng),
@@ -71,6 +98,7 @@ func (r *researchScan) Next() (*telescope.Packet, bool) {
 		Size:    1200,
 		Weight:  r.weight,
 	}
+	r.j++
 	r.i++
 	return p, true
 }
@@ -91,18 +119,24 @@ type botSpec struct {
 	withload bool // carry real QUIC payload bytes
 }
 
-// build materializes all of a bot's packets.
-func (b *botSpec) build() []*telescope.Packet {
-	var out []*telescope.Packet
+// build materializes all of a bot's packets into one value-typed slab.
+// Every packet aliases the shared per-version scan template as its
+// payload (read-only — see Templates.ScanPacket).
+func (b *botSpec) build(pool *slabPool) []telescope.Packet {
 	payload := b.tpl.ScanPacket(b.version)
+	out := pool.get(len(b.visits) * (b.pktsPer + 2))
 	for _, visit := range b.visits {
 		n := 1 + int(b.rng.Exp(float64(b.pktsPer-1)))
 		if n > 120 {
 			n = 120
 		}
+		// The exponential tail regularly exceeds the mean-based
+		// estimate; grow through the pool so the build stays inside
+		// recycled arenas.
+		out = pool.ensure(out, n)
 		at := visit
 		for i := 0; i < n; i++ {
-			p := &telescope.Packet{
+			out = append(out, telescope.Packet{
 				TS:      tsAt(at),
 				Src:     b.src,
 				Dst:     netmodel.TelescopePrefix.Random(b.rng),
@@ -110,11 +144,10 @@ func (b *botSpec) build() []*telescope.Packet {
 				DstPort: telescope.PortQUIC,
 				Proto:   telescope.ProtoUDP,
 				Size:    clampSize(len(payload)),
-			}
+			})
 			if b.withload {
-				p.Payload = payload
+				out[len(out)-1].Payload = payload
 			}
-			out = append(out, p)
 			// Scan gaps: bursty with occasional minute-scale pauses so
 			// the Figure 4 sweep shows its 1→5-minute knee.
 			gap := b.rng.Exp(20)
@@ -149,8 +182,12 @@ type floodSpec struct {
 	tpl       *Templates
 }
 
-// build materializes the attack's telescope packets in time order.
-func (f *floodSpec) build() []*telescope.Packet {
+// build materializes the attack's telescope packets in time order into
+// one slab. QUIC backscatter payloads are interned per (version, kind,
+// SCID): floods pool SCIDs per spoofed tuple, so one attack touches
+// only a handful of distinct datagrams, each built once and shared
+// read-only by every packet that repeats it.
+func (f *floodSpec) build(pool *slabPool) []telescope.Packet {
 	n := 2*f.peakPkts + f.basePkts + 2
 	times := make([]float64, 0, n)
 
@@ -194,14 +231,14 @@ func (f *floodSpec) build() []*telescope.Packet {
 	// reuse draws deterministically (map iteration order would leak
 	// scheduler state into the SCID histogram).
 	var scidPool [][]byte
+	payloads := NewPayloadCache(f.tpl)
 
-	out := make([]*telescope.Packet, 0, n)
+	out := pool.get(n)
 	for _, at := range times {
 		ts := tsAt(f.startSec + at)
 		dst := addrs[f.rng.Intn(len(addrs))]
 		dport := ports[f.rng.Intn(len(ports))]
 
-		var p *telescope.Packet
 		switch f.vector {
 		case 0: // QUIC backscatter with real wire bytes
 			tupleKey := uint32(dst)<<16 ^ uint32(dport)
@@ -218,33 +255,33 @@ func (f *floodSpec) build() []*telescope.Packet {
 				scidCache[tupleKey] = scid
 			}
 			kind := pickResponseKind(f.rng)
-			payload := f.tpl.ResponsePacket(f.version, kind, scid)
-			p = &telescope.Packet{
+			payload := payloads.ResponsePacket(f.version, kind, scid)
+			out = append(out, telescope.Packet{
 				TS: ts, Src: f.victim, Dst: dst,
 				SrcPort: telescope.PortQUIC, DstPort: dport,
 				Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),
 				Payload: payload,
-			}
+			})
 		case 1: // TCP SYN-ACK / RST backscatter
 			flags := telescope.FlagSYN | telescope.FlagACK
 			if f.rng.Float64() < 0.3 {
 				flags = telescope.FlagRST
 			}
-			p = &telescope.Packet{
-				TS: ts, Src: f.victim, Dst: dst,
-				SrcPort: 80, DstPort: dport,
-				Proto: telescope.ProtoTCP, Flags: flags, Size: 40,
-			}
+			sport := uint16(80)
 			if f.rng.Float64() < 0.5 {
-				p.SrcPort = 443
+				sport = 443
 			}
+			out = append(out, telescope.Packet{
+				TS: ts, Src: f.victim, Dst: dst,
+				SrcPort: sport, DstPort: dport,
+				Proto: telescope.ProtoTCP, Flags: flags, Size: 40,
+			})
 		default: // ICMP echo reply / unreachable
-			p = &telescope.Packet{
+			out = append(out, telescope.Packet{
 				TS: ts, Src: f.victim, Dst: dst,
 				Proto: telescope.ProtoICMP, Flags: 0, Size: 56,
-			}
+			})
 		}
-		out = append(out, p)
 	}
 	return out
 }
@@ -264,10 +301,12 @@ type misconfigSpec struct {
 	tpl     *Templates
 }
 
-func (m *misconfigSpec) build() []*telescope.Packet {
-	var out []*telescope.Packet
+func (m *misconfigSpec) build(pool *slabPool) []telescope.Packet {
 	var scid [scidLen]byte
 	m.rng.Bytes(scid[:])
+	payloads := NewPayloadCache(m.tpl)
+	// 17 = 5+Intn(13) upper bound: the arena never regrows.
+	out := pool.get(len(m.visits) * 17)
 	for _, visit := range m.visits {
 		// Appendix B profile: ~11 packets over ~7 s at ~0.18 max pps.
 		n := 5 + m.rng.Intn(13)
@@ -275,8 +314,8 @@ func (m *misconfigSpec) build() []*telescope.Packet {
 		dst := netmodel.TelescopePrefix.Random(m.rng)
 		dport := uint16(1024 + m.rng.Intn(64000))
 		for i := 0; i < n; i++ {
-			payload := m.tpl.ResponsePacket(m.version, pickResponseKind(m.rng), scid[:])
-			out = append(out, &telescope.Packet{
+			payload := payloads.ResponsePacket(m.version, pickResponseKind(m.rng), scid[:])
+			out = append(out, telescope.Packet{
 				TS: tsAt(at), Src: m.src, Dst: dst,
 				SrcPort: telescope.PortQUIC, DstPort: dport,
 				Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),

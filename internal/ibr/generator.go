@@ -136,12 +136,23 @@ func (g *Generator) Sources() []Source { return g.sources }
 // per-shard streams keyed by source address — the sharded pipeline's
 // input. Each merger materializes, merges, and streams only its own
 // shard's sources, so generation itself parallelizes across the
-// engine's workers; Feeds(1) yields the sequential stream Run drains.
-func (g *Generator) Feeds(n int) []*Merger {
+// engine's workers; Feeds(1, recycle) yields the sequential stream Run
+// drains.
+//
+// recycle enables per-shard packet-slab recycling: exhausted sources
+// hand their arenas to later events of the same shard, making the
+// generate path allocation-free per packet. It is only legal when
+// every packet is fully consumed during the engine sink call — set it
+// false whenever a trace tap (or any other consumer) buffers packet
+// pointers past that call (DESIGN.md "Packet ownership & lifetime").
+func (g *Generator) Feeds(n int, recycle bool) []*Merger {
 	groups := Partition(g.sources, n)
 	feeds := make([]*Merger, n)
 	for i := range feeds {
 		feeds[i] = NewMerger(groups[i]...)
+		if recycle {
+			feeds[i].EnableRecycling()
+		}
 	}
 	return feeds
 }

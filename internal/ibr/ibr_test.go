@@ -32,9 +32,9 @@ func testTemplates(t *testing.T) *Templates {
 
 func TestMergerOrdersAcrossSources(t *testing.T) {
 	mk := func(times ...int64) Source {
-		var pkts []*telescope.Packet
+		var pkts []telescope.Packet
 		for _, at := range times {
-			pkts = append(pkts, &telescope.Packet{TS: telescope.Timestamp(at)})
+			pkts = append(pkts, telescope.Packet{TS: telescope.Timestamp(at)})
 		}
 		return newSliceSource(telescope.Timestamp(times[0]), 0, pkts)
 	}
@@ -55,9 +55,9 @@ func TestMergerOrdersAcrossSources(t *testing.T) {
 func TestMergerLazyActivation(t *testing.T) {
 	built := 0
 	mkLazy := func(start int64) Source {
-		return newLazySource(telescope.Timestamp(start), 0, func() []*telescope.Packet {
+		return newLazySource(telescope.Timestamp(start), 0, func(*slabPool) []telescope.Packet {
 			built++
-			return []*telescope.Packet{{TS: telescope.Timestamp(start)}, {TS: telescope.Timestamp(start + 5)}}
+			return []telescope.Packet{{TS: telescope.Timestamp(start)}, {TS: telescope.Timestamp(start + 5)}}
 		})
 	}
 	m := NewMerger(mkLazy(100), mkLazy(2000), mkLazy(50))
@@ -80,7 +80,7 @@ func TestMergerLazyActivation(t *testing.T) {
 
 func TestMergerAddAndEmptySources(t *testing.T) {
 	m := NewMerger(newSliceSource(0, 0, nil)) // empty source
-	m.Add(newSliceSource(7, 0, []*telescope.Packet{{TS: 7}}))
+	m.Add(newSliceSource(7, 0, []telescope.Packet{{TS: 7}}))
 	p := m.Next()
 	if p == nil || p.TS != 7 {
 		t.Fatalf("got %+v", p)
@@ -201,7 +201,7 @@ func TestFloodSpecBuild(t *testing.T) {
 		peakPkts: 100, basePkts: 50, nAddrs: 5, nPorts: 20, scidRatio: 0.9,
 		rng: netmodel.NewRNG(5), tpl: tpl,
 	}
-	pkts := spec.build()
+	pkts := spec.build(nil)
 	// peakPkts is a per-minute rate sustained over a 2-minute burst
 	// window, plus base packets and 2 brackets.
 	if len(pkts) != 2*100+50+2 {
@@ -212,7 +212,8 @@ func TestFloodSpecBuild(t *testing.T) {
 	ports := map[uint16]bool{}
 	scids := map[string]bool{}
 	d := dissect.NewDissector()
-	for _, p := range pkts {
+	for i := range pkts {
+		p := &pkts[i]
 		if p.TS < last {
 			t.Fatal("flood packets out of order")
 		}
@@ -259,7 +260,7 @@ func TestFloodSpecSCIDPooling(t *testing.T) {
 		}
 		scids := map[string]bool{}
 		d := dissect.NewDissector()
-		for _, p := range spec.build() {
+		for _, p := range spec.build(nil) {
 			r, err := d.Dissect(p.Payload)
 			if err != nil {
 				t.Fatal(err)
@@ -286,7 +287,7 @@ func TestCommonFloodPackets(t *testing.T) {
 		startSec: 0, durSec: 120, peakPkts: 40, basePkts: 10, nAddrs: 4, nPorts: 8,
 		rng: netmodel.NewRNG(6), tpl: tpl,
 	}
-	for _, p := range spec.build() {
+	for _, p := range spec.build(nil) {
 		if p.Proto != telescope.ProtoTCP || p.Payload != nil {
 			t.Fatal("TCP flood shape wrong")
 		}
@@ -296,7 +297,7 @@ func TestCommonFloodPackets(t *testing.T) {
 	}
 	spec.vector = 2
 	spec.rng = netmodel.NewRNG(7)
-	for _, p := range spec.build() {
+	for _, p := range spec.build(nil) {
 		if p.Proto != telescope.ProtoICMP {
 			t.Fatal("ICMP flood shape wrong")
 		}
@@ -310,13 +311,14 @@ func TestBotSpecSessions(t *testing.T) {
 		visits: []float64{1000, 50000}, pktsPer: 11, srcPort: 5555,
 		rng: netmodel.NewRNG(8), tpl: tpl, withload: true,
 	}
-	pkts := bot.build()
+	pkts := bot.build(nil)
 	if len(pkts) < 2 {
 		t.Fatalf("packets = %d", len(pkts))
 	}
 	d := dissect.NewDissector()
 	var last telescope.Timestamp
-	for _, p := range pkts {
+	for i := range pkts {
+		p := &pkts[i]
 		if p.TS < last {
 			t.Fatal("bot packets out of order")
 		}

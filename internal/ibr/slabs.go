@@ -1,0 +1,88 @@
+package ibr
+
+import "quicsand/internal/telescope"
+
+// slabChunk is the packet-slab granularity for incrementally producing
+// sources (research scans): one allocation per 256 packets instead of
+// one per packet.
+const slabChunk = 256
+
+// maxFreeSlabs bounds a pool's freelist; beyond it slabs are dropped
+// for the GC rather than hoarded.
+const maxFreeSlabs = 32
+
+// slabPool recycles value-typed packet slabs ([]telescope.Packet
+// arenas) within one shard. All methods are nil-receiver safe: a nil
+// pool degrades to plain allocation with no recycling, which is the
+// required mode whenever downstream stages may retain packet pointers
+// past the sink call (the engine's trace tap buffers packets across
+// goroutines — see DESIGN.md "Packet ownership & lifetime").
+//
+// A pool is single-goroutine property of its merger: sources return
+// their slab on exhaustion and later-activating sources of the same
+// shard reuse it. The merger's one-packet lookahead makes this safe —
+// a slab is only handed out again on a later Next call, after the
+// slab's final packet has been fully processed by the synchronous
+// sink chain.
+type slabPool struct {
+	free [][]telescope.Packet
+}
+
+// get returns an empty slab with capacity ≥ n, reusing a free one when
+// available. Only the most recently freed slabs are inspected so get
+// stays O(1) under mixed slab sizes.
+func (p *slabPool) get(n int) []telescope.Packet {
+	if p != nil {
+		lo := len(p.free) - 4
+		if lo < 0 {
+			lo = 0
+		}
+		for i := len(p.free) - 1; i >= lo; i-- {
+			if cap(p.free[i]) >= n {
+				s := p.free[i]
+				last := len(p.free) - 1
+				p.free[i] = p.free[last]
+				p.free[last] = nil
+				p.free = p.free[:last]
+				return s[:0]
+			}
+		}
+	}
+	return make([]telescope.Packet, 0, n)
+}
+
+// put returns a slab to the pool for reuse. The caller must guarantee
+// no packet inside s is still referenced downstream.
+func (p *slabPool) put(s []telescope.Packet) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	if len(p.free) < maxFreeSlabs {
+		p.free = append(p.free, s[:0])
+	}
+}
+
+// ensure returns s with room for at least extra more packets. Growth
+// goes through the pool: the values move to a larger (possibly
+// recycled) arena and the abandoned one returns to the freelist —
+// a plain append would leak the pooled slab to the GC mid-build.
+// Safe during building only, before any packet pointer escapes.
+func (p *slabPool) ensure(s []telescope.Packet, extra int) []telescope.Packet {
+	need := len(s) + extra
+	if cap(s) >= need {
+		return s
+	}
+	if c := 2 * cap(s); c > need {
+		need = c
+	}
+	grown := p.get(need)[:len(s)]
+	copy(grown, s)
+	p.put(s)
+	return grown
+}
+
+// pooled is implemented by sources that can draw their packet storage
+// from a shard slab pool; the merger injects its pool at registration.
+type pooled interface {
+	setPool(*slabPool)
+}

@@ -9,8 +9,7 @@
 package ibr
 
 import (
-	"container/heap"
-
+	"quicsand/internal/losertree"
 	"quicsand/internal/netmodel"
 	"quicsand/internal/telescope"
 )
@@ -18,6 +17,12 @@ import (
 // Source produces packets in non-decreasing time order. Every source
 // models one emitting host, so all its packets share one source
 // address — the invariant the sharded pipeline partitions on.
+//
+// Packet ownership: the *telescope.Packet returned by Next points into
+// source-owned storage and is guaranteed valid only until the source is
+// exhausted (and, with a recycling merger, only until the next merger
+// Next call after exhaustion). Consumers that retain packets must copy
+// them — see DESIGN.md "Packet ownership & lifetime".
 type Source interface {
 	// StartTime returns a lower bound on the first packet's timestamp,
 	// known before any Next call. The merger uses it to activate
@@ -30,100 +35,134 @@ type Source interface {
 	Next() (*telescope.Packet, bool)
 }
 
-// mergeEntry is a heap element: either a not-yet-activated source
-// (keyed by StartTime) or an active one (keyed by its buffered packet).
+// mergeEntry is one loser-tree leaf: either a not-yet-activated source
+// (keyed by StartTime, pkt nil) or an active one (keyed by its buffered
+// packet), or an exhausted one (ordered after every live entry).
 type mergeEntry struct {
-	at     telescope.Timestamp
-	src    netmodel.Addr
-	id     int               // schedule-order index: the canonical tie-break
-	pkt    *telescope.Packet // nil until activated
-	source Source
-}
-
-type mergeHeap []*mergeEntry
-
-func (h mergeHeap) Len() int { return len(h) }
-
-// Less orders by (timestamp, source address, schedule index) — a
-// strict total order over live entries. The address component makes
-// the order reconstructible across shard counts: packets of one
-// address always share a shard, so a cross-shard merge keyed on
-// (timestamp, address) with per-shard stability reproduces exactly
-// this sequence (see DESIGN.md §8).
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].src != h[j].src {
-		return h[i].src < h[j].src
-	}
-	return h[i].id < h[j].id
-}
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeEntry)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	at        telescope.Timestamp
+	src       netmodel.Addr
+	id        int // schedule-order index: the canonical tie-break
+	exhausted bool
+	pkt       *telescope.Packet // nil until activated
+	source    Source
 }
 
 // Merger interleaves many sources into one canonically ordered stream
 // while materializing each source's state only once its first packet
 // is due, keeping memory proportional to concurrently active events.
+//
+// The k-way merge is a loser tree over value-typed entries: advancing
+// the winner costs ⌈log2 k⌉ integer-indexed comparisons with no
+// interface calls or heap sift allocations — the previous
+// container/heap implementation boxed entries and burned ~2× the
+// comparisons on the per-packet Fix path.
 type Merger struct {
-	h      mergeHeap
-	nextID int
+	entries []mergeEntry
+	tree    *losertree.Tree
+	// pool, when non-nil, recycles exhausted sources' packet slabs to
+	// later-activating sources of this shard (EnableRecycling).
+	pool *slabPool
+}
+
+// less orders live entries by (timestamp, source address, schedule
+// index) — a strict total order. Exhausted entries sort after all live
+// ones. The address component makes the order reconstructible across
+// shard counts: packets of one address always share a shard, so a
+// cross-shard merge keyed on (timestamp, address) with per-shard
+// stability reproduces exactly this sequence (see DESIGN.md §8).
+func (m *Merger) less(a, b int32) bool {
+	ea, eb := &m.entries[a], &m.entries[b]
+	if ea.exhausted != eb.exhausted {
+		return !ea.exhausted
+	}
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	if ea.src != eb.src {
+		return ea.src < eb.src
+	}
+	return ea.id < eb.id
 }
 
 // NewMerger builds a merger over the sources. Source order fixes the
 // canonical tie-break, so build shard mergers from schedule-ordered
 // subsets.
 func NewMerger(sources ...Source) *Merger {
-	m := &Merger{h: make(mergeHeap, 0, len(sources))}
+	m := &Merger{entries: make([]mergeEntry, 0, len(sources))}
 	for _, s := range sources {
-		m.h = append(m.h, &mergeEntry{at: s.StartTime(), src: s.Src(), id: m.nextID, source: s})
-		m.nextID++
+		m.addEntry(s)
 	}
-	heap.Init(&m.h)
 	return m
 }
 
-// Add registers another source.
+// EnableRecycling attaches a fresh slab pool: exhausted sources return
+// their packet arenas for later sources of this merger to reuse. Only
+// legal when every packet is fully consumed during the sink call it is
+// emitted in — never when a trace tap (or any other stage) buffers
+// packet pointers past that call.
+func (m *Merger) EnableRecycling() {
+	m.pool = &slabPool{}
+	for i := range m.entries {
+		if p, ok := m.entries[i].source.(pooled); ok {
+			p.setPool(m.pool)
+		}
+	}
+}
+
+func (m *Merger) addEntry(s Source) {
+	if m.pool != nil {
+		if p, ok := s.(pooled); ok {
+			p.setPool(m.pool)
+		}
+	}
+	m.entries = append(m.entries, mergeEntry{
+		at: s.StartTime(), src: s.Src(), id: len(m.entries), source: s,
+	})
+}
+
+// Add registers another source (rebuilds the tournament lazily).
 func (m *Merger) Add(s Source) {
-	heap.Push(&m.h, &mergeEntry{at: s.StartTime(), src: s.Src(), id: m.nextID, source: s})
-	m.nextID++
+	m.addEntry(s)
+	m.tree = nil
 }
 
 // Next returns the globally next packet, or nil at end of stream.
 func (m *Merger) Next() *telescope.Packet {
-	for m.h.Len() > 0 {
-		e := m.h[0]
+	if m.tree == nil {
+		m.tree = losertree.New(len(m.entries), m.less)
+	}
+	if len(m.entries) == 0 {
+		return nil
+	}
+	for {
+		w := m.tree.Winner()
+		e := &m.entries[w]
+		if e.exhausted {
+			return nil // champion exhausted ⇒ all sources drained
+		}
 		if e.pkt == nil {
-			// Activate: pull the first packet.
-			pkt, ok := e.source.Next()
-			if !ok {
-				heap.Pop(&m.h)
-				continue
+			// Activate: pull the first packet and re-key on its true
+			// timestamp (StartTime is only a lower bound).
+			if pkt, ok := e.source.Next(); ok {
+				e.pkt = pkt
+				e.at = pkt.TS
+			} else {
+				e.exhausted = true
 			}
-			e.pkt = pkt
-			e.at = pkt.TS
-			heap.Fix(&m.h, 0)
+			m.tree.Fix(w)
 			continue
 		}
 		out := e.pkt
 		if nxt, ok := e.source.Next(); ok {
 			e.pkt = nxt
 			e.at = nxt.TS
-			heap.Fix(&m.h, 0)
 		} else {
-			heap.Pop(&m.h)
+			e.pkt = nil
+			e.exhausted = true
 		}
+		m.tree.Fix(w)
 		return out
 	}
-	return nil
 }
 
 // Run drains the merged stream into sink.
@@ -157,17 +196,21 @@ func Partition(sources []Source, n int) [][]Source {
 	return groups
 }
 
-// sliceSource replays a pre-built, time-sorted packet slice. Event
+// sliceSource replays a pre-built, time-sorted packet slab. Event
 // generators that materialize lazily wrap themselves in one once
-// activated.
+// activated. On exhaustion the slab returns to the shard pool (when
+// recycling): by then every packet except the final one has been fully
+// consumed, and the merger's one-packet lookahead guarantees the final
+// packet is processed before any later activation can reuse the slab.
 type sliceSource struct {
 	start telescope.Timestamp
 	src   netmodel.Addr
-	pkts  []*telescope.Packet
+	pkts  []telescope.Packet
 	i     int
+	pool  *slabPool
 }
 
-func newSliceSource(start telescope.Timestamp, src netmodel.Addr, pkts []*telescope.Packet) *sliceSource {
+func newSliceSource(start telescope.Timestamp, src netmodel.Addr, pkts []telescope.Packet) *sliceSource {
 	return &sliceSource{start: start, src: src, pkts: pkts}
 }
 
@@ -175,25 +218,34 @@ func (s *sliceSource) StartTime() telescope.Timestamp { return s.start }
 
 func (s *sliceSource) Src() netmodel.Addr { return s.src }
 
+func (s *sliceSource) setPool(p *slabPool) { s.pool = p }
+
 func (s *sliceSource) Next() (*telescope.Packet, bool) {
 	if s.i >= len(s.pkts) {
+		if s.pool != nil && s.pkts != nil {
+			s.pool.put(s.pkts)
+			s.pkts = nil
+		}
 		return nil, false
 	}
-	p := s.pkts[s.i]
+	p := &s.pkts[s.i]
 	s.i++
 	return p, true
 }
 
 // lazySource defers building its packets until the merger activates it
 // (first Next call), bounding peak memory to concurrently live events.
+// The build function receives the shard's slab pool (nil when
+// recycling is off) to draw its packet arena from.
 type lazySource struct {
 	start telescope.Timestamp
 	src   netmodel.Addr
-	build func() []*telescope.Packet
-	inner *sliceSource
+	build func(*slabPool) []telescope.Packet
+	inner sliceSource
+	pool  *slabPool
 }
 
-func newLazySource(start telescope.Timestamp, src netmodel.Addr, build func() []*telescope.Packet) *lazySource {
+func newLazySource(start telescope.Timestamp, src netmodel.Addr, build func(*slabPool) []telescope.Packet) *lazySource {
 	return &lazySource{start: start, src: src, build: build}
 }
 
@@ -201,9 +253,11 @@ func (s *lazySource) StartTime() telescope.Timestamp { return s.start }
 
 func (s *lazySource) Src() netmodel.Addr { return s.src }
 
+func (s *lazySource) setPool(p *slabPool) { s.pool = p }
+
 func (s *lazySource) Next() (*telescope.Packet, bool) {
-	if s.inner == nil {
-		s.inner = newSliceSource(s.start, s.src, s.build())
+	if s.build != nil {
+		s.inner = sliceSource{start: s.start, src: s.src, pkts: s.build(s.pool), pool: s.pool}
 		s.build = nil
 	}
 	return s.inner.Next()

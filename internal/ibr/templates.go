@@ -189,12 +189,11 @@ func pickResponseKind(r *netmodel.RNG) responseKind {
 }
 
 // ResponsePacket builds one backscatter packet from the victim to a
-// spoofed client, with the given server SCID patched in.
+// spoofed client, with the given server SCID patched in. The returned
+// slice is freshly allocated per call; generators on the hot path go
+// through a PayloadCache instead, which interns the patched bytes.
 func (t *Templates) ResponsePacket(v wire.Version, kind responseKind, scid []byte) []byte {
-	vt := t.perVersion[v]
-	if vt == nil {
-		vt = t.perVersion[wire.Version1]
-	}
+	vt := t.versionOf(v)
 	var tpl []byte
 	var offs []int
 	switch kind {
@@ -214,13 +213,69 @@ func (t *Templates) ResponsePacket(v wire.Version, kind responseKind, scid []byt
 	return out
 }
 
-// ScanPacket returns the scan request datagram for a version.
-func (t *Templates) ScanPacket(v wire.Version) []byte {
+func (t *Templates) versionOf(v wire.Version) *versionTemplates {
 	vt := t.perVersion[v]
 	if vt == nil {
 		vt = t.perVersion[wire.Version1]
 	}
-	return vt.clientInitial
+	return vt
+}
+
+// ScanPacket returns the scan request datagram for a version. The
+// returned slice is the shared template itself — every bot packet of
+// that version aliases it as Payload — and MUST be treated as
+// read-only by all consumers. The dissector honors this: it never
+// writes to payloads (see TestScanPacketSharedReadOnly).
+func (t *Templates) ScanPacket(v wire.Version) []byte {
+	return t.versionOf(v).clientInitial
+}
+
+// payloadKey identifies one interned response datagram.
+type payloadKey struct {
+	v    wire.Version
+	kind responseKind
+	scid [scidLen]byte
+}
+
+// PayloadCache interns patched response datagrams per (version, kind,
+// SCID), returning shared read-only slices exactly like ScanPacket
+// does. Flood specs pool SCIDs per spoofed tuple, so one attack's
+// whole backscatter collapses onto a handful of distinct datagrams —
+// the per-packet clone in Templates.ResponsePacket was the pipeline's
+// single largest allocation source. A cache is single-goroutine
+// (generators build events on their shard's worker); use one per spec
+// or per shard.
+type PayloadCache struct {
+	t *Templates
+	m map[payloadKey][]byte
+}
+
+// NewPayloadCache creates an empty cache over the templates.
+func NewPayloadCache(t *Templates) *PayloadCache {
+	return &PayloadCache{t: t}
+}
+
+// ResponsePacket returns the interned patched datagram for the key,
+// building it once on first use. 1-RTT noise packets carry no SCID and
+// resolve to the shared template directly. Callers must treat the
+// result as read-only.
+func (c *PayloadCache) ResponsePacket(v wire.Version, kind responseKind, scid []byte) []byte {
+	if kind == kindOneRTT {
+		return c.t.versionOf(v).oneRTT
+	}
+	var k payloadKey
+	k.v = v
+	k.kind = kind
+	copy(k.scid[:], scid)
+	if p, ok := c.m[k]; ok {
+		return p
+	}
+	if c.m == nil {
+		c.m = make(map[payloadKey][]byte, 8)
+	}
+	p := c.t.ResponsePacket(v, kind, scid)
+	c.m[k] = p
+	return p
 }
 
 // clampSize converts a datagram length to the Packet.Size field.

@@ -1,0 +1,142 @@
+package losertree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// drain merges k pre-sorted streams through a Tree and returns the
+// emitted sequence.
+func drain(streams [][]int) []int {
+	k := len(streams)
+	pos := make([]int, k)
+	exhausted := func(i int32) bool { return pos[i] >= len(streams[i]) }
+	less := func(a, b int32) bool {
+		ea, eb := exhausted(a), exhausted(b)
+		if ea != eb {
+			return !ea
+		}
+		if ea {
+			return a < b
+		}
+		x, y := streams[a][pos[a]], streams[b][pos[b]]
+		if x != y {
+			return x < y
+		}
+		return a < b
+	}
+	t := New(k, less)
+	var out []int
+	for {
+		w := t.Winner()
+		if w < 0 || exhausted(w) {
+			return out
+		}
+		out = append(out, streams[w][pos[w]])
+		pos[w]++
+		t.Fix(w)
+	}
+}
+
+func TestMergeAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Every k from 1..17 exercises the non-power-of-two leaf mapping.
+	for k := 1; k <= 17; k++ {
+		streams := make([][]int, k)
+		var all []int
+		for i := range streams {
+			n := rng.Intn(20)
+			for j := 0; j < n; j++ {
+				v := rng.Intn(50)
+				streams[i] = append(streams[i], v)
+				all = append(all, v)
+			}
+			sort.Ints(streams[i])
+		}
+		sort.Ints(all)
+		got := drain(streams)
+		if len(got) != len(all) {
+			t.Fatalf("k=%d: merged %d of %d items", k, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("k=%d: idx %d: got %d want %d\n%v\n%v", k, i, got[i], all[i], got, all)
+			}
+		}
+	}
+}
+
+func TestEmptyAndExhausted(t *testing.T) {
+	if w := New(0, func(a, b int32) bool { return a < b }).Winner(); w != -1 {
+		t.Fatalf("empty tree winner = %d", w)
+	}
+	if got := drain([][]int{nil, nil, nil}); len(got) != 0 {
+		t.Fatalf("all-empty streams emitted %v", got)
+	}
+}
+
+func TestTieBreakByIndex(t *testing.T) {
+	// Equal keys across streams must emit lowest index first.
+	got := drain([][]int{{5, 5}, {5}, {5, 5, 5}})
+	if len(got) != 6 {
+		t.Fatalf("got %v", got)
+	}
+	// Verify order of consumption by replaying with labeled values.
+	streams := [][]int{{10, 40}, {10}, {10, 10}}
+	pos := make([]int, 3)
+	exhausted := func(i int32) bool { return pos[i] >= len(streams[i]) }
+	less := func(a, b int32) bool {
+		ea, eb := exhausted(a), exhausted(b)
+		if ea != eb {
+			return !ea
+		}
+		if ea {
+			return a < b
+		}
+		x, y := streams[a][pos[a]], streams[b][pos[b]]
+		if x != y {
+			return x < y
+		}
+		return a < b
+	}
+	tr := New(3, less)
+	var order []int32
+	for {
+		w := tr.Winner()
+		if exhausted(w) {
+			break
+		}
+		order = append(order, w)
+		pos[w]++
+		tr.Fix(w)
+	}
+	want := []int32{0, 1, 2, 2, 0} // 10s by index order, then 40
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResetAfterGrowth(t *testing.T) {
+	vals := []int{3, 1, 2}
+	less := func(a, b int32) bool {
+		if vals[a] != vals[b] {
+			return vals[a] < vals[b]
+		}
+		return a < b
+	}
+	tr := New(3, less)
+	if w := tr.Winner(); vals[w] != 1 {
+		t.Fatalf("winner %d", vals[w])
+	}
+	vals = append(vals, 0)
+	tr.Reset(4)
+	if w := tr.Winner(); vals[w] != 0 {
+		t.Fatalf("after reset winner %d", vals[w])
+	}
+}

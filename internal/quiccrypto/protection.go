@@ -4,7 +4,6 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"errors"
-	"fmt"
 
 	"quicsand/internal/wire"
 )
@@ -131,12 +130,17 @@ func (s *Sealer) Seal(pkt []byte, pnOffset, pnLen int, pn uint64) ([]byte, error
 	return pkt, nil
 }
 
-// An Opener removes protection from incoming packets.
+// An Opener removes protection from incoming packets. It is not safe
+// for concurrent use (it tracks the largest opened packet number and
+// reuses nonce scratch); use one per goroutine.
 type Opener struct {
 	k *keys
 	// largestPN tracks the highest packet number opened, for truncated
 	// packet-number recovery.
 	largestPN uint64
+	// nonce is scratch reused across Open calls so the per-packet
+	// telescope path stays allocation-free.
+	nonce [aeadNonceLen]byte
 }
 
 // NewOpener derives an Opener from a traffic secret.
@@ -148,6 +152,14 @@ func NewOpener(trafficSecret []byte) (*Opener, error) {
 	return &Opener{k: k}, nil
 }
 
+// ResetLargestPN clears the truncated packet-number recovery context,
+// so the next Open decodes as a connection-less observer (largest
+// seen = 0) — exactly a fresh Opener's behavior. Streaming dissectors
+// that cache Openers across unrelated datagrams call this per
+// datagram; without it, state left by one packet could change how a
+// later, unrelated packet's truncated number is expanded.
+func (o *Opener) ResetLargestPN() { o.largestPN = 0 }
+
 // Open removes header and packet protection. pkt must span exactly one
 // QUIC packet; pnOffset is the offset of the (protected) packet number.
 // It returns the decrypted payload (freshly allocated) and the full
@@ -156,9 +168,19 @@ func NewOpener(trafficSecret []byte) (*Opener, error) {
 // different keys and concurrent dissectors may share one wire buffer
 // (flood backscatter and scan packets alias per-version templates).
 func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err error) {
+	return o.AppendOpen(nil, pkt, pnOffset)
+}
+
+// AppendOpen is Open with caller-supplied plaintext storage: the
+// decrypted payload is appended to dst (which must not alias pkt) and
+// the extended slice returned, so a streaming dissector can reuse one
+// buffer for the whole packet stream. On failure it returns the exact
+// sentinel ErrDecryptFailed — no per-packet error wrapping, because a
+// telescope sees millions of undecryptable backscatter datagrams.
+func (o *Opener) AppendOpen(dst []byte, pkt []byte, pnOffset int) (payload []byte, pn uint64, err error) {
 	sampleOff := pnOffset + 4
 	if sampleOff+sampleLen > len(pkt) {
-		return nil, 0, ErrShortPacket
+		return dst, 0, ErrShortPacket
 	}
 	mask := o.k.headerMask(pkt[sampleOff : sampleOff+sampleLen])
 	first := pkt[0]
@@ -169,7 +191,7 @@ func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err 
 	}
 	pnLen := int(first&0x03) + 1
 	if pnOffset+pnLen > len(pkt) {
-		return nil, 0, ErrShortPacket
+		return dst, 0, ErrShortPacket
 	}
 	var truncated uint64
 	for i := 0; i < pnLen; i++ {
@@ -195,14 +217,19 @@ func (o *Opener) Open(pkt []byte, pnOffset int) (payload []byte, pn uint64, err 
 
 	ciphertext := pkt[pnOffset+pnLen:]
 	if len(ciphertext) < aeadTagLen {
-		return nil, 0, ErrShortPacket
+		return dst, 0, ErrShortPacket
 	}
-	// Decrypt into a fresh buffer: GCM zeroes dst on authentication
-	// failure, which would clobber the ciphertext for retries.
-	payload, err = o.k.aead.Open(nil, o.k.nonce(pn), ciphertext, header)
+	copy(o.nonce[:], o.k.iv[:])
+	for i := 0; i < 8; i++ {
+		o.nonce[aeadNonceLen-1-i] ^= byte(pn >> (8 * i))
+	}
+	// Decrypt into dst, never pkt: GCM zeroes its output on
+	// authentication failure, which would clobber the ciphertext for
+	// retries with other keys.
+	payload, err = o.k.aead.Open(dst, o.nonce[:], ciphertext, header)
 
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrDecryptFailed, err)
+		return dst, 0, ErrDecryptFailed
 	}
 	if pn > o.largestPN {
 		o.largestPN = pn

@@ -1,0 +1,54 @@
+package sessions
+
+import (
+	"testing"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+)
+
+// TestObserveAllocsSinglePacketSession bounds the allocation cost of
+// the dominant telescope session class: a source that appears once.
+// With the inline accumulators (no eager maps, no per-minute map) a
+// whole tiny session costs one Session allocation plus amortized
+// active-map growth.
+func TestObserveAllocsSinglePacketSession(t *testing.T) {
+	sz := NewSessionizer(nil)
+	base := telescope.TS(telescope.MeasurementStart)
+	next := uint32(0)
+	// Warm up the active map and let lazy expiry reach steady state.
+	for i := 0; i < 5000; i++ {
+		sz.Observe(&telescope.Packet{
+			TS: base + telescope.Timestamp(next)*10, Src: netmodel.Addr(0x0a000000 + next),
+			Dst: netmodel.MustAddr("44.0.0.1"), SrcPort: 50000, DstPort: 443, Size: 1200,
+		}, nil)
+		next++
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		sz.Observe(&telescope.Packet{
+			TS: base + telescope.Timestamp(next)*10, Src: netmodel.Addr(0x0a000000 + next),
+			Dst: netmodel.MustAddr("44.0.0.1"), SrcPort: 50000, DstPort: 443, Size: 1200,
+		}, nil)
+		next++
+	}); avg > 2 {
+		t.Errorf("single-packet session costs %.2f allocs, budget 2 (Session + map growth)", avg)
+	}
+
+	// Steady-state packets of one long-lived session allocate nothing.
+	src := netmodel.Addr(0x0b000000)
+	sz2 := NewSessionizer(nil)
+	p := &telescope.Packet{
+		TS: base, Src: src,
+		Dst: netmodel.MustAddr("44.0.0.2"), SrcPort: 50000, DstPort: 443, Size: 1200,
+	}
+	for i := 0; i < 16; i++ {
+		sz2.Observe(p, nil)
+		p.TS += 10
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		sz2.Observe(p, nil)
+		p.TS += 10
+	}); avg > 0 {
+		t.Errorf("steady-state Observe allocates %.2f/op, want 0", avg)
+	}
+}

@@ -43,6 +43,14 @@ func (k Kind) String() string {
 }
 
 // Session is one aggregated traffic session.
+//
+// The anatomy accumulators (peer addresses/ports, SCIDs, versions,
+// per-minute rate) are compact inline structures rather than maps: the
+// dominant session class is a tiny single-visit request session, which
+// previously paid five map allocations up front. Small sessions now
+// stay entirely inside the struct; only genuinely diverse sessions
+// (flood backscatter fanning over dozens of spoofed tuples) spill to a
+// map, once.
 type Session struct {
 	Src        netmodel.Addr
 	Start, End telescope.Timestamp
@@ -55,16 +63,199 @@ type Session struct {
 	TypeCounts [6]int // indexed by wire.PacketType
 
 	// Version histogram of long-header packets.
-	Versions map[wire.Version]int
+	versions versionCounts
 
 	// Response-session anatomy (Figure 9).
-	SCIDs       map[string]struct{} // unique server CIDs
-	PeerAddrs   map[netmodel.Addr]struct{}
-	PeerPorts   map[uint16]struct{}
-	perMinute   map[int64]int
+	scids     scidSet // unique server CIDs
+	peerAddrs addrSet
+	peerPorts portSet
+
+	// Moore max-pps over 1-minute slots: packets arrive time-ordered,
+	// so one (current minute, count) pair replaces the per-minute map.
+	curMinute   int64
+	curCount    int
 	maxPerMin   int
 	hasCH       int // Initials carrying a ClientHello
 	totalQUICPk int
+}
+
+// UniqueSCIDs returns the number of distinct server connection IDs
+// observed in the session's responses.
+func (s *Session) UniqueSCIDs() int { return s.scids.count() }
+
+// UniquePeerAddrs returns the number of distinct peer addresses
+// (spoofed clients, for backscatter).
+func (s *Session) UniquePeerAddrs() int { return s.peerAddrs.count() }
+
+// UniquePeerPorts returns the number of distinct peer ports.
+func (s *Session) UniquePeerPorts() int { return s.peerPorts.count() }
+
+// addrSet counts distinct peer addresses: inline storage for the tiny
+// common case, one map spill for diverse sessions.
+type addrSet struct {
+	inline [8]netmodel.Addr
+	n      uint8
+	m      map[netmodel.Addr]struct{}
+}
+
+func (s *addrSet) add(a netmodel.Addr) {
+	if s.m != nil {
+		s.m[a] = struct{}{}
+		return
+	}
+	for i := uint8(0); i < s.n; i++ {
+		if s.inline[i] == a {
+			return
+		}
+	}
+	if int(s.n) < len(s.inline) {
+		s.inline[s.n] = a
+		s.n++
+		return
+	}
+	s.m = make(map[netmodel.Addr]struct{}, 2*len(s.inline))
+	for _, v := range s.inline {
+		s.m[v] = struct{}{}
+	}
+	s.m[a] = struct{}{}
+}
+
+func (s *addrSet) count() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return int(s.n)
+}
+
+// portSet is addrSet for ports.
+type portSet struct {
+	inline [8]uint16
+	n      uint8
+	m      map[uint16]struct{}
+}
+
+func (s *portSet) add(p uint16) {
+	if s.m != nil {
+		s.m[p] = struct{}{}
+		return
+	}
+	for i := uint8(0); i < s.n; i++ {
+		if s.inline[i] == p {
+			return
+		}
+	}
+	if int(s.n) < len(s.inline) {
+		s.inline[s.n] = p
+		s.n++
+		return
+	}
+	s.m = make(map[uint16]struct{}, 2*len(s.inline))
+	for _, v := range s.inline {
+		s.m[v] = struct{}{}
+	}
+	s.m[p] = struct{}{}
+}
+
+func (s *portSet) count() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return int(s.n)
+}
+
+// scidSet interns distinct SCIDs. Lookups convert []byte keys without
+// allocating (inline string comparison, map access via string(b));
+// only a genuinely new SCID pays the string copy.
+type scidSet struct {
+	inline [4]string
+	n      uint8
+	m      map[string]struct{}
+}
+
+func (s *scidSet) add(b []byte) {
+	if s.m != nil {
+		if _, ok := s.m[string(b)]; !ok {
+			s.m[string(b)] = struct{}{}
+		}
+		return
+	}
+	for i := uint8(0); i < s.n; i++ {
+		if s.inline[i] == string(b) {
+			return
+		}
+	}
+	if int(s.n) < len(s.inline) {
+		s.inline[s.n] = string(b)
+		s.n++
+		return
+	}
+	s.m = make(map[string]struct{}, 2*len(s.inline))
+	for _, v := range s.inline {
+		s.m[v] = struct{}{}
+	}
+	s.m[string(b)] = struct{}{}
+}
+
+func (s *scidSet) count() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return int(s.n)
+}
+
+// versionCounts is a histogram over wire versions; 2021 traffic shows
+// four, so the inline arm effectively never spills.
+type versionCounts struct {
+	vs [4]wire.Version
+	ns [4]int
+	n  uint8
+	m  map[wire.Version]int
+}
+
+func (c *versionCounts) add(v wire.Version) {
+	if c.m != nil {
+		c.m[v]++
+		return
+	}
+	for i := uint8(0); i < c.n; i++ {
+		if c.vs[i] == v {
+			c.ns[i]++
+			return
+		}
+	}
+	if int(c.n) < len(c.vs) {
+		c.vs[c.n] = v
+		c.ns[c.n] = 1
+		c.n++
+		return
+	}
+	c.m = make(map[wire.Version]int, 2*len(c.vs))
+	for i := range c.vs {
+		c.m[c.vs[i]] = c.ns[i]
+	}
+	c.m[v]++
+}
+
+// dominant returns the most frequent version, ties broken toward the
+// smallest version value (matching the historical map-based logic).
+func (c *versionCounts) dominant() wire.Version {
+	var best wire.Version
+	bestN := 0
+	if c.m != nil {
+		for v, n := range c.m {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		return best
+	}
+	for i := uint8(0); i < c.n; i++ {
+		v, n := c.vs[i], c.ns[i]
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
 }
 
 // Kind classifies the session.
@@ -87,19 +278,16 @@ func (s *Session) Duration() float64 {
 // MaxPPS is the maximum packet rate over 1-minute slots, in packets
 // per second — the Moore et al. intensity metric.
 func (s *Session) MaxPPS() float64 {
-	return float64(s.maxPerMin) / 60
+	m := s.maxPerMin
+	if s.curCount > m {
+		m = s.curCount
+	}
+	return float64(m) / 60
 }
 
 // DominantVersion returns the most frequent wire version (0 if none).
 func (s *Session) DominantVersion() wire.Version {
-	var best wire.Version
-	bestN := 0
-	for v, n := range s.Versions {
-		if n > bestN || (n == bestN && v < best) {
-			best, bestN = v, n
-		}
-	}
-	return best
+	return s.versions.dominant()
 }
 
 // InitialShare and HandshakeShare return the fraction of QUIC packets
@@ -177,36 +365,36 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 		}
 	}
 	if s == nil {
-		s = &Session{
-			Src: p.Src, Start: p.TS, End: p.TS,
-			Versions:  make(map[wire.Version]int),
-			SCIDs:     make(map[string]struct{}),
-			PeerAddrs: make(map[netmodel.Addr]struct{}),
-			PeerPorts: make(map[uint16]struct{}),
-			perMinute: make(map[int64]int),
-		}
+		s = &Session{Src: p.Src, Start: p.TS, End: p.TS, curMinute: int64(p.TS) / 60000}
 		sz.active[p.Src] = s
 	}
 
 	s.End = p.TS
 	s.Packets++
 	s.Bytes += uint64(p.Size)
+	isResponse := p.IsResponse()
 	if p.IsRequest() {
 		s.Requests++
-	} else if p.IsResponse() {
+	} else if isResponse {
 		s.Responses++
 	}
-	s.PeerAddrs[p.Dst] = struct{}{}
-	if p.IsResponse() {
-		s.PeerPorts[p.DstPort] = struct{}{}
+	s.peerAddrs.add(p.Dst)
+	if isResponse {
+		s.peerPorts.add(p.DstPort)
 	} else {
-		s.PeerPorts[p.SrcPort] = struct{}{}
+		s.peerPorts.add(p.SrcPort)
 	}
+	// Time-ordered arrival means minute slots complete monotonically;
+	// fold the finished slot into the running maximum.
 	minute := int64(p.TS) / 60000
-	s.perMinute[minute]++
-	if s.perMinute[minute] > s.maxPerMin {
-		s.maxPerMin = s.perMinute[minute]
+	if minute != s.curMinute {
+		if s.curCount > s.maxPerMin {
+			s.maxPerMin = s.curCount
+		}
+		s.curMinute = minute
+		s.curCount = 0
 	}
+	s.curCount++
 
 	if r != nil {
 		for i := range r.Packets {
@@ -216,10 +404,10 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 			}
 			s.totalQUICPk++
 			if pi.Type != wire.PacketTypeOneRTT && pi.Version != 0 {
-				s.Versions[pi.Version]++
+				s.versions.add(pi.Version)
 			}
-			if len(pi.SCID) > 0 && p.IsResponse() {
-				s.SCIDs[string(pi.SCID)] = struct{}{}
+			if len(pi.SCID) > 0 && isResponse {
+				s.scids.add(pi.SCID)
 			}
 			if pi.HasClientHello {
 				s.hasCH++
@@ -242,7 +430,11 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 }
 
 func (sz *Sessionizer) finish(s *Session) {
-	s.perMinute = nil // release slot map; maxPerMin is final
+	// Fold the final minute slot; maxPerMin is final after this.
+	if s.curCount > s.maxPerMin {
+		s.maxPerMin = s.curCount
+	}
+	s.curCount = 0
 	sz.Emitted++
 	if sz.Emit != nil {
 		sz.Emit(s)

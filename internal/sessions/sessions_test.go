@@ -121,14 +121,14 @@ func TestSessionDissectionStats(t *testing.T) {
 	sz.Flush()
 
 	s := got[0]
-	if len(s.SCIDs) != 2 {
-		t.Errorf("unique SCIDs = %d", len(s.SCIDs))
+	if s.UniqueSCIDs() != 2 {
+		t.Errorf("unique SCIDs = %d", s.UniqueSCIDs())
 	}
-	if len(s.PeerAddrs) != 2 {
-		t.Errorf("peer addrs = %d", len(s.PeerAddrs))
+	if s.UniquePeerAddrs() != 2 {
+		t.Errorf("peer addrs = %d", s.UniquePeerAddrs())
 	}
-	if len(s.PeerPorts) != 2 {
-		t.Errorf("peer ports = %d", len(s.PeerPorts))
+	if s.UniquePeerPorts() != 2 {
+		t.Errorf("peer ports = %d", s.UniquePeerPorts())
 	}
 	if s.DominantVersion() != wire.VersionDraft29 {
 		t.Errorf("dominant version = %v", s.DominantVersion())

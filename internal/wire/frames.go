@@ -214,17 +214,48 @@ func (f *HandshakeDoneFrame) Append(dst []byte) []byte {
 	return AppendVarint(dst, uint64(FrameTypeHandshakeDone))
 }
 
-// ParseFrames parses a decrypted packet payload into frames. Runs of
-// PADDING bytes are coalesced into a single PaddingFrame. Frame types
-// the handshake never carries (streams, flow control) produce an error,
+// FrameInfo is the reusable per-frame record VisitFrames fills in.
+// Only the fields of the current Type are meaningful; slice fields
+// alias either the payload (CryptoData, Token, Reason) or the visitor's
+// scratch storage (Ranges) and must be copied to outlive the visit.
+type FrameInfo struct {
+	Type FrameType
+
+	// PADDING: number of coalesced zero bytes.
+	PaddingCount int
+
+	// ACK / ACK_ECN.
+	Ranges   []AckRange
+	DelayRaw uint64
+
+	// CRYPTO.
+	CryptoOffset uint64
+	CryptoData   []byte
+
+	// NEW_TOKEN.
+	Token []byte
+
+	// CONNECTION_CLOSE.
+	ErrorCode      uint64
+	CloseFrameType uint64
+	Reason         []byte
+}
+
+// VisitFrames walks a decrypted packet payload frame by frame without
+// materializing Frame values — the telescope's per-packet hot path.
+// info is caller-owned scratch reused for every frame (its Ranges
+// backing array is recycled across frames and calls); visit observes
+// each frame in wire order and may stop the walk by returning an error.
+// Runs of PADDING bytes coalesce into one visit. Frame types the
+// handshake never carries (streams, flow control) produce an error,
 // matching the dissector's strict validation role.
-func ParseFrames(payload []byte) ([]Frame, error) {
-	var frames []Frame
+func VisitFrames(payload []byte, info *FrameInfo, visit func(*FrameInfo) error) error {
 	for len(payload) > 0 {
 		ft, n, err := ConsumeVarint(payload)
 		if err != nil {
-			return frames, err
+			return err
 		}
+		info.Type = FrameType(ft)
 		switch FrameType(ft) {
 		case FrameTypePadding:
 			count := 0
@@ -232,133 +263,171 @@ func ParseFrames(payload []byte) ([]Frame, error) {
 				count++
 				payload = payload[1:]
 			}
-			frames = append(frames, &PaddingFrame{Count: count})
+			info.PaddingCount = count
+			if err := visit(info); err != nil {
+				return err
+			}
 			continue
-		case FrameTypePing:
-			frames = append(frames, &PingFrame{})
+		case FrameTypePing, FrameTypeHandshakeDone:
 			payload = payload[n:]
 		case FrameTypeAck, FrameTypeAckECN:
 			payload = payload[n:]
-			f := &AckFrame{}
+			info.Ranges = info.Ranges[:0]
 			largest, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
-			f.DelayRaw, n, err = ConsumeVarint(payload)
+			info.DelayRaw, n, err = ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			rangeCount, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			firstRange, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			if firstRange > largest {
-				return frames, fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
+				return fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
 			}
-			f.Ranges = append(f.Ranges, AckRange{Smallest: largest - firstRange, Largest: largest})
+			info.Ranges = append(info.Ranges, AckRange{Smallest: largest - firstRange, Largest: largest})
 			smallest := largest - firstRange
 			for i := uint64(0); i < rangeCount; i++ {
 				gap, n, err := ConsumeVarint(payload)
 				if err != nil {
-					return frames, err
+					return err
 				}
 				payload = payload[n:]
 				rlen, n, err := ConsumeVarint(payload)
 				if err != nil {
-					return frames, err
+					return err
 				}
 				payload = payload[n:]
 				if gap+2 > smallest {
-					return frames, fmt.Errorf("wire: ack gap underflow: %w", ErrBadFrame)
+					return fmt.Errorf("wire: ack gap underflow: %w", ErrBadFrame)
 				}
 				largest = smallest - gap - 2
 				if rlen > largest {
-					return frames, fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
+					return fmt.Errorf("wire: ack range underflow: %w", ErrBadFrame)
 				}
 				smallest = largest - rlen
-				f.Ranges = append(f.Ranges, AckRange{Smallest: smallest, Largest: largest})
+				info.Ranges = append(info.Ranges, AckRange{Smallest: smallest, Largest: largest})
 			}
 			if FrameType(ft) == FrameTypeAckECN {
 				for i := 0; i < 3; i++ { // ECT0, ECT1, CE counts
 					_, n, err := ConsumeVarint(payload)
 					if err != nil {
-						return frames, err
+						return err
 					}
 					payload = payload[n:]
 				}
 			}
-			frames = append(frames, f)
 		case FrameTypeCrypto:
 			payload = payload[n:]
 			off, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			dlen, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			if uint64(len(payload)) < dlen {
-				return frames, ErrTruncated
+				return ErrTruncated
 			}
-			frames = append(frames, &CryptoFrame{Offset: off, Data: payload[:dlen]})
+			info.CryptoOffset = off
+			info.CryptoData = payload[:dlen]
 			payload = payload[dlen:]
 		case FrameTypeNewToken:
 			payload = payload[n:]
 			tlen, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			if uint64(len(payload)) < tlen || tlen == 0 {
-				return frames, fmt.Errorf("wire: NEW_TOKEN length %d: %w", tlen, ErrBadFrame)
+				return fmt.Errorf("wire: NEW_TOKEN length %d: %w", tlen, ErrBadFrame)
 			}
-			frames = append(frames, &NewTokenFrame{Token: payload[:tlen]})
+			info.Token = payload[:tlen]
 			payload = payload[tlen:]
 		case FrameTypeConnectionClose, FrameTypeConnCloseApp:
 			payload = payload[n:]
-			f := &ConnectionCloseFrame{IsApplication: FrameType(ft) == FrameTypeConnCloseApp}
-			f.ErrorCode, n, err = ConsumeVarint(payload)
+			info.ErrorCode, n, err = ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
-			if !f.IsApplication {
-				f.FrameType, n, err = ConsumeVarint(payload)
+			info.CloseFrameType = 0
+			if FrameType(ft) == FrameTypeConnectionClose {
+				info.CloseFrameType, n, err = ConsumeVarint(payload)
 				if err != nil {
-					return frames, err
+					return err
 				}
 				payload = payload[n:]
 			}
 			rlen, n, err := ConsumeVarint(payload)
 			if err != nil {
-				return frames, err
+				return err
 			}
 			payload = payload[n:]
 			if uint64(len(payload)) < rlen {
-				return frames, ErrTruncated
+				return ErrTruncated
 			}
-			f.Reason = string(payload[:rlen])
+			info.Reason = payload[:rlen]
 			payload = payload[rlen:]
-			frames = append(frames, f)
-		case FrameTypeHandshakeDone:
-			frames = append(frames, &HandshakeDoneFrame{})
-			payload = payload[n:]
 		default:
-			return frames, fmt.Errorf("wire: unexpected frame type %#x in handshake packet: %w", ft, ErrBadFrame)
+			return fmt.Errorf("wire: unexpected frame type %#x in handshake packet: %w", ft, ErrBadFrame)
+		}
+		if err := visit(info); err != nil {
+			return err
 		}
 	}
-	return frames, nil
+	return nil
+}
+
+// ParseFrames parses a decrypted packet payload into frames. Runs of
+// PADDING bytes are coalesced into a single PaddingFrame. It is the
+// materializing wrapper over VisitFrames; streaming consumers that only
+// inspect frames should visit instead and skip the allocations.
+func ParseFrames(payload []byte) ([]Frame, error) {
+	var frames []Frame
+	var info FrameInfo
+	err := VisitFrames(payload, &info, func(fi *FrameInfo) error {
+		switch fi.Type {
+		case FrameTypePadding:
+			frames = append(frames, &PaddingFrame{Count: fi.PaddingCount})
+		case FrameTypePing:
+			frames = append(frames, &PingFrame{})
+		case FrameTypeAck, FrameTypeAckECN:
+			frames = append(frames, &AckFrame{
+				Ranges:   append([]AckRange(nil), fi.Ranges...),
+				DelayRaw: fi.DelayRaw,
+			})
+		case FrameTypeCrypto:
+			frames = append(frames, &CryptoFrame{Offset: fi.CryptoOffset, Data: fi.CryptoData})
+		case FrameTypeNewToken:
+			frames = append(frames, &NewTokenFrame{Token: fi.Token})
+		case FrameTypeConnectionClose, FrameTypeConnCloseApp:
+			frames = append(frames, &ConnectionCloseFrame{
+				IsApplication: fi.Type == FrameTypeConnCloseApp,
+				ErrorCode:     fi.ErrorCode,
+				FrameType:     fi.CloseFrameType,
+				Reason:        string(fi.Reason),
+			})
+		case FrameTypeHandshakeDone:
+			frames = append(frames, &HandshakeDoneFrame{})
+		}
+		return nil
+	})
+	return frames, err
 }
 
 // CryptoData reassembles the CRYPTO stream carried by frames, which

@@ -128,13 +128,27 @@ func HasFixedBit(b []byte) bool {
 // needing packet numbers or frames must remove packet protection first
 // (package quiccrypto).
 func ParseLongHeader(data []byte) (*Header, error) {
+	h := &Header{}
+	if err := ParseLongHeaderInto(h, data); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseLongHeaderInto parses like ParseLongHeader but decodes into a
+// caller-owned Header, so streaming dissectors can parse millions of
+// packets without per-packet allocation. Every field is overwritten;
+// slice fields (connection IDs, tokens) alias data and stay valid only
+// while data does.
+func ParseLongHeaderInto(h *Header, data []byte) error {
+	*h = Header{}
 	if len(data) < 6 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if data[0]&0x80 == 0 {
-		return nil, ErrShortHeader
+		return ErrShortHeader
 	}
-	h := &Header{firstByte: data[0]}
+	h.firstByte = data[0]
 	h.Version = Version(uint32(data[1])<<24 | uint32(data[2])<<16 | uint32(data[3])<<8 | uint32(data[4]))
 
 	pos := 5
@@ -142,10 +156,10 @@ func ParseLongHeader(data []byte) (*Header, error) {
 	dcidLen := int(data[pos])
 	pos++
 	if dcidLen > MaxConnIDLen && h.Version != VersionNegotiation {
-		return nil, fmt.Errorf("wire: DCID length %d: %w", dcidLen, ErrBadHeader)
+		return fmt.Errorf("wire: DCID length %d: %w", dcidLen, ErrBadHeader)
 	}
 	if len(data) < pos+dcidLen+1 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	h.DstConnID = ConnectionID(data[pos : pos+dcidLen])
 	pos += dcidLen
@@ -153,10 +167,10 @@ func ParseLongHeader(data []byte) (*Header, error) {
 	scidLen := int(data[pos])
 	pos++
 	if scidLen > MaxConnIDLen && h.Version != VersionNegotiation {
-		return nil, fmt.Errorf("wire: SCID length %d: %w", scidLen, ErrBadHeader)
+		return fmt.Errorf("wire: SCID length %d: %w", scidLen, ErrBadHeader)
 	}
 	if len(data) < pos+scidLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	h.SrcConnID = ConnectionID(data[pos : pos+scidLen])
 	pos += scidLen
@@ -164,19 +178,19 @@ func ParseLongHeader(data []byte) (*Header, error) {
 	if h.Version == VersionNegotiation {
 		h.Type = PacketTypeVersionNegotiation
 		if (len(data)-pos)%4 != 0 || len(data) == pos {
-			return nil, fmt.Errorf("wire: version negotiation list: %w", ErrBadHeader)
+			return fmt.Errorf("wire: version negotiation list: %w", ErrBadHeader)
 		}
 		for ; pos < len(data); pos += 4 {
 			h.SupportedVersions = append(h.SupportedVersions,
 				Version(uint32(data[pos])<<24|uint32(data[pos+1])<<16|uint32(data[pos+2])<<8|uint32(data[pos+3])))
 		}
 		h.packetLen = len(data)
-		return h, nil
+		return nil
 	}
 
 	if data[0]&0x40 == 0 {
 		// Fixed bit must be set for all known versions.
-		return nil, ErrNotQUIC
+		return ErrNotQUIC
 	}
 
 	switch (data[0] >> 4) & 0x3 {
@@ -193,22 +207,22 @@ func ParseLongHeader(data []byte) (*Header, error) {
 	if h.Type == PacketTypeRetry {
 		// Token runs to the end of the datagram minus the 16-byte tag.
 		if len(data)-pos < 16 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		h.RetryToken = data[pos : len(data)-16]
 		h.RetryIntegrityTag = data[len(data)-16:]
 		h.packetLen = len(data)
-		return h, nil
+		return nil
 	}
 
 	if h.Type == PacketTypeInitial {
 		tokenLen, n, err := ConsumeVarint(data[pos:])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pos += n
 		if uint64(len(data)-pos) < tokenLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		h.Token = data[pos : pos+int(tokenLen)]
 		pos += int(tokenLen)
@@ -216,16 +230,16 @@ func ParseLongHeader(data []byte) (*Header, error) {
 
 	length, n, err := ConsumeVarint(data[pos:])
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pos += n
 	h.Length = length
 	h.headerLen = pos
 	if uint64(len(data)-pos) < length {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	h.packetLen = pos + int(length)
-	return h, nil
+	return nil
 }
 
 // ParseShortHeader parses a short-header (1-RTT) packet given the

@@ -245,7 +245,10 @@ func Run(cfg Config) (*Analysis, error) {
 
 	shards := make([]*pipelineShard, workers)
 	feeds := make([]engine.Feed[*telescope.Packet], workers)
-	for i, m := range gen.Feeds(workers) {
+	// Packet-slab recycling is legal only when nothing retains packet
+	// pointers past the sink call; the trace tap buffers packets across
+	// goroutines, so checkpointing runs pay the allocations instead.
+	for i, m := range gen.Feeds(workers, cfg.Trace == nil) {
 		shards[i] = newPipelineShard(a.Internet, tum, rwth)
 		feeds[i] = m.Run
 	}

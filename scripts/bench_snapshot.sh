@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# bench_snapshot.sh — run the tracked perf benchmarks and write them as
+# JSON so the repo accumulates a perf trajectory PR over PR.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_PR2.json)
+#
+# The JSON is a flat list of records:
+#   {"bench": name, "ns_per_op": float, "bytes_per_op": int,
+#    "allocs_per_op": int, "extra": {"packets/s": float, ...}}
+# Run it on quiet, consistent hardware when recording numbers that land
+# in EXPERIMENTS.md; the CI invocation only guards against bit rot.
+set -eu
+
+out="${1:-BENCH_PR2.json}"
+bench_re='Pipeline|Dissect'
+benchtime="${BENCHTIME:-1x}"
+
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench_re" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")       ns = $(i-1)
+        else if ($(i) == "B/op")   bytes = $(i-1)
+        else if ($(i) == "allocs/op") allocs = $(i-1)
+        else if ($(i) ~ /\// && $(i) != "ns/op") {
+            # custom metrics like packets/s or MB/s
+            if (extra != "") extra = extra ","
+            extra = extra "\"" $(i) "\":" $(i-1)
+        }
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"bench\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (extra != "")  printf ", \"extra\": {%s}", extra
+    printf "}"
+}
+END { print "" ; print "]" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
