@@ -9,11 +9,13 @@ package quicsand
 // §6 lists.
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"quicsand/internal/capture"
 	"quicsand/internal/correlate"
 	"quicsand/internal/dissect"
 	"quicsand/internal/dosdetect"
@@ -86,6 +88,91 @@ func BenchmarkPipelineParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+var (
+	replayOnce     sync.Once
+	replayQSND     []byte
+	replayPcap     []byte
+	replayTraceErr error
+)
+
+// benchReplayTraces records the benchmark month once, in both
+// containers, so the replay benchmarks measure pure ingestion.
+func benchReplayTraces(b *testing.B) (qsnd, pcap []byte) {
+	b.Helper()
+	replayOnce.Do(func() {
+		var buf bytes.Buffer
+		w := telescope.NewWriter(&buf)
+		cfg := benchPipelineCfg(0)
+		cfg.Trace = w
+		if _, err := Run(cfg); err != nil {
+			replayTraceErr = err
+			return
+		}
+		if err := w.Flush(); err != nil {
+			replayTraceErr = err
+			return
+		}
+		replayQSND = buf.Bytes()
+
+		var pb bytes.Buffer
+		src, err := capture.NewSource(bytes.NewReader(replayQSND))
+		if err != nil {
+			replayTraceErr = err
+			return
+		}
+		sink := capture.NewSink(&pb, capture.FormatPcap)
+		if _, err := capture.Copy(sink, src); err != nil {
+			replayTraceErr = err
+			return
+		}
+		if err := sink.Flush(); err != nil {
+			replayTraceErr = err
+			return
+		}
+		replayPcap = pb.Bytes()
+	})
+	if replayTraceErr != nil {
+		b.Fatal(replayTraceErr)
+	}
+	return replayQSND, replayPcap
+}
+
+func benchReplay(b *testing.B, data []byte) {
+	b.Helper()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := capture.NewSource(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := Replay(benchPipelineCfg(0), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a.QUICSessions) == 0 {
+			b.Fatal("empty replay")
+		}
+		b.ReportMetric(a.Pipeline.Throughput(), "packets/s")
+	}
+}
+
+// BenchmarkReplay measures stored-month ingestion — decode, scatter to
+// the sharded engine, full analysis — from the native checkpoint
+// format (packets/s is the pipeline's wall-clock metric, MB/s the
+// container read rate).
+func BenchmarkReplay(b *testing.B) {
+	qsnd, _ := benchReplayTraces(b)
+	benchReplay(b, qsnd)
+}
+
+// BenchmarkReplayPcap is the same ingestion through the pcap decode
+// path (Ethernet decapsulation, IPv4/UDP parse, trailer fold-back).
+func BenchmarkReplayPcap(b *testing.B) {
+	_, pcap := benchReplayTraces(b)
+	benchReplay(b, pcap)
 }
 
 func BenchmarkFigure2(b *testing.B) {

@@ -1,19 +1,27 @@
 // Command quicsand runs the full measurement pipeline — simulated
 // telescope month, dissection, sessionization, DoS detection and
-// correlation — and prints the paper's figures.
+// correlation — and prints the paper's figures. Subcommands move the
+// same analysis on and off disk:
 //
-// Usage:
+//	quicsand [flags]                 simulate the month and print figures
+//	quicsand record  -o FILE [flags] simulate and checkpoint the capture
+//	quicsand replay  -i FILE [flags] re-analyze a stored capture
+//	quicsand convert -i IN -o OUT    transcode between QSND and pcap
 //
-//	quicsand [-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
-//	         [-fig SECTION] [-trace FILE] [-stats]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+// Shared simulation flags:
 //
-// SECTION is one of: all, headline, 2–13, section6. At -scale 1.0 the
-// run reproduces paper-scale magnitudes and takes a few minutes; the
-// default 0.1 finishes in seconds with identical shapes. -workers
-// fans the analysis over N shards (0 = all CPUs); results are
-// bit-identical for every worker count. -stats prints per-stage
-// throughput to stderr.
+//	[-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
+//	[-fig SECTION] [-stats] [-cpuprofile FILE] [-memprofile FILE]
+//
+// SECTION is one of: all, headline, headline-json, 2–13, section6. At
+// -scale 1.0 the run reproduces paper-scale magnitudes and takes a few
+// minutes; the default 0.1 finishes in seconds with identical shapes.
+// -workers fans the analysis over N shards (0 = all CPUs); results are
+// bit-identical for every worker count, and a replayed checkpoint
+// reproduces the recorded run's analysis bit-identically too. Capture
+// files ending in .pcap/.cap are classic libpcap (readable by
+// tcpdump/Wireshark); anything else is the native QSND store. Inputs
+// are sniffed by magic, so extensions only matter for outputs.
 package main
 
 import (
@@ -26,7 +34,7 @@ import (
 	"runtime/pprof"
 
 	"quicsand"
-	"quicsand/internal/telescope"
+	"quicsand/internal/capture"
 )
 
 func main() {
@@ -37,59 +45,71 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("quicsand", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		seed         = fs.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)")
-		scale        = fs.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes")
-		thin         = fs.Uint("thin", 64, "research-scan thinning weight")
-		skipResearch = fs.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)")
-		workers      = fs.Int("workers", 0, "pipeline shards; 0 = all CPUs, 1 = sequential")
-		fig          = fs.String("fig", "all", "section to print: all, headline, 2..13, section6")
-		tracePath    = fs.String("trace", "", "write the captured month to this trace file")
-		stats        = fs.Bool("stats", false, "print per-stage pipeline throughput to stderr")
-		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProfile   = fs.String("memprofile", "", "write a post-run heap profile to this file")
-	)
+	if len(args) > 0 {
+		switch args[0] {
+		case "record":
+			return runRecord(args[1:], stdout, stderr)
+		case "replay":
+			return runReplay(args[1:], stdout, stderr)
+		case "convert":
+			return runConvert(args[1:], stderr)
+		}
+	}
+	return runSimulate(args, stdout, stderr)
+}
+
+// simOpts are the simulation parameters every analyzing subcommand
+// shares; replay needs them too, to rebuild the schedule-derived
+// ground truth of the recorded run.
+type simOpts struct {
+	seed         *uint64
+	scale        *float64
+	thin         *uint
+	skipResearch *bool
+	workers      *int
+	stats        *bool
+	cpuProfile   *string
+	memProfile   *string
+}
+
+func addSimFlags(fs *flag.FlagSet) *simOpts {
+	return &simOpts{
+		seed:         fs.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)"),
+		scale:        fs.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes"),
+		thin:         fs.Uint("thin", 64, "research-scan thinning weight"),
+		skipResearch: fs.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)"),
+		workers:      fs.Int("workers", 0, "pipeline shards; 0 = all CPUs, 1 = sequential"),
+		stats:        fs.Bool("stats", false, "print per-stage pipeline throughput to stderr"),
+		cpuProfile:   fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
+		memProfile:   fs.String("memprofile", "", "write a post-run heap profile to this file"),
+	}
+}
+
+func (o *simOpts) config() quicsand.Config {
+	return quicsand.Config{
+		Seed:         *o.seed,
+		Scale:        *o.scale,
+		ResearchThin: uint32(*o.thin),
+		SkipResearch: *o.skipResearch,
+		Workers:      *o.workers,
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string) (help bool, err error) {
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return nil // usage already printed; -h is not a failure
+			return true, nil // usage already printed; -h is not a failure
 		}
-		return err
+		return false, err
 	}
+	return false, nil
+}
 
-	cfg := quicsand.Config{
-		Seed:         *seed,
-		Scale:        *scale,
-		ResearchThin: uint32(*thin),
-		SkipResearch: *skipResearch,
-		Workers:      *workers,
-	}
-	var flushTrace func() error
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
-		}
-		w := telescope.NewWriter(f)
-		cfg.Trace = w
-		flushTrace = func() error {
-			if err := w.Flush(); err != nil {
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(stderr, "trace: %d records written to %s\n", w.Count(), *tracePath)
-			return nil
-		}
-	}
-
-	// Profiling hooks so perf work measures instead of guessing: the
-	// CPU profile brackets exactly the pipeline run; the heap profile
-	// snapshots live allocations after it completes.
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+// profiled brackets fn with the optional CPU profile and snapshots the
+// heap afterwards, so perf work measures instead of guessing.
+func (o *simOpts) profiled(fn func() error) error {
+	if *o.cpuProfile != "" {
+		f, err := os.Create(*o.cpuProfile)
 		if err != nil {
 			return err
 		}
@@ -99,16 +119,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-
-	a, err := quicsand.Run(cfg)
-	if err != nil {
+	if err := fn(); err != nil {
 		return err
 	}
-	if *cpuProfile != "" {
+	if *o.cpuProfile != "" {
 		pprof.StopCPUProfile() // stop before rendering so figures stay out of the profile
 	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+	if *o.memProfile != "" {
+		f, err := os.Create(*o.memProfile)
 		if err != nil {
 			return err
 		}
@@ -121,21 +139,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	if flushTrace != nil {
-		if err := flushTrace(); err != nil {
-			return err
-		}
-	}
-	if *stats {
-		fmt.Fprint(stderr, a.Pipeline)
-	}
+	return nil
+}
 
+// renderFigure prints the selected section. An empty section renders
+// nothing (record's default).
+func renderFigure(a *quicsand.Analysis, fig string, stdout io.Writer) error {
+	if fig == "" {
+		return nil
+	}
 	var out string
-	switch *fig {
+	switch fig {
 	case "all":
 		out = a.RenderAll()
 	case "headline":
 		out = a.Headline()
+	case "headline-json":
+		out = a.HeadlineJSON()
 	case "2":
 		out = a.Figure2()
 	case "3":
@@ -163,8 +183,222 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "section6":
 		out = a.Section6()
 	default:
-		return fmt.Errorf("unknown -fig %q", *fig)
+		return fmt.Errorf("unknown -fig %q", fig)
 	}
 	fmt.Fprintln(stdout, out)
 	return nil
+}
+
+// sinkFormat resolves an export format flag against the output path.
+func sinkFormat(flagVal, path string) (capture.Format, error) {
+	switch flagVal {
+	case "", "auto":
+		return capture.FormatForPath(path), nil
+	case "qsnd":
+		return capture.FormatQSND, nil
+	case "pcap":
+		return capture.FormatPcap, nil
+	}
+	return capture.FormatUnknown, fmt.Errorf("unknown format %q (want auto, qsnd or pcap)", flagVal)
+}
+
+// traceSink opens an export sink on path. The returned finish func
+// flushes, surfaces the sink's sticky write error (a full disk during
+// fire-and-forget capture would otherwise vanish), closes the file,
+// and reports the record count. abort closes and unlinks the output
+// instead — call it when the producing run fails, so no partial,
+// mid-record-truncated capture survives to be mistaken for a real one.
+func traceSink(path string, format capture.Format, stderr io.Writer) (sink capture.Sink, finish func() error, abort func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sink = capture.NewSink(f, format)
+	finish = func() error {
+		if err := sink.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", path, err)
+		}
+		fmt.Fprintf(stderr, "trace: %d records written to %s (%s)\n", sink.Count(), path, format)
+		return nil
+	}
+	abort = func() {
+		f.Close()
+		os.Remove(path)
+	}
+	return sink, finish, abort, nil
+}
+
+// simulateAndRender is the shared tail of the simulate-style commands:
+// run the pipeline (profiled), settle the optional trace sink, print
+// stats and the selected figure. On a failed run the trace is aborted,
+// never finished.
+func simulateAndRender(opts *simOpts, cfg quicsand.Config, finish func() error, abort func(), fig string, stdout, stderr io.Writer) error {
+	var a *quicsand.Analysis
+	err := opts.profiled(func() (err error) {
+		a, err = quicsand.Run(cfg)
+		return err
+	})
+	if err != nil {
+		if abort != nil {
+			abort()
+		}
+		return err
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			return err
+		}
+	}
+	if *opts.stats {
+		fmt.Fprint(stderr, a.Pipeline)
+	}
+	return renderFigure(a, fig, stdout)
+}
+
+// runSimulate is the classic flag-only invocation: generate and print.
+func runSimulate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quicsand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := addSimFlags(fs)
+	fig := fs.String("fig", "all", "section to print: all, headline, headline-json, 2..13, section6")
+	tracePath := fs.String("trace", "", "write the captured month to this file (.pcap/.cap = libpcap, else QSND)")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+
+	cfg := opts.config()
+	var finish func() error
+	var abort func()
+	if *tracePath != "" {
+		sink, fin, ab, err := traceSink(*tracePath, capture.FormatForPath(*tracePath), stderr)
+		if err != nil {
+			return err
+		}
+		cfg.Trace, finish, abort = sink, fin, ab
+	}
+	return simulateAndRender(opts, cfg, finish, abort, *fig, stdout, stderr)
+}
+
+// runRecord simulates the month and checkpoints the capture; with -fig
+// it also prints the analysis, so one run yields both artifacts (the
+// round-trip CI check diffs exactly that output against a replay).
+func runRecord(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quicsand record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := addSimFlags(fs)
+	out := fs.String("o", "", "capture file to write (required)")
+	format := fs.String("format", "auto", "capture format: auto (by extension), qsnd, pcap")
+	fig := fs.String("fig", "", "also print this section (same values as the top-level -fig)")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if *out == "" {
+		return errors.New("record: -o FILE is required")
+	}
+	f, err := sinkFormat(*format, *out)
+	if err != nil {
+		return err
+	}
+	sink, finish, abort, err := traceSink(*out, f, stderr)
+	if err != nil {
+		return err
+	}
+	cfg := opts.config()
+	cfg.Trace = sink
+	return simulateAndRender(opts, cfg, finish, abort, *fig, stdout, stderr)
+}
+
+// runReplay re-analyzes a stored capture (QSND or pcap, sniffed by
+// magic) through the sharded engine. The simulation flags must match
+// the recorded run for the ground-truth joins to line up; for foreign
+// captures they only seed an empty simulation context.
+func runReplay(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quicsand replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := addSimFlags(fs)
+	in := fs.String("i", "", "capture file to replay (required)")
+	fig := fs.String("fig", "headline", "section to print: all, headline, headline-json, 2..13, section6")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("replay: -i FILE is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := capture.NewSource(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+
+	var a *quicsand.Analysis
+	err = opts.profiled(func() (err error) {
+		a, err = quicsand.Replay(opts.config(), src)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	reportSkipped(src, *in, stderr)
+	if *opts.stats {
+		fmt.Fprint(stderr, a.Pipeline)
+	}
+	return renderFigure(a, *fig, stdout)
+}
+
+// reportSkipped warns when pcap decapsulation dropped frames the
+// telescope packet model cannot represent (non-IPv4, fragments, other
+// transports) — otherwise a mostly-foreign capture would silently
+// analyze a fraction of its records.
+func reportSkipped(src capture.Source, path string, stderr io.Writer) {
+	if pr, ok := src.(*capture.PcapReader); ok && pr.Skipped > 0 {
+		fmt.Fprintf(stderr, "warning: %s: skipped %d unrepresentable frames (non-IPv4, fragments, or unsupported transports)\n",
+			path, pr.Skipped)
+	}
+}
+
+// runConvert transcodes a capture between QSND and pcap without
+// analyzing it.
+func runConvert(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quicsand convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input capture (required; format sniffed by magic)")
+	out := fs.String("o", "", "output capture (required)")
+	format := fs.String("format", "auto", "output format: auto (by extension), qsnd, pcap")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("convert: -i FILE and -o FILE are required")
+	}
+	of, err := sinkFormat(*format, *out)
+	if err != nil {
+		return err
+	}
+	src0, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src0.Close()
+	src, err := capture.NewSource(src0)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	sink, finish, abort, err := traceSink(*out, of, stderr)
+	if err != nil {
+		return err
+	}
+	if _, err := capture.Copy(sink, src); err != nil {
+		abort() // never leave a partial capture behind
+		return fmt.Errorf("convert %s → %s: %w", *in, *out, err)
+	}
+	reportSkipped(src, *in, stderr)
+	return finish()
 }

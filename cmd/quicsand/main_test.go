@@ -57,4 +57,111 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"record", "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("record without -o accepted")
+	}
+	if err := run([]string{"replay"}, &out, &errOut); err == nil {
+		t.Error("replay without -i accepted")
+	}
+	if err := run([]string{"convert", "-i", "x"}, &out, &errOut); err == nil {
+		t.Error("convert without -o accepted")
+	}
+	if err := run([]string{"convert", "-i", "a", "-o", "b", "-format", "pcapng"}, &out, &errOut); err == nil {
+		t.Error("unknown -format accepted")
+	}
+}
+
+// TestRecordConvertReplayRoundTrip drives the full CLI workflow the
+// replay CI job scripts: record a month with its headline JSON,
+// convert QSND → pcap → QSND losslessly, and replay both containers at
+// a different worker count reproducing the recorded analysis exactly.
+func TestRecordConvertReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	qsnd := filepath.Join(dir, "month.qsnd")
+	pcap := filepath.Join(dir, "month.pcap")
+	qsnd2 := filepath.Join(dir, "month2.qsnd")
+	sim := []string{"-seed", "3", "-scale", "0.002", "-thin", "16384", "-fig", "headline-json"}
+
+	var direct, errOut bytes.Buffer
+	if err := run(append([]string{"record", "-o", qsnd, "-workers", "2"}, sim...), &direct, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "records written") {
+		t.Errorf("record summary missing:\n%s", errOut.String())
+	}
+	if !strings.Contains(direct.String(), "\"quic_packets\"") {
+		t.Fatalf("record -fig headline-json output:\n%s", direct.String())
+	}
+
+	var conv bytes.Buffer
+	if err := run([]string{"convert", "-i", qsnd, "-o", pcap}, &conv, &conv); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"convert", "-i", pcap, "-o", qsnd2}, &conv, &conv); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(qsnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(qsnd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("QSND → pcap → QSND via CLI not byte-identical")
+	}
+
+	for _, in := range []string{qsnd, pcap} {
+		var replayed bytes.Buffer
+		if err := run(append([]string{"replay", "-i", in, "-workers", "4"}, sim...), &replayed, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		if replayed.String() != direct.String() {
+			t.Errorf("replay of %s diverged from recorded run:\n--- direct ---\n%s\n--- replay ---\n%s",
+				filepath.Base(in), direct.String(), replayed.String())
+		}
+	}
+}
+
+// TestConvertFailureLeavesNoPartialOutput: a conversion that dies on
+// a corrupt record must not leave a truncated capture behind to be
+// mistaken for a usable one.
+func TestConvertFailureLeavesNoPartialOutput(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.qsnd")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"record", "-scale", "0.002", "-skip-research", "-o", good}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.qsnd")
+	if err := os.WriteFile(trunc, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "out.pcap")
+	if err := run([]string{"convert", "-i", trunc, "-o", dst}, &out, &errOut); err == nil {
+		t.Fatal("truncated input converted without error")
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Errorf("partial output left behind (stat err = %v)", err)
+	}
+}
+
+func TestReplayRejectsGarbageInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "junk.qsnd")
+	if err := os.WriteFile(bad, []byte("this is not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"replay", "-i", bad, "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if err := run([]string{"replay", "-i", filepath.Join(dir, "missing"), "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("missing input accepted")
+	}
 }

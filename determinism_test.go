@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"quicsand/internal/capture"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
 )
@@ -69,6 +70,116 @@ func TestWorkersBitIdentical(t *testing.T) {
 	}
 	if seq.Sweep.Sessions(5) != par.Sweep.Sessions(5) {
 		t.Errorf("sweep differs at 5 min: %d vs %d", seq.Sweep.Sessions(5), par.Sweep.Sessions(5))
+	}
+}
+
+// expectSameAnalysis asserts two analyses agree on every rendered
+// figure and on structured session/counter state.
+func expectSameAnalysis(t *testing.T, label string, want, got *Analysis) {
+	t.Helper()
+	if g, w := got.Headline(), want.Headline(); g != w {
+		t.Errorf("%s: headline diverged:\n--- want ---\n%s\n--- got ---\n%s", label, w, g)
+	}
+	if got.RenderAll() != want.RenderAll() {
+		t.Errorf("%s: figure data diverged (see RenderAll)", label)
+	}
+	if got.HeadlineJSON() != want.HeadlineJSON() {
+		t.Errorf("%s: headline JSON diverged", label)
+	}
+	if len(want.QUICSessions) != len(got.QUICSessions) {
+		t.Fatalf("%s: session counts: %d vs %d", label, len(want.QUICSessions), len(got.QUICSessions))
+	}
+	for i := range want.QUICSessions {
+		a, b := want.QUICSessions[i], got.QUICSessions[i]
+		if a.Src != b.Src || a.Start != b.Start || a.End != b.End || a.Packets != b.Packets {
+			t.Fatalf("%s: session %d differs: %+v vs %+v", label, i, a, b)
+		}
+	}
+	if want.NonQUIC != got.NonQUIC || want.Telescope.Total != got.Telescope.Total {
+		t.Errorf("%s: counters differ: nonQUIC %d/%d total %d/%d",
+			label, want.NonQUIC, got.NonQUIC, want.Telescope.Total, got.Telescope.Total)
+	}
+	if want.Sweep.Sessions(5) != got.Sweep.Sessions(5) {
+		t.Errorf("%s: sweep differs at 5 min: %d vs %d", label, want.Sweep.Sessions(5), got.Sweep.Sessions(5))
+	}
+}
+
+// TestReplayBitIdentical is the capture subsystem's round-trip
+// invariant (DESIGN.md §10): `Run → trace to disk → Replay` must
+// reproduce the direct run's Analysis bit-identically for workers ∈
+// {1, 2, 8} — from the native checkpoint and from its pcap export —
+// and replaying with a trace sink must re-checkpoint byte-identically.
+func TestReplayBitIdentical(t *testing.T) {
+	id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Seed: 97, Scale: 0.01, ResearchThin: 1 << 14, Identity: id}
+
+	var trace bytes.Buffer
+	w := telescope.NewWriter(&trace)
+	recordCfg := base
+	recordCfg.Workers, recordCfg.Trace = 4, w
+	direct, err := Run(recordCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	qsnd := trace.Bytes()
+
+	// Export the checkpoint as pcap; both containers must replay
+	// identically.
+	var pcapBuf bytes.Buffer
+	src, err := capture.NewSource(bytes.NewReader(qsnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := capture.NewSink(&pcapBuf, capture.FormatPcap)
+	if n, err := capture.Copy(sink, src); err != nil || n != direct.Telescope.Total {
+		t.Fatalf("pcap export: n=%d err=%v (want %d records)", n, err, direct.Telescope.Total)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, in := range []struct {
+			name string
+			data []byte
+		}{{"qsnd", qsnd}, {"pcap", pcapBuf.Bytes()}} {
+			cfg := base
+			cfg.Workers = workers
+			src, err := capture.NewSource(bytes.NewReader(in.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := Replay(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectSameAnalysis(t, in.name+"/workers="+string(rune('0'+workers)), direct, replayed)
+		}
+	}
+
+	// Replay with a trace sink re-checkpoints the identical byte
+	// stream (the analyze-while-converting path).
+	var retrace bytes.Buffer
+	cfg := base
+	cfg.Workers, cfg.Trace = 8, telescope.NewWriter(&retrace)
+	src2, err := capture.NewSource(bytes.NewReader(qsnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(cfg, src2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.(*telescope.Writer).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(qsnd, retrace.Bytes()) {
+		t.Errorf("re-checkpoint differs: %d vs %d bytes (or content)", len(qsnd), len(retrace.Bytes()))
 	}
 }
 

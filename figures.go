@@ -1,6 +1,7 @@
 package quicsand
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,21 +15,35 @@ import (
 	"quicsand/internal/wire"
 )
 
+// headlineStats are the §5.1 aggregates Headline and HeadlineJSON
+// share — computed in one place so the text and JSON views cannot
+// drift apart (the replay round-trip check diffs the JSON form).
+type headlineStats struct {
+	total, research uint64
+	reqPk, respPk   int
+}
+
+func (a *Analysis) headlineStats() headlineStats {
+	var h headlineStats
+	h.research = a.HourlySource.TotalOf("TUM-Scans") + a.HourlySource.TotalOf("RWTH-Scans")
+	h.total = h.research + a.HourlySource.TotalOf("Other")
+	for _, s := range a.RequestSessions {
+		h.reqPk += s.Packets
+	}
+	for _, s := range a.ResponseSessions {
+		h.respPk += s.Packets
+	}
+	return h
+}
+
 // Headline renders the §5.1 overview numbers.
 func (a *Analysis) Headline() string {
 	var b strings.Builder
-	total := a.HourlySource.TotalOf("TUM-Scans") + a.HourlySource.TotalOf("RWTH-Scans") + a.HourlySource.TotalOf("Other")
-	research := a.HourlySource.TotalOf("TUM-Scans") + a.HourlySource.TotalOf("RWTH-Scans")
+	hs := a.headlineStats()
+	total, research, reqPk, respPk := hs.total, hs.research, hs.reqPk, hs.respPk
 	fmt.Fprintf(&b, "QUIC packets captured:        %s\n", report.Count(total))
 	if total > 0 {
 		fmt.Fprintf(&b, "research scanner share:       %s (paper: 98.5%%)\n", report.Percent(float64(research)/float64(total)*100))
-	}
-	reqPk, respPk := 0, 0
-	for _, s := range a.RequestSessions {
-		reqPk += s.Packets
-	}
-	for _, s := range a.ResponseSessions {
-		respPk += s.Packets
 	}
 	san := reqPk + respPk
 	if san > 0 {
@@ -54,6 +69,46 @@ func (a *Analysis) Headline() string {
 	fmt.Fprintf(&b, "attacks on Google/Facebook:   %s / %s (paper: 58%% / 25%%)\n",
 		report.Percent(a.OrgShare("Google")), report.Percent(a.OrgShare("Facebook")))
 	return b.String()
+}
+
+// HeadlineJSON renders the §5.1 headline numbers as one JSON object —
+// the machine-diffable form the replay round-trip check compares
+// (scripts/replay_roundtrip.sh). Field order and float rendering are
+// deterministic, so equal analyses produce byte-equal documents.
+func (a *Analysis) HeadlineJSON() string {
+	hs := a.headlineStats()
+	doc := struct {
+		TelescopePackets uint64 `json:"telescope_packets"`
+		QUICPackets      uint64 `json:"quic_packets"`
+		ResearchPackets  uint64 `json:"research_packets"`
+		NonQUIC          uint64 `json:"non_quic"`
+		RequestSessions  int    `json:"request_sessions"`
+		ResponseSessions int    `json:"response_sessions"`
+		RequestPackets   int    `json:"request_packets"`
+		ResponsePackets  int    `json:"response_packets"`
+		QUICAttacks      int    `json:"quic_attacks"`
+		UniqueVictims    int    `json:"unique_victims"`
+		CommonAttacks    int    `json:"common_attacks"`
+		SweepSessions5m  uint64 `json:"sweep_sessions_5m"`
+	}{
+		TelescopePackets: a.Telescope.Total,
+		QUICPackets:      hs.total,
+		ResearchPackets:  hs.research,
+		NonQUIC:          a.NonQUIC,
+		RequestSessions:  len(a.RequestSessions),
+		ResponseSessions: len(a.ResponseSessions),
+		RequestPackets:   hs.reqPk,
+		ResponsePackets:  hs.respPk,
+		QUICAttacks:      len(a.QUICDetector.Attacks),
+		UniqueVictims:    len(a.Victims()),
+		CommonAttacks:    len(a.CommonDetector.Attacks),
+		SweepSessions5m:  a.Sweep.Sessions(5),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil { // a flat struct of integers cannot fail to marshal
+		return fmt.Sprintf("{\"error\": %q}", err.Error())
+	}
+	return string(b)
 }
 
 // Figure2 renders hourly QUIC packet counts by source family.

@@ -1,0 +1,185 @@
+// Package capture is the trace ingestion and export subsystem: it
+// gives the pipeline a first-class path from stored packets — real
+// pcaps or native QSND checkpoints — into the sharded analysis engine,
+// and back out again.
+//
+// Three pieces compose:
+//
+//   - a pure-Go (no cgo) streaming reader/writer for the classic
+//     libpcap file format (PcapReader/PcapWriter): micro- and
+//     nanosecond timestamp variants in either byte order, Ethernet,
+//     Linux-SLL and raw-IP link types, IPv4/UDP decode down to the
+//     UDP payload (plus the TCP/ICMP metadata the common-vector
+//     baseline needs);
+//   - the Source abstraction both readers implement, with format
+//     auto-detection (NewSource), and the matching Sink over both
+//     writers (NewSink);
+//   - the scatter stage (Scatter) that fans one stored stream out to
+//     per-shard engine feeds, sharded by source address with
+//     slab-batched zero-copy decode — quicsand.Replay's input path.
+//
+// Export uses real wire encapsulation (Ethernet/IPv4 with valid
+// checksums), so generated months open cleanly in tcpdump/Wireshark;
+// a 12-byte Ethernet trailer carries the fields pcap cannot express
+// (the thinning weight and the claimed original datagram size), which
+// standard tools display as frame padding and our reader folds back
+// losslessly.
+package capture
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"quicsand/internal/telescope"
+)
+
+// Source streams stored packets in capture order. It is the replay
+// twin of ibr.Source, with the same ownership contract: the packet
+// returned by Next — including its Payload bytes — is valid only until
+// the following Next call. Consumers that retain packets must copy
+// them (the scatter stage copies into per-shard slabs).
+type Source interface {
+	// Next returns the next packet, or io.EOF at a clean end of
+	// stream. Any other error means the stream is corrupt or unreadable
+	// at the reported point; no further packets follow.
+	Next() (*telescope.Packet, error)
+}
+
+// Sink is a trace export target: a telescope capture sink with the
+// error-reporting surface batch exporters need. telescope.Writer and
+// PcapWriter both implement it.
+type Sink interface {
+	telescope.Sink
+	// Write appends one record, reporting the first error eagerly.
+	Write(*telescope.Packet) error
+	// Flush drains buffered output; it and Err report the first
+	// failure of the whole write sequence (full disk included), which
+	// the fire-and-forget Capture path retains rather than surfacing.
+	Flush() error
+	// Err returns the sticky first write error, or nil.
+	Err() error
+	// Count returns records written so far.
+	Count() uint64
+}
+
+// Format identifies a trace container format.
+type Format int
+
+// Supported container formats.
+const (
+	FormatUnknown Format = iota
+	FormatQSND           // native telescope checkpoint store
+	FormatPcap           // classic libpcap
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatQSND:
+		return "qsnd"
+	case FormatPcap:
+		return "pcap"
+	}
+	return "unknown"
+}
+
+// ErrUnknownFormat reports a stream whose leading magic matches no
+// supported container.
+var ErrUnknownFormat = errors.New("capture: unrecognized trace format (neither QSND nor pcap)")
+
+// FormatForPath picks an export format from a file name: .pcap/.cap
+// (and the compressed-suffix-free variants tools emit) select pcap,
+// everything else the native store.
+func FormatForPath(path string) Format {
+	lower := strings.ToLower(path)
+	if strings.HasSuffix(lower, ".pcap") || strings.HasSuffix(lower, ".cap") ||
+		strings.HasSuffix(lower, ".dmp") {
+		return FormatPcap
+	}
+	return FormatQSND
+}
+
+// sniffFormat identifies the container by its leading magic without
+// consuming it.
+func sniffFormat(br *bufio.Reader) (Format, error) {
+	magic, err := br.Peek(4)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return FormatUnknown, io.EOF
+		}
+		return FormatUnknown, err
+	}
+	switch {
+	case magic[0] == 0x44 && magic[1] == 0x4e && magic[2] == 0x53 && magic[3] == 0x51:
+		// "QSND" little endian.
+		return FormatQSND, nil
+	case isPcapMagic(magic):
+		return FormatPcap, nil
+	}
+	return FormatUnknown, ErrUnknownFormat
+}
+
+// NewSource opens a stored packet stream, auto-detecting QSND vs pcap
+// by magic. The returned Source reuses one packet and payload buffer
+// across Next calls (see the Source ownership contract).
+func NewSource(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	f, err := sniffFormat(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("capture: empty stream: %w", ErrUnknownFormat)
+		}
+		return nil, err
+	}
+	switch f {
+	case FormatQSND:
+		return &qsndSource{r: telescope.NewReader(br)}, nil
+	default:
+		return NewPcapReader(br)
+	}
+}
+
+// NewSink creates an export sink writing the given format.
+func NewSink(w io.Writer, f Format) Sink {
+	if f == FormatPcap {
+		return NewPcapWriter(w)
+	}
+	return telescope.NewWriter(w)
+}
+
+// qsndSource adapts telescope.Reader to Source with buffer reuse: the
+// allocation-free ReadInto path recycles one Packet and its payload
+// capacity, honoring the Source validity contract.
+type qsndSource struct {
+	r *telescope.Reader
+	p telescope.Packet
+}
+
+func (s *qsndSource) Next() (*telescope.Packet, error) {
+	if err := s.r.ReadInto(&s.p); err != nil {
+		return nil, err
+	}
+	return &s.p, nil
+}
+
+// Copy streams every record from src into dst — the convert path.
+// It returns the record count; the caller owns Flush.
+func Copy(dst Sink, src Source) (uint64, error) {
+	var n uint64
+	for {
+		p, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := dst.Write(p); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,587 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"quicsand/internal/engine"
+	"quicsand/internal/ibr"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+)
+
+func tsAt(d time.Duration) telescope.Timestamp {
+	return telescope.TS(telescope.MeasurementStart.Add(d))
+}
+
+// samplePackets covers every protocol and payload shape the generator
+// emits: QUIC request with payload, metadata-only thinned research
+// record with weight, TCP and ICMP backscatter, QUIC response.
+func samplePackets() []*telescope.Packet {
+	return []*telescope.Packet{
+		{
+			TS: tsAt(0), Src: netmodel.MustAddr("1.2.3.4"), Dst: netmodel.MustAddr("44.0.0.1"),
+			SrcPort: 5555, DstPort: 443, Proto: telescope.ProtoUDP,
+			Size: 5, Payload: []byte{0xc3, 0x00, 0x00, 0x00, 0x01},
+		},
+		{
+			TS: tsAt(time.Second), Src: netmodel.MustAddr("131.159.0.9"), Dst: netmodel.MustAddr("44.7.7.7"),
+			SrcPort: 40001, DstPort: 443, Proto: telescope.ProtoUDP,
+			Size: 1200, Weight: 64, // thinned research record, no payload
+		},
+		{
+			TS: tsAt(2 * time.Second), Src: netmodel.MustAddr("9.9.9.9"), Dst: netmodel.MustAddr("44.1.1.1"),
+			SrcPort: 443, DstPort: 7777, Proto: telescope.ProtoTCP,
+			Flags: telescope.FlagSYN | telescope.FlagACK, Size: 40,
+		},
+		{
+			TS: tsAt(2500 * time.Millisecond), Src: netmodel.MustAddr("9.9.9.9"), Dst: netmodel.MustAddr("44.1.1.2"),
+			Proto: telescope.ProtoICMP, Flags: 3, Size: 56,
+		},
+		{
+			TS: tsAt(3 * time.Second), Src: netmodel.MustAddr("142.250.0.1"), Dst: netmodel.MustAddr("44.2.2.2"),
+			SrcPort: 443, DstPort: 50123, Proto: telescope.ProtoUDP,
+			Size: 4, Payload: []byte{0x40, 0x01, 0x02, 0x03},
+		},
+		{
+			// TCP and ICMP records may legally carry payload bytes in
+			// the store; the pcap round trip must keep them too.
+			TS: tsAt(4 * time.Second), Src: netmodel.MustAddr("9.9.9.10"), Dst: netmodel.MustAddr("44.1.1.3"),
+			SrcPort: 80, DstPort: 7778, Proto: telescope.ProtoTCP,
+			Flags: telescope.FlagRST, Size: 43, Payload: []byte{0xaa, 0xbb, 0xcc},
+		},
+		{
+			TS: tsAt(5 * time.Second), Src: netmodel.MustAddr("9.9.9.11"), Dst: netmodel.MustAddr("44.1.1.4"),
+			Proto: telescope.ProtoICMP, Flags: 0, Size: 60, Payload: []byte{1, 2, 3, 4},
+		},
+	}
+}
+
+func samePacket(a, b *telescope.Packet) bool {
+	return a.TS == b.TS && a.Src == b.Src && a.Dst == b.Dst &&
+		a.SrcPort == b.SrcPort && a.DstPort == b.DstPort &&
+		a.Proto == b.Proto && a.Flags == b.Flags && a.Size == b.Size &&
+		a.Weight == b.Weight && bytes.Equal(a.Payload, b.Payload)
+}
+
+func drain(t *testing.T, src Source) []*telescope.Packet {
+	t.Helper()
+	var out []*telescope.Packet
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := *p
+		cp.Payload = append([]byte(nil), p.Payload...)
+		if len(p.Payload) == 0 {
+			cp.Payload = nil
+		}
+		out = append(out, &cp)
+	}
+}
+
+func TestPcapRoundTripPreservesEveryField(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	pkts := samplePackets()
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(pkts)) {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, r)
+	if len(got) != len(pkts) {
+		t.Fatalf("read %d packets, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !samePacket(pkts[i], got[i]) {
+			t.Errorf("record %d:\nwrote %+v\nread  %+v", i, pkts[i], got[i])
+		}
+	}
+	if r.Skipped != 0 {
+		t.Errorf("skipped %d own frames", r.Skipped)
+	}
+}
+
+func TestPcapRoundTripProperty(t *testing.T) {
+	f := func(off uint32, src, dst uint32, sp, dp uint16, proto, flags uint8, weight uint32, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		in := &telescope.Packet{
+			TS:  tsAt(time.Duration(off) * time.Millisecond),
+			Src: netmodel.Addr(src), Dst: netmodel.Addr(dst),
+			SrcPort: sp, DstPort: dp,
+			Proto: telescope.Proto(proto % 3), Flags: flags,
+			Size: uint16(len(payload)), Weight: weight, Payload: payload,
+		}
+		if in.Proto != telescope.ProtoUDP {
+			// TCP/ICMP payloads survive too; Size stays ≥ payloadLen
+			// (the store invariant the reader enforces).
+			in.Size = 60 + uint16(len(payload))
+		}
+		if len(payload) == 0 {
+			in.Payload = nil
+		}
+		var buf bytes.Buffer
+		w := NewPcapWriter(&buf)
+		if err := w.Write(in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewPcapReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return samePacket(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPcapICMPChecksumCoversPayload validates exported ICMP frames
+// the way Wireshark would: the RFC 792 checksum spans header and
+// payload (odd lengths padded), so sums must fold to 0xffff.
+func TestPcapICMPChecksumCoversPayload(t *testing.T) {
+	for _, payload := range [][]byte{nil, {7}, {1, 2, 3}, bytes.Repeat([]byte{0xee}, 56)} {
+		var buf bytes.Buffer
+		w := NewPcapWriter(&buf)
+		p := &telescope.Packet{
+			TS: tsAt(time.Second), Src: netmodel.MustAddr("9.9.9.9"), Dst: netmodel.MustAddr("44.1.1.2"),
+			SrcPort: 0x1234, DstPort: 0x5678, Proto: telescope.ProtoICMP,
+			Flags: 0, Size: uint16(28 + len(payload)), Payload: payload,
+		}
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()[24+16:] // global + record header
+		icmp := frame[34 : 34+8+len(payload)]
+		if got := foldChecksum(onesSum(icmp, 0)); got != 0 {
+			t.Errorf("payload len %d: ICMP checksum does not verify (residual %#04x)", len(payload), got)
+		}
+	}
+}
+
+// TestQSNDPcapQSNDLossless is the convert invariant on synthetic
+// records; the full generated month version lives in the root
+// package's trace tests.
+func TestQSNDPcapQSNDLossless(t *testing.T) {
+	var qsnd1 bytes.Buffer
+	w := telescope.NewWriter(&qsnd1)
+	for _, p := range samplePackets() {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), qsnd1.Bytes()...)
+
+	var pcap bytes.Buffer
+	src, err := NewSource(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink(&pcap, FormatPcap)
+	if _, err := Copy(sink, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var qsnd2 bytes.Buffer
+	src2, err := NewSource(bytes.NewReader(pcap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src2.(*PcapReader); !ok {
+		t.Fatalf("sniffed %T for pcap input", src2)
+	}
+	sink2 := NewSink(&qsnd2, FormatQSND)
+	n, err := Copy(sink2, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(samplePackets())) {
+		t.Fatalf("converted %d records", n)
+	}
+	if !bytes.Equal(orig, qsnd2.Bytes()) {
+		t.Error("QSND → pcap → QSND not byte-identical")
+	}
+}
+
+// writeForeignPcap builds a pcap with the given link type and byte
+// order, as a third-party tool would: no metadata trailer.
+func writeForeignPcap(order binary.ByteOrder, nanos bool, link uint32, frames [][]byte) []byte {
+	var buf bytes.Buffer
+	gh := make([]byte, 24)
+	magic := uint32(pcapMagicUsec)
+	if nanos {
+		magic = pcapMagicNsec
+	}
+	order.PutUint32(gh[0:], magic)
+	order.PutUint16(gh[4:], 2)
+	order.PutUint16(gh[6:], 4)
+	order.PutUint32(gh[16:], 65535)
+	order.PutUint32(gh[20:], link)
+	buf.Write(gh)
+	for i, f := range frames {
+		rh := make([]byte, 16)
+		order.PutUint32(rh[0:], uint32(1617235200+i)) // 2021-04-01
+		if nanos {
+			order.PutUint32(rh[4:], 500_000_000)
+		} else {
+			order.PutUint32(rh[4:], 500_000)
+		}
+		order.PutUint32(rh[8:], uint32(len(f)))
+		order.PutUint32(rh[12:], uint32(len(f)))
+		buf.Write(rh)
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+// rawIPv4UDP builds a bare IPv4/UDP datagram (no link header).
+func rawIPv4UDP(src, dst string, sp, dp uint16, payload []byte) []byte {
+	b := make([]byte, 0, 28+len(payload))
+	total := 28 + len(payload)
+	b = append(b, 0x45, 0, byte(total>>8), byte(total), 0, 1, 0, 0, 64, 17, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, uint32(netmodel.MustAddr(src)))
+	b = binary.BigEndian.AppendUint32(b, uint32(netmodel.MustAddr(dst)))
+	b = binary.BigEndian.AppendUint16(b, sp)
+	b = binary.BigEndian.AppendUint16(b, dp)
+	b = binary.BigEndian.AppendUint16(b, uint16(8+len(payload)))
+	b = append(b, 0, 0)
+	return append(b, payload...)
+}
+
+func TestPcapReaderLinkTypes(t *testing.T) {
+	ip := rawIPv4UDP("8.8.8.8", "44.3.2.1", 12345, 443, []byte{0xc0, 1, 2})
+
+	eth := append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x00}, ip...)
+	sll := append(make([]byte, 16), ip...)
+	binary.BigEndian.PutUint16(sll[14:], 0x0800)
+	vlan := append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x81, 0x00, 0x00, 0x07, 0x08, 0x00}, ip...)
+
+	cases := []struct {
+		name  string
+		link  uint32
+		frame []byte
+		order binary.ByteOrder
+		nanos bool
+	}{
+		{"ethernet-le-usec", LinkEthernet, eth, binary.LittleEndian, false},
+		{"ethernet-be-usec", LinkEthernet, eth, binary.BigEndian, false},
+		{"ethernet-le-nsec", LinkEthernet, eth, binary.LittleEndian, true},
+		{"ethernet-vlan", LinkEthernet, vlan, binary.LittleEndian, false},
+		{"linux-sll", LinkLinuxSLL, sll, binary.BigEndian, false},
+		{"raw-ip", LinkRawIP, ip, binary.LittleEndian, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := writeForeignPcap(tc.order, tc.nanos, tc.link, [][]byte{tc.frame})
+			r, err := NewPcapReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Src != netmodel.MustAddr("8.8.8.8") || p.Dst != netmodel.MustAddr("44.3.2.1") {
+				t.Errorf("addresses: %v → %v", p.Src, p.Dst)
+			}
+			if p.SrcPort != 12345 || p.DstPort != 443 || p.Proto != telescope.ProtoUDP {
+				t.Errorf("ports/proto: %+v", p)
+			}
+			if !bytes.Equal(p.Payload, []byte{0xc0, 1, 2}) || p.Size != 3 {
+				t.Errorf("payload/size: %v %d", p.Payload, p.Size)
+			}
+			if want := telescope.Timestamp(1617235200_500); p.TS != want {
+				t.Errorf("ts = %d, want %d", p.TS, want)
+			}
+			if _, err := r.Next(); !errors.Is(err, io.EOF) {
+				t.Errorf("tail err = %v", err)
+			}
+		})
+	}
+}
+
+func TestPcapReaderSkipsUnrepresentable(t *testing.T) {
+	ip := rawIPv4UDP("8.8.8.8", "44.3.2.1", 12345, 443, nil)
+	arp := append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x06}, make([]byte, 28)...)
+	short := []byte{0x45}
+	frag := rawIPv4UDP("8.8.8.8", "44.3.2.1", 1, 2, nil)
+	binary.BigEndian.PutUint16(frag[6:], 0x00ff) // later fragment
+	sctp := rawIPv4UDP("8.8.8.8", "44.3.2.1", 1, 2, nil)
+	sctp[9] = 132
+
+	frames := [][]byte{
+		arp,
+		append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x00}, short...),
+		append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x00}, frag...),
+		append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x00}, sctp...),
+		append([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x08, 0x00}, ip...),
+	}
+	r, err := NewPcapReader(bytes.NewReader(writeForeignPcap(binary.LittleEndian, false, LinkEthernet, frames)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, r)
+	if len(got) != 1 || got[0].DstPort != 443 {
+		t.Fatalf("decoded %d packets: %+v", len(got), got)
+	}
+	if r.Skipped != 4 {
+		t.Errorf("skipped = %d, want 4", r.Skipped)
+	}
+}
+
+func TestPcapReaderRejectsCorruption(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("short header err = %v", err)
+	}
+	if _, err := NewPcapReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("zero magic err = %v", err)
+	}
+	bad := writeForeignPcap(binary.LittleEndian, false, 147, nil) // LINKTYPE_USER0
+	if _, err := NewPcapReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("link type err = %v", err)
+	}
+	// Truncated frame body.
+	data := writeForeignPcap(binary.LittleEndian, false, LinkRawIP,
+		[][]byte{rawIPv4UDP("1.1.1.1", "44.0.0.1", 1, 443, nil)})
+	r, err := NewPcapReader(bytes.NewReader(data[:len(data)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("truncated frame err = %v", err)
+	}
+	// Insane captured length.
+	var huge bytes.Buffer
+	huge.Write(writeForeignPcap(binary.LittleEndian, false, LinkRawIP, nil))
+	rh := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rh[8:], maxFrame+1)
+	huge.Write(rh)
+	r2, err := NewPcapReader(&huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("oversize frame err = %v", err)
+	}
+}
+
+func TestFormatDetection(t *testing.T) {
+	var qsnd bytes.Buffer
+	w := telescope.NewWriter(&qsnd)
+	if err := w.Write(samplePackets()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if src, err := NewSource(bytes.NewReader(qsnd.Bytes())); err != nil {
+		t.Fatal(err)
+	} else if _, ok := src.(*qsndSource); !ok {
+		t.Errorf("sniffed %T for qsnd", src)
+	}
+	if _, err := NewSource(bytes.NewReader([]byte("not a capture file"))); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("foreign err = %v", err)
+	}
+	if _, err := NewSource(bytes.NewReader(nil)); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("empty err = %v", err)
+	}
+	if f := FormatForPath("month.pcap"); f != FormatPcap {
+		t.Errorf("pcap path → %v", f)
+	}
+	if f := FormatForPath("month.qsnd"); f != FormatQSND {
+		t.Errorf("qsnd path → %v", f)
+	}
+	if FormatPcap.String() != "pcap" || FormatQSND.String() != "qsnd" || FormatUnknown.String() != "unknown" {
+		t.Error("format strings")
+	}
+}
+
+// sliceSource replays an in-memory packet list through the Source
+// contract (reusing one packet value, like the real readers).
+type sliceSource struct {
+	pkts []*telescope.Packet
+	i    int
+	p    telescope.Packet
+}
+
+func (s *sliceSource) Next() (*telescope.Packet, error) {
+	if s.i >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	s.p = *s.pkts[s.i]
+	s.i++
+	return &s.p, nil
+}
+
+// TestScatterShardsByAddressInOrder pins the replay sharding
+// invariant: every packet lands on ibr.ShardOf(src) and per-shard
+// order is the stored order — for both the inline and concurrent
+// paths, with and without recycling.
+func TestScatterShardsByAddressInOrder(t *testing.T) {
+	var pkts []*telescope.Packet
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	for i := 0; i < 5000; i++ {
+		pkts = append(pkts, &telescope.Packet{
+			TS:  tsAt(time.Duration(i) * time.Millisecond),
+			Src: netmodel.Addr(0x01010101 + uint32(i%37)*0x11),
+			Dst: netmodel.MustAddr("44.0.0.1"), SrcPort: uint16(i), DstPort: 443,
+			Proto: telescope.ProtoUDP, Size: 4, Payload: payload,
+		})
+	}
+	for _, workers := range []int{1, 3, 8} {
+		for _, recycle := range []bool{false, true} {
+			sc := NewScatter(&sliceSource{pkts: pkts}, workers, recycle)
+			got := make([][]telescope.Packet, workers)
+			engine.Run(engine.Config{Workers: workers}, sc.Feeds(),
+				func(shard int, p *telescope.Packet) bool {
+					if !bytes.Equal(p.Payload, payload) {
+						t.Fatalf("payload corrupted on shard %d", shard)
+					}
+					cp := *p
+					cp.Payload = append([]byte(nil), p.Payload...)
+					got[shard] = append(got[shard], cp)
+					return false
+				}, nil)
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if sc.Packets() != uint64(len(pkts)) {
+				t.Fatalf("scattered %d packets, want %d", sc.Packets(), len(pkts))
+			}
+			idx := make([]int, workers)
+			for _, want := range pkts {
+				k := ibr.ShardOf(want.Src, workers)
+				sh := got[k]
+				if idx[k] >= len(sh) {
+					t.Fatalf("workers=%d recycle=%v: shard %d ran out of packets", workers, recycle, k)
+				}
+				p := sh[idx[k]]
+				idx[k]++
+				if p.TS != want.TS || p.Src != want.Src || p.SrcPort != want.SrcPort {
+					t.Fatalf("workers=%d recycle=%v: shard %d out of order", workers, recycle, k)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingAllocs locks the per-record allocation budget of both
+// container hot paths: steady-state read and write must not allocate
+// (record headers live in reader/writer scratch, payloads reuse
+// capacity; a regression here shows up as one allocation per packet
+// on a 92 M-record month).
+func TestStreamingAllocs(t *testing.T) {
+	const records = 20000
+	payload := bytes.Repeat([]byte{0xc9}, 900)
+	pkt := &telescope.Packet{
+		TS: tsAt(time.Hour), Src: netmodel.MustAddr("1.2.3.4"), Dst: netmodel.MustAddr("44.0.0.1"),
+		SrcPort: 9000, DstPort: 443, Proto: telescope.ProtoUDP,
+		Size: uint16(len(payload)), Payload: payload,
+	}
+
+	var qsnd, pcap bytes.Buffer
+	for name, sink := range map[string]Sink{
+		"qsnd": NewSink(&qsnd, FormatQSND), "pcap": NewSink(&pcap, FormatPcap),
+	} {
+		if err := sink.Write(pkt); err != nil { // header + warmup
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(records-1, func() {
+			if err := sink.Write(pkt); err != nil {
+				t.Fatal(err)
+			}
+		}); avg > 0.01 {
+			t.Errorf("%s write: %.2f allocs/record, want 0", name, avg)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name, data := range map[string][]byte{"qsnd": qsnd.Bytes(), "pcap": pcap.Bytes()} {
+		src, err := NewSource(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ { // warm the payload buffer
+			if _, err := src.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if avg := testing.AllocsPerRun(records-1000, func() {
+			if _, err := src.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}); avg > 0.01 {
+			t.Errorf("%s read: %.2f allocs/record, want 0", name, avg)
+		}
+	}
+}
+
+type errSource struct{ n int }
+
+var errBroken = errors.New("broken stream")
+
+func (s *errSource) Next() (*telescope.Packet, error) {
+	if s.n == 0 {
+		return nil, errBroken
+	}
+	s.n--
+	return &telescope.Packet{Src: netmodel.Addr(uint32(s.n)), Proto: telescope.ProtoUDP}, nil
+}
+
+func TestScatterSurfacesReadError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		sc := NewScatter(&errSource{n: 700}, workers, true)
+		engine.Run(engine.Config{Workers: workers}, sc.Feeds(),
+			func(int, *telescope.Packet) bool { return false }, nil)
+		if !errors.Is(sc.Err(), errBroken) {
+			t.Errorf("workers=%d: err = %v", workers, sc.Err())
+		}
+		if sc.Packets() != 700 {
+			t.Errorf("workers=%d: packets before error = %d", workers, sc.Packets())
+		}
+	}
+}

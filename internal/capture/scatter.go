@@ -1,0 +1,237 @@
+package capture
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"quicsand/internal/engine"
+	"quicsand/internal/ibr"
+	"quicsand/internal/telescope"
+)
+
+// Scatter batching: one value-typed packet slab plus one payload arena
+// per in-flight batch, mirroring the engine tap's buffer recycling in
+// the opposite direction.
+const (
+	scatterBatch = 256
+	// scatterArenaCap sizes a batch's payload arena for a full batch of
+	// QUIC-sized datagrams; oversize payloads fall back to individual
+	// allocation without invalidating earlier aliases.
+	scatterArenaCap = scatterBatch * 1500
+	// scatterDepth is the per-shard queue depth in batches — the
+	// reader's run-ahead window over the slowest shard.
+	scatterDepth = 4
+)
+
+// batch is one scatter unit: pkts is the slab the shard worker
+// processes, arena backs the payload bytes the slab entries alias.
+type batch struct {
+	pkts  []telescope.Packet
+	arena []byte
+}
+
+// Scatter fans one stored packet stream out to per-shard engine feeds,
+// sharded by source address with the same hash the generator's
+// partitioner uses — so all packets of one source traverse one shard
+// in stored order, and the sharded replay reduces to results
+// bit-identical to the live run for any worker count (DESIGN.md §10).
+//
+// Packets decode into per-shard slabs: the reader goroutine copies
+// each record's struct into the target shard's building batch and its
+// payload bytes into that batch's arena, then hands complete batches
+// over a bounded queue. No per-packet allocation occurs in the steady
+// state when recycling is on.
+//
+// Slab ownership follows the §9 contract: a packet pointer emitted to
+// the engine is valid only during the sink call. With recycle=true the
+// shard worker returns each drained batch to the reader for reuse —
+// legal only when nothing retains packet pointers past the sink call,
+// so replays that attach a trace tap must pass recycle=false (the tap
+// buffers packets across goroutines), exactly like the generator's
+// slab recycling rule.
+type Scatter struct {
+	src     Source
+	n       int
+	recycle bool
+
+	in    []chan *batch // reader → per-shard pump
+	chans []chan *batch // pump → shard feed
+	free  []chan *batch // shard feed → reader (recycling)
+
+	once    sync.Once
+	err     error
+	packets uint64
+}
+
+// NewScatter prepares a scatter of src over n shards.
+func NewScatter(src Source, n int, recycle bool) *Scatter {
+	s := &Scatter{src: src, n: n, recycle: recycle}
+	if n > 1 {
+		s.in = make([]chan *batch, n)
+		s.chans = make([]chan *batch, n)
+		s.free = make([]chan *batch, n)
+		for i := range s.chans {
+			s.in[i] = make(chan *batch, scatterDepth)
+			s.chans[i] = make(chan *batch, scatterDepth)
+			// One slot of slack so returning a drained batch never
+			// blocks a shard worker.
+			s.free[i] = make(chan *batch, scatterDepth+1)
+		}
+	}
+	return s
+}
+
+// pump forwards batches from the reader to one shard's feed through an
+// elastic queue. A single reader deals to all shards, so a bounded
+// queue would deadlock under a trace tap: the tap's k-way merge
+// advances at the global time frontier and backpressures every shard
+// to it, while the reader may need to push many consecutive packets to
+// one stalled shard before the frontier shard's next packet appears in
+// the file. The pump always accepts, so the reader always reaches that
+// packet; queue growth is bounded by how unevenly the stored stream
+// interleaves shards across the merge window (steady-state: empty,
+// batches flow straight through).
+func pump(in <-chan *batch, out chan<- *batch) {
+	var q []*batch
+	for in != nil || len(q) > 0 {
+		var send chan<- *batch
+		var head *batch
+		if len(q) > 0 {
+			send = out
+			head = q[0]
+		}
+		select {
+		case b, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			q = append(q, b)
+		case send <- head:
+			q[0] = nil
+			q = q[1:]
+		}
+	}
+	close(out)
+}
+
+// Feeds returns the per-shard engine feeds. The reader goroutine
+// starts when the first feed runs (inside engine.Run); with one shard
+// everything stays on the calling goroutine.
+func (s *Scatter) Feeds() []engine.Feed[*telescope.Packet] {
+	feeds := make([]engine.Feed[*telescope.Packet], s.n)
+	if s.n == 1 {
+		feeds[0] = s.feedInline
+		return feeds
+	}
+	for i := range feeds {
+		i := i
+		feeds[i] = func(emit func(*telescope.Packet)) { s.feed(i, emit) }
+	}
+	return feeds
+}
+
+// Err reports the first read error, if any. Valid once the engine run
+// has drained every feed (engine.Run returned).
+func (s *Scatter) Err() error { return s.err }
+
+// Packets returns the number of records scattered. Valid like Err.
+func (s *Scatter) Packets() uint64 { return s.packets }
+
+// feedInline is the single-shard path: no goroutines, no copies — the
+// source's packet is consumed synchronously before the next read, per
+// the Source contract.
+func (s *Scatter) feedInline(emit func(*telescope.Packet)) {
+	for {
+		p, err := s.src.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.err = err
+			}
+			return
+		}
+		s.packets++
+		emit(p)
+	}
+}
+
+func (s *Scatter) feed(i int, emit func(*telescope.Packet)) {
+	s.once.Do(func() { go s.scatter() })
+	for b := range s.chans[i] {
+		for j := range b.pkts {
+			emit(&b.pkts[j])
+		}
+		if s.recycle {
+			b.pkts = b.pkts[:0]
+			b.arena = b.arena[:0]
+			select {
+			case s.free[i] <- b:
+			default:
+			}
+		}
+	}
+}
+
+// scatter is the reader goroutine: it drains the source and deals
+// batches to the per-shard pumps. The bounded reader→pump hop smooths
+// bursts; sustained backpressure lands in the pumps' elastic queues,
+// never on the reader (see pump for why that is load-bearing).
+func (s *Scatter) scatter() {
+	for i := range s.chans {
+		go pump(s.in[i], s.chans[i])
+	}
+	building := make([]*batch, s.n)
+	nextBatch := func(k int) *batch {
+		select {
+		case b := <-s.free[k]:
+			return b
+		default:
+			return &batch{
+				pkts:  make([]telescope.Packet, 0, scatterBatch),
+				arena: make([]byte, 0, scatterArenaCap),
+			}
+		}
+	}
+	for {
+		p, err := s.src.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.err = err
+			}
+			break
+		}
+		k := ibr.ShardOf(p.Src, s.n)
+		b := building[k]
+		if b == nil {
+			b = nextBatch(k)
+			building[k] = b
+		}
+		b.pkts = append(b.pkts, *p)
+		if len(p.Payload) > 0 {
+			q := &b.pkts[len(b.pkts)-1]
+			if cap(b.arena)-len(b.arena) >= len(p.Payload) {
+				// Arena append never regrows (capacity checked), so
+				// earlier packets' payload aliases stay valid.
+				off := len(b.arena)
+				b.arena = append(b.arena, p.Payload...)
+				q.Payload = b.arena[off:len(b.arena):len(b.arena)]
+			} else {
+				q.Payload = append([]byte(nil), p.Payload...)
+			}
+		}
+		s.packets++
+		if len(b.pkts) == scatterBatch {
+			s.in[k] <- b
+			building[k] = nil
+		}
+	}
+	for k, b := range building {
+		if b != nil && len(b.pkts) > 0 {
+			s.in[k] <- b
+		}
+	}
+	for _, ch := range s.in {
+		close(ch)
+	}
+}

@@ -22,7 +22,10 @@ import (
 // source-owned storage and is guaranteed valid only until the source is
 // exhausted (and, with a recycling merger, only until the next merger
 // Next call after exhaustion). Consumers that retain packets must copy
-// them — see DESIGN.md "Packet ownership & lifetime".
+// them — see DESIGN.md "Packet ownership & lifetime". The replay path
+// has a twin contract: capture.Source packets are valid only until the
+// following Next call, and capture.Scatter copies them into per-shard
+// slabs governed by the same rules (DESIGN.md §10).
 type Source interface {
 	// StartTime returns a lower bound on the first packet's timestamp,
 	// known before any Next call. The merger uses it to activate

@@ -10,28 +10,50 @@ import (
 	"quicsand/internal/netmodel"
 )
 
-// Binary trace store: a minimal pcap analogue. Record layout (little
-// endian):
+// Binary trace store: the native checkpoint format (pcap import/export
+// lives in internal/capture). Layout, little endian:
 //
-//	u32 magic "QSND" (first record only, via Writer header)
+//	file header:
+//	  u32 magic "QSND" | u32 version (currently 2)
 //	per record:
 //	  i64 ts-millis | u32 src | u32 dst | u16 sport | u16 dport
-//	  u8 proto | u8 flags | u16 size | u16 payloadLen | payload…
+//	  u8 proto | u8 flags | u16 size | u32 weight | u16 payloadLen
+//	  | payload…
 //
-// The format exists so experiments can checkpoint generated months and
-// re-analyze without re-simulating; it also exercises the I/O path a
-// real deployment would use against pcaps.
+// Version 2 added the weight field: thinned research-scan records
+// stand for Weight real packets, and dropping that on disk made a
+// replayed month diverge from the live run. The format exists so
+// experiments can checkpoint generated months and re-analyze without
+// re-simulating; it also exercises the I/O path a real deployment
+// would use against pcaps (quicsand.Replay accepts either format
+// through capture.Source).
 
-const storeMagic = 0x51534e44 // "QSND"
+const (
+	storeMagic   = 0x51534e44 // "QSND"
+	storeVersion = 2
+	// recHdrLen is the fixed-size record prefix before the payload
+	// length field.
+	recHdrLen = 28
+)
 
-// ErrBadTrace reports a corrupt or foreign trace file.
+// ErrBadTrace reports a corrupt, truncated, or foreign trace file.
+// Reader errors wrap it and carry the byte offset of the bad record.
 var ErrBadTrace = errors.New("telescope: bad trace file")
 
-// Writer serializes packets to a stream.
+// Writer serializes packets to a stream. Write errors are sticky: the
+// first underlying failure (e.g. a full disk) is retained, every
+// subsequent Write fails fast with it, and Flush/Err report it —
+// callers using the fire-and-forget Capture path must check Err (or
+// Flush) before trusting the file.
 type Writer struct {
-	w     *bufio.Writer
-	wrote bool
-	n     uint64
+	w       *bufio.Writer
+	wrote   bool
+	n       uint64
+	dropped uint64
+	err     error
+	// scratch backs the record header so the hot path never re-allocates
+	// it (a stack array would escape through the io interfaces).
+	scratch [recHdrLen + 2]byte
 }
 
 // NewWriter wraps w.
@@ -41,13 +63,44 @@ func NewWriter(w io.Writer) *Writer {
 
 // Write appends one packet record.
 func (tw *Writer) Write(p *Packet) error {
-	if !tw.wrote {
-		if err := binary.Write(tw.w, binary.LittleEndian, uint32(storeMagic)); err != nil {
-			return err
-		}
-		tw.wrote = true
+	if tw.err != nil {
+		return tw.err
 	}
-	var hdr [24]byte
+	if err := tw.write(p); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// writeHeader emits the file header once.
+func (tw *Writer) writeHeader() error {
+	if tw.wrote {
+		return nil
+	}
+	fh := tw.scratch[:8]
+	binary.LittleEndian.PutUint32(fh[0:], storeMagic)
+	binary.LittleEndian.PutUint32(fh[4:], storeVersion)
+	if _, err := tw.w.Write(fh); err != nil {
+		return err
+	}
+	tw.wrote = true
+	return nil
+}
+
+func (tw *Writer) write(p *Packet) error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	if len(p.Payload) > 0xffff {
+		return fmt.Errorf("telescope: payload %d bytes: %w", len(p.Payload), ErrBadTrace)
+	}
+	if len(p.Payload) > int(p.Size) {
+		return fmt.Errorf("telescope: payload %d bytes exceeds datagram size %d: %w",
+			len(p.Payload), p.Size, ErrBadTrace)
+	}
+	hdr := &tw.scratch
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(p.TS))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(p.Src))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(p.Dst))
@@ -56,37 +109,67 @@ func (tw *Writer) Write(p *Packet) error {
 	hdr[20] = byte(p.Proto)
 	hdr[21] = p.Flags
 	binary.LittleEndian.PutUint16(hdr[22:], p.Size)
+	binary.LittleEndian.PutUint32(hdr[24:], p.Weight)
+	binary.LittleEndian.PutUint16(hdr[28:], uint16(len(p.Payload)))
 	if _, err := tw.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(p.Payload) > 0xffff {
-		return fmt.Errorf("telescope: payload %d bytes: %w", len(p.Payload), ErrBadTrace)
-	}
-	var plen [2]byte
-	binary.LittleEndian.PutUint16(plen[:], uint16(len(p.Payload)))
-	if _, err := tw.w.Write(plen[:]); err != nil {
 		return err
 	}
 	if _, err := tw.w.Write(p.Payload); err != nil {
 		return err
 	}
-	tw.n++
 	return nil
 }
 
 // Count returns records written so far.
 func (tw *Writer) Count() uint64 { return tw.n }
 
-// Flush drains buffered output.
-func (tw *Writer) Flush() error { return tw.w.Flush() }
+// Dropped returns the number of Capture records discarded after the
+// writer entered its error state.
+func (tw *Writer) Dropped() uint64 { return tw.dropped }
 
-// Capture implements Sink, dropping write errors (checked at Flush).
-func (tw *Writer) Capture(p *Packet) { _ = tw.Write(p) }
+// Err returns the first write error, or nil.
+func (tw *Writer) Err() error { return tw.err }
 
-// Reader deserializes packets from a stream.
+// Flush drains buffered output and reports the first error of the
+// whole write sequence. An empty trace still gets a valid file header,
+// so a zero-record capture reopens cleanly (like an empty pcap).
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.writeHeader(); err != nil {
+		tw.err = err
+		return tw.err
+	}
+	if err := tw.w.Flush(); err != nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// Capture implements Sink. Errors are retained (see Err); records
+// offered after a failure are counted in Dropped.
+func (tw *Writer) Capture(p *Packet) {
+	if tw.err != nil {
+		tw.dropped++
+		return
+	}
+	_ = tw.Write(p)
+}
+
+// Reader deserializes packets from a stream. Corruption — a foreign
+// magic, an unsupported version, a record whose payload length exceeds
+// its datagram size, or a truncated tail — surfaces as an error
+// wrapping ErrBadTrace that names the byte offset; io.EOF is returned
+// only at a clean record boundary.
 type Reader struct {
 	r      *bufio.Reader
 	header bool
+	off    uint64 // bytes consumed so far
+	// scratch backs the record header reads (see Writer.scratch);
+	// payload is the reused ReadInto payload buffer.
+	scratch [recHdrLen + 2]byte
+	payload []byte
 }
 
 // NewReader wraps r.
@@ -94,29 +177,56 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Read returns the next packet or io.EOF.
-func (tr *Reader) Read() (*Packet, error) {
+// Offset returns the number of bytes consumed so far — after an error,
+// the start of the undecodable region.
+func (tr *Reader) Offset() uint64 { return tr.off }
+
+// corruptf builds an offset-annotated ErrBadTrace.
+func (tr *Reader) corruptf(at uint64, format string, args ...any) error {
+	return fmt.Errorf("telescope: %s at byte offset %d: %w",
+		fmt.Sprintf(format, args...), at, ErrBadTrace)
+}
+
+// readFull reads exactly len(b) bytes, advancing the offset. atStart
+// marks a clean record boundary where a zero-byte read is plain EOF;
+// any partial read is a truncated tail.
+func (tr *Reader) readFull(b []byte, atStart bool, what string) error {
+	n, err := io.ReadFull(tr.r, b)
+	tr.off += uint64(n)
+	if err == nil {
+		return nil
+	}
+	if atStart && n == 0 && errors.Is(err, io.EOF) {
+		return io.EOF
+	}
+	return tr.corruptf(tr.off, "truncated %s (%d of %d bytes)", what, n, len(b))
+}
+
+// ReadInto decodes the next record into p — the allocation-free path
+// capture.Source wrappers use. p.Payload (nil for payload-less
+// records) aliases reader-owned storage valid only until the next
+// ReadInto/Read call; retainers must copy. On io.EOF or corruption p
+// is left in an undefined state.
+func (tr *Reader) ReadInto(p *Packet) error {
 	if !tr.header {
-		var magic uint32
-		if err := binary.Read(tr.r, binary.LittleEndian, &magic); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil, io.EOF
-			}
-			return nil, err
+		fh := tr.scratch[:8]
+		if err := tr.readFull(fh, true, "file header"); err != nil {
+			return err
 		}
-		if magic != storeMagic {
-			return nil, ErrBadTrace
+		if magic := binary.LittleEndian.Uint32(fh[0:]); magic != storeMagic {
+			return tr.corruptf(0, "magic %#08x (want %#08x)", magic, storeMagic)
+		}
+		if v := binary.LittleEndian.Uint32(fh[4:]); v != storeVersion {
+			return tr.corruptf(4, "unsupported trace version %d (want %d)", v, storeVersion)
 		}
 		tr.header = true
 	}
-	var hdr [24]byte
-	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("telescope: truncated record: %w", ErrBadTrace)
+	recStart := tr.off
+	hdr := &tr.scratch
+	if err := tr.readFull(hdr[:], true, "record header"); err != nil {
+		return err
 	}
-	p := &Packet{
+	*p = Packet{
 		TS:      Timestamp(binary.LittleEndian.Uint64(hdr[0:])),
 		Src:     netmodel.Addr(binary.LittleEndian.Uint32(hdr[8:])),
 		Dst:     netmodel.Addr(binary.LittleEndian.Uint32(hdr[12:])),
@@ -125,19 +235,43 @@ func (tr *Reader) Read() (*Packet, error) {
 		Proto:   Proto(hdr[20]),
 		Flags:   hdr[21],
 		Size:    binary.LittleEndian.Uint16(hdr[22:]),
+		Weight:  binary.LittleEndian.Uint32(hdr[24:]),
 	}
-	var plen [2]byte
-	if _, err := io.ReadFull(tr.r, plen[:]); err != nil {
-		return nil, fmt.Errorf("telescope: truncated payload length: %w", ErrBadTrace)
+	if p.Proto > ProtoICMP {
+		return tr.corruptf(recStart, "unknown protocol %d", byte(p.Proto))
 	}
-	if n := binary.LittleEndian.Uint16(plen[:]); n > 0 {
-		p.Payload = make([]byte, n)
-		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
-			return nil, fmt.Errorf("telescope: truncated payload: %w", ErrBadTrace)
-		}
+	n := int(binary.LittleEndian.Uint16(hdr[28:]))
+	if n > int(p.Size) {
+		return tr.corruptf(recStart, "payload length %d exceeds datagram size %d", n, p.Size)
+	}
+	if n == 0 {
+		return nil
+	}
+	// The buffer lives on the Reader, not the packet, so payload-less
+	// records interleaved in the stream never discard its capacity.
+	if cap(tr.payload) < n {
+		tr.payload = make([]byte, n)
+	}
+	tr.payload = tr.payload[:n]
+	p.Payload = tr.payload
+	return tr.readFull(p.Payload, false, "payload")
+}
+
+// Read returns the next packet, freshly allocated (safe to retain), or
+// io.EOF.
+func (tr *Reader) Read() (*Packet, error) {
+	p := &Packet{}
+	if err := tr.ReadInto(p); err != nil {
+		return nil, err
+	}
+	if p.Payload != nil {
+		p.Payload = append([]byte(nil), p.Payload...)
 	}
 	return p, nil
 }
+
+// Next implements capture.Source over freshly allocated packets.
+func (tr *Reader) Next() (*Packet, error) { return tr.Read() }
 
 // ForEach streams all records through fn.
 func (tr *Reader) ForEach(fn func(*Packet) error) error {

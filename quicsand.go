@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"quicsand/internal/activescan"
+	"quicsand/internal/capture"
 	"quicsand/internal/correlate"
 	"quicsand/internal/dissect"
 	"quicsand/internal/dosdetect"
@@ -217,17 +218,16 @@ func (sh *pipelineShard) flush() {
 	sh.commonSz.Flush()
 }
 
-// Run generates the month and performs every analysis stage in one
-// sharded streaming pass (see Config.Workers).
-func Run(cfg Config) (*Analysis, error) {
-	schedStart := time.Now()
-	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
-
-	a := &Analysis{Config: cfg}
+// prepare builds the seed-determined substrate Run and Replay share:
+// the simulated Internet, the active-scan census, and the scheduled
+// generator. Scheduling alone fixes the ground truth (victim → org,
+// bot tags) — packets need not be generated for it, which is what
+// lets Replay rebuild the joins for a stored month.
+func prepare(cfg Config, a *Analysis) (gen *ibr.Generator, tum, rwth netmodel.Prefix, err error) {
 	a.Internet = netmodel.BuildInternet()
 	// Census shared with the generator (same seed path).
 	a.Census = activescan.Build(a.Internet, netmodel.NewRNG(cfg.Seed).Fork("census"), activescan.Config{})
-	gen, err := ibr.New(ibr.Config{
+	gen, err = ibr.New(ibr.Config{
 		Seed:         cfg.Seed,
 		Scale:        cfg.Scale,
 		ResearchThin: cfg.ResearchThin,
@@ -237,46 +237,47 @@ func Run(cfg Config) (*Analysis, error) {
 		Identity:     cfg.Identity,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("quicsand: generator: %w", err)
+		return nil, tum, rwth, fmt.Errorf("quicsand: generator: %w", err)
 	}
-	tum := a.Internet.Registry.ByASN(netmodel.ASNTUM).Prefixes[0]
-	rwth := a.Internet.Registry.ByASN(netmodel.ASNRWTH).Prefixes[0]
-	schedWall := time.Since(schedStart)
+	tum = a.Internet.Registry.ByASN(netmodel.ASNTUM).Prefixes[0]
+	rwth = a.Internet.Registry.ByASN(netmodel.ASNRWTH).Prefixes[0]
+	return gen, tum, rwth, nil
+}
 
+// newShards builds one pipelineShard per worker.
+func newShards(a *Analysis, tum, rwth netmodel.Prefix, workers int) []*pipelineShard {
 	shards := make([]*pipelineShard, workers)
-	feeds := make([]engine.Feed[*telescope.Packet], workers)
-	// Packet-slab recycling is legal only when nothing retains packet
-	// pointers past the sink call; the trace tap buffers packets across
-	// goroutines, so checkpointing runs pay the allocations instead.
-	for i, m := range gen.Feeds(workers, cfg.Trace == nil) {
+	for i := range shards {
 		shards[i] = newPipelineShard(a.Internet, tum, rwth)
-		feeds[i] = m.Run
 	}
+	return shards
+}
 
-	var tap *engine.Tap[*telescope.Packet]
-	if cfg.Trace != nil {
-		tap = &engine.Tap[*telescope.Packet]{
-			// (timestamp, source address) totally orders captured
-			// packets across shards: one address never spans shards,
-			// and equal-key packets within a shard keep stream order —
-			// reproducing the sequential merger's canonical sequence.
-			Less: func(x, y *telescope.Packet) bool {
-				if x.TS != y.TS {
-					return x.TS < y.TS
-				}
-				return x.Src < y.Src
-			},
-			Sink: cfg.Trace.Capture,
-		}
+// traceTap builds the checkpoint tap when a trace sink is configured.
+func traceTap(cfg Config) *engine.Tap[*telescope.Packet] {
+	if cfg.Trace == nil {
+		return nil
 	}
+	return &engine.Tap[*telescope.Packet]{
+		// (timestamp, source address) totally orders captured
+		// packets across shards: one address never spans shards,
+		// and equal-key packets within a shard keep stream order —
+		// reproducing the sequential merger's canonical sequence.
+		Less: func(x, y *telescope.Packet) bool {
+			if x.TS != y.TS {
+				return x.TS < y.TS
+			}
+			return x.Src < y.Src
+		},
+		Sink: cfg.Trace.Capture,
+	}
+}
 
-	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, feeds,
-		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, tap)
-	a.Truth = gen.Truth
-
-	// Reduction: commutative counter merges plus one canonical sort
-	// make the result independent of shard count and interleaving.
-	reduceStart := time.Now()
+// reduce folds the drained shards into the Analysis: commutative
+// counter merges plus one canonical sort make the result independent
+// of shard count and interleaving — and of whether the packets came
+// from the generator or a stored trace.
+func (a *Analysis) reduce(shards []*pipelineShard, tum, rwth netmodel.Prefix) {
 	a.Telescope = telescope.New()
 	a.HourlySource = telescope.NewHourlyCounter(sourceClassifier(tum, rwth))
 	a.HourlyType = telescope.NewHourlyCounter(typeClassifier)
@@ -326,6 +327,86 @@ func Run(cfg Config) (*Analysis, error) {
 		}
 	}
 	a.ScanSources = a.GreyNoise.Summarize(srcs)
+}
+
+// Run generates the month and performs every analysis stage in one
+// sharded streaming pass (see Config.Workers).
+func Run(cfg Config) (*Analysis, error) {
+	schedStart := time.Now()
+	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
+
+	a := &Analysis{Config: cfg}
+	gen, tum, rwth, err := prepare(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	schedWall := time.Since(schedStart)
+
+	shards := newShards(a, tum, rwth, workers)
+	feeds := make([]engine.Feed[*telescope.Packet], workers)
+	// Packet-slab recycling is legal only when nothing retains packet
+	// pointers past the sink call; the trace tap buffers packets across
+	// goroutines, so checkpointing runs pay the allocations instead.
+	for i, m := range gen.Feeds(workers, cfg.Trace == nil) {
+		feeds[i] = m.Run
+	}
+
+	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, feeds,
+		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, traceTap(cfg))
+	a.Truth = gen.Truth
+
+	reduceStart := time.Now()
+	a.reduce(shards, tum, rwth)
+
+	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
+	pstats.Stages = append(
+		[]engine.Stage{{Name: "schedule", Items: uint64(len(gen.Sources())), Wall: schedWall}},
+		pstats.Stages...)
+	pstats.Wall = time.Since(schedStart)
+	a.Pipeline = pstats
+	return a, nil
+}
+
+// Replay performs the full analysis over a stored packet stream — a
+// QSND checkpoint or a pcap — instead of generating one (see
+// internal/capture). Packets scatter to the sharded engine by source
+// address through per-shard slabs, so `Run → trace to disk → Replay`
+// produces an Analysis bit-identical to the direct run for any worker
+// count, on either side (DESIGN.md §10).
+//
+// cfg must carry the recorded run's seed/scale/thinning parameters:
+// the schedule-derived ground truth (victim organizations, bot tags
+// for the GreyNoise join) is rebuilt by re-scheduling, never stored in
+// the trace. Workers and Trace are free — replaying with a trace sink
+// re-checkpoints the stream (the convert path with analysis). For
+// foreign captures the ground truth is simply empty simulation state;
+// every packet-derived figure still computes.
+func Replay(cfg Config, src capture.Source) (*Analysis, error) {
+	schedStart := time.Now()
+	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
+
+	a := &Analysis{Config: cfg}
+	gen, tum, rwth, err := prepare(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	a.Truth = gen.Truth // scheduling alone fixes the ground truth
+	schedWall := time.Since(schedStart)
+
+	shards := newShards(a, tum, rwth, workers)
+	// Replayed packets live in scatter-owned slabs under the same §9
+	// ownership contract as generator slabs: recycling is legal exactly
+	// when no trace tap buffers packet pointers past the sink call.
+	sc := capture.NewScatter(src, workers, cfg.Trace == nil)
+
+	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, sc.Feeds(),
+		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, traceTap(cfg))
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("quicsand: replay: %w", err)
+	}
+
+	reduceStart := time.Now()
+	a.reduce(shards, tum, rwth)
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(

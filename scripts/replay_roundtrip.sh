@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# replay_roundtrip.sh — end-to-end check of the capture subsystem via
+# the CLI: simulate → export pcap → convert back → replay, asserting
+#
+#   1. QSND → pcap → QSND is byte-identical (every record preserved);
+#   2. replaying either container, at a different worker count,
+#      reproduces the recorded run's headline JSON exactly.
+#
+# Usage: scripts/replay_roundtrip.sh [scale]   (default 0.005)
+# Used by the CI replay-roundtrip job; run locally after touching
+# internal/capture, internal/telescope, or the engine/replay paths.
+set -eu
+
+scale="${1:-0.005}"
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/quicsand" ./cmd/quicsand
+sim="-seed 5 -scale $scale -thin 16384"
+
+# Record the month (workers=2) and keep its headline JSON as the
+# reference analysis — one process produces both artifacts, so the
+# comparison is free of cross-run identity noise.
+"$tmp/quicsand" record $sim -workers 2 -o "$tmp/month.qsnd" -fig headline-json > "$tmp/direct.json"
+
+"$tmp/quicsand" convert -i "$tmp/month.qsnd" -o "$tmp/month.pcap"
+"$tmp/quicsand" convert -i "$tmp/month.pcap" -o "$tmp/month2.qsnd"
+cmp "$tmp/month.qsnd" "$tmp/month2.qsnd" || {
+    echo "FAIL: QSND -> pcap -> QSND not byte-identical" >&2; exit 1; }
+
+for input in month.qsnd month.pcap; do
+    "$tmp/quicsand" replay $sim -workers 8 -i "$tmp/$input" -fig headline-json > "$tmp/replay.json"
+    diff -u "$tmp/direct.json" "$tmp/replay.json" || {
+        echo "FAIL: replay of $input diverged from the recorded run" >&2; exit 1; }
+done
+
+echo "replay round trip OK (scale $scale): lossless convert + bit-identical replays" >&2

@@ -1,12 +1,14 @@
 package quicsand
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"quicsand/internal/capture"
 	"quicsand/internal/dissect"
 	"quicsand/internal/telescope"
 )
@@ -69,5 +71,62 @@ func TestTraceCheckpointRoundTrip(t *testing.T) {
 	}
 	if resps != a.HourlyType.TotalOf("Responses") {
 		t.Errorf("replayed responses %d != live %d", resps, a.HourlyType.TotalOf("Responses"))
+	}
+}
+
+// TestMonthPcapRoundTripLossless is the export acceptance invariant:
+// a full generated month (research thinning weights, QUIC payloads,
+// TCP/ICMP backscatter — every record class) written as QSND,
+// converted to pcap and back, must reproduce the original checkpoint
+// byte-for-byte. Weight and the claimed datagram size ride the pcap
+// frames' metadata trailer (internal/capture).
+func TestMonthPcapRoundTripLossless(t *testing.T) {
+	var qsnd bytes.Buffer
+	w := telescope.NewWriter(&qsnd)
+	if _, err := Run(Config{Seed: 31, Scale: 0.005, ResearchThin: 1 << 14, Trace: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() == 0 {
+		t.Fatal("empty month")
+	}
+	orig := qsnd.Bytes()
+
+	var pcapBuf bytes.Buffer
+	src, err := capture.NewSource(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcapSink := capture.NewSink(&pcapBuf, capture.FormatPcap)
+	n1, err := capture.Copy(pcapSink, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcapSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var back bytes.Buffer
+	src2, err := capture.NewSource(bytes.NewReader(pcapBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsndSink := capture.NewSink(&back, capture.FormatQSND)
+	n2, err := capture.Copy(qsndSink, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qsndSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n1 != w.Count() || n2 != w.Count() {
+		t.Errorf("record counts: wrote %d, to pcap %d, back %d", w.Count(), n1, n2)
+	}
+	if !bytes.Equal(orig, back.Bytes()) {
+		t.Errorf("QSND → pcap → QSND not byte-identical: %d vs %d bytes (or content)",
+			len(orig), len(back.Bytes()))
 	}
 }
