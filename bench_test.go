@@ -23,6 +23,7 @@ import (
 	"quicsand/internal/handshake"
 	"quicsand/internal/ibr"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/scenario"
 	"quicsand/internal/sessions"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
@@ -173,6 +174,34 @@ func BenchmarkReplay(b *testing.B) {
 func BenchmarkReplayPcap(b *testing.B) {
 	_, pcap := benchReplayTraces(b)
 	benchReplay(b, pcap)
+}
+
+// BenchmarkScenario measures one complete generate→analyze cycle per
+// built-in scenario (internal/scenario) at the BenchmarkPipeline
+// scale: compilation resolves phases at setup, so throughput should
+// track the paper month's for comparable packet mixes. Snapshots land
+// in BENCH_PR4.json via scripts/bench_snapshot.sh.
+func BenchmarkScenario(b *testing.B) {
+	for _, name := range scenario.Builtins() {
+		sc, err := scenario.Builtin(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchPipelineCfg(0)
+				cfg.Scenario = sc
+				a, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Telescope.Total == 0 {
+					b.Fatal("empty scenario run")
+				}
+				b.ReportMetric(a.Pipeline.Throughput(), "packets/s")
+			}
+		})
+	}
 }
 
 func BenchmarkFigure2(b *testing.B) {

@@ -11,7 +11,14 @@
 // Shared simulation flags:
 //
 //	[-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
-//	[-fig SECTION] [-stats] [-cpuprofile FILE] [-memprofile FILE]
+//	[-scenario NAME|FILE] [-fig SECTION] [-stats]
+//	[-cpuprofile FILE] [-memprofile FILE]
+//
+// -scenario selects the workload: a built-in scenario name
+// (`-scenario list` prints the registry), or a declarative spec file
+// in JSON or TOML (internal/scenario, examples/scenarios). The default
+// is the paper's hard-coded April 2021 month. Replay takes the
+// recorded run's -scenario like it takes -seed and -scale.
 //
 // SECTION is one of: all, headline, headline-json, 2–13, section6. At
 // -scale 1.0 the run reproduces paper-scale magnitudes and takes a few
@@ -32,9 +39,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"quicsand"
 	"quicsand/internal/capture"
+	"quicsand/internal/scenario"
 )
 
 func main() {
@@ -70,6 +79,7 @@ type simOpts struct {
 	stats        *bool
 	cpuProfile   *string
 	memProfile   *string
+	scenarioSel  *string
 }
 
 func addSimFlags(fs *flag.FlagSet) *simOpts {
@@ -82,17 +92,79 @@ func addSimFlags(fs *flag.FlagSet) *simOpts {
 		stats:        fs.Bool("stats", false, "print per-stage pipeline throughput to stderr"),
 		cpuProfile:   fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
 		memProfile:   fs.String("memprofile", "", "write a post-run heap profile to this file"),
+		scenarioSel:  fs.String("scenario", "", "workload: built-in scenario name, spec file (.json/.toml), or 'list'"),
 	}
 }
 
-func (o *simOpts) config() quicsand.Config {
-	return quicsand.Config{
+// config resolves the flag set into a pipeline Config. The -scenario
+// value may name a built-in or a spec file; replay must pass the same
+// value as the recorded run (like -seed and -scale).
+func (o *simOpts) config() (quicsand.Config, error) {
+	cfg := quicsand.Config{
 		Seed:         *o.seed,
 		Scale:        *o.scale,
 		ResearchThin: uint32(*o.thin),
 		SkipResearch: *o.skipResearch,
 		Workers:      *o.workers,
 	}
+	sel := *o.scenarioSel
+	if sel == "" {
+		return cfg, nil
+	}
+	if sel == "list" {
+		// The list verb never reaches config resolution: parseSim
+		// services it. Failing here keeps a future subcommand that
+		// skips parseSim from silently running a full simulation.
+		return cfg, errors.New("-scenario list: nothing to run")
+	}
+	sc, err := scenario.Builtin(sel)
+	if err == nil {
+		if info, statErr := os.Stat(sel); statErr == nil && !info.IsDir() {
+			// A local file shadowed by a built-in name must not be
+			// silently ignored; make the user disambiguate. (A mere
+			// directory of the same name is no spec candidate.)
+			return cfg, fmt.Errorf("-scenario %q names both a built-in and a local file; use ./%s for the file", sel, sel)
+		}
+	}
+	if err != nil {
+		// A known built-in name that still errored means the registry
+		// itself is broken — surface that, never mask it as a path
+		// lookup failure.
+		for _, name := range scenario.Builtins() {
+			if name == sel {
+				return cfg, err
+			}
+		}
+		// Not a built-in: treat the value as a spec path. Keep the
+		// stat error so ENOENT and EACCES stay distinguishable.
+		info, statErr := os.Stat(sel)
+		if statErr != nil {
+			return cfg, fmt.Errorf("-scenario %q: not a built-in (%s) and %w",
+				sel, strings.Join(scenario.Builtins(), ", "), statErr)
+		}
+		if info.IsDir() {
+			return cfg, fmt.Errorf("-scenario %q: is a directory, not a spec file", sel)
+		}
+		if sc, err = scenario.LoadFile(sel); err != nil {
+			return cfg, err
+		}
+	}
+	cfg.Scenario = sc
+	return cfg, nil
+}
+
+// listScenarios prints the built-in registry (the -scenario list verb).
+func listScenarios(stdout io.Writer) error {
+	lines, err := scenario.Describe()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "built-in scenarios:")
+	for _, line := range lines {
+		fmt.Fprintln(stdout, " ", line)
+	}
+	fmt.Fprintln(stdout, "\ncustom specs: pass a .json/.toml file (see examples/scenarios)")
+	return nil
 }
 
 func parse(fs *flag.FlagSet, args []string) (help bool, err error) {
@@ -101,6 +173,20 @@ func parse(fs *flag.FlagSet, args []string) (help bool, err error) {
 			return true, nil // usage already printed; -h is not a failure
 		}
 		return false, err
+	}
+	return false, nil
+}
+
+// parseSim parses a simulate-style flag set and services the
+// `-scenario list` verb in one place for every subcommand; done means
+// output (usage or the registry) was already produced and the command
+// is finished.
+func parseSim(fs *flag.FlagSet, opts *simOpts, args []string, stdout io.Writer) (done bool, err error) {
+	if help, err := parse(fs, args); help || err != nil {
+		return true, err
+	}
+	if *opts.scenarioSel == "list" {
+		return true, listScenarios(stdout)
 	}
 	return false, nil
 }
@@ -266,11 +352,14 @@ func runSimulate(args []string, stdout, stderr io.Writer) error {
 	opts := addSimFlags(fs)
 	fig := fs.String("fig", "all", "section to print: all, headline, headline-json, 2..13, section6")
 	tracePath := fs.String("trace", "", "write the captured month to this file (.pcap/.cap = libpcap, else QSND)")
-	if help, err := parse(fs, args); help || err != nil {
+	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
 		return err
 	}
 
-	cfg := opts.config()
+	cfg, err := opts.config()
+	if err != nil {
+		return err
+	}
 	var finish func() error
 	var abort func()
 	if *tracePath != "" {
@@ -293,7 +382,7 @@ func runRecord(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("o", "", "capture file to write (required)")
 	format := fs.String("format", "auto", "capture format: auto (by extension), qsnd, pcap")
 	fig := fs.String("fig", "", "also print this section (same values as the top-level -fig)")
-	if help, err := parse(fs, args); help || err != nil {
+	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
 		return err
 	}
 	if *out == "" {
@@ -303,11 +392,14 @@ func runRecord(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg, err := opts.config()
+	if err != nil {
+		return err
+	}
 	sink, finish, abort, err := traceSink(*out, f, stderr)
 	if err != nil {
 		return err
 	}
-	cfg := opts.config()
 	cfg.Trace = sink
 	return simulateAndRender(opts, cfg, finish, abort, *fig, stdout, stderr)
 }
@@ -322,11 +414,15 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	opts := addSimFlags(fs)
 	in := fs.String("i", "", "capture file to replay (required)")
 	fig := fs.String("fig", "headline", "section to print: all, headline, headline-json, 2..13, section6")
-	if help, err := parse(fs, args); help || err != nil {
+	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
 		return err
 	}
 	if *in == "" {
 		return errors.New("replay: -i FILE is required")
+	}
+	cfg, err := opts.config()
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -340,7 +436,7 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 
 	var a *quicsand.Analysis
 	err = opts.profiled(func() (err error) {
-		a, err = quicsand.Replay(opts.config(), src)
+		a, err = quicsand.Replay(cfg, src)
 		return err
 	})
 	if err != nil {

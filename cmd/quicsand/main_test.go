@@ -124,6 +124,81 @@ func TestRecordConvertReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestScenarioFlag covers the -scenario surface: the list verb, a
+// built-in by name, a custom spec file, and rejection of unknown
+// names and broken specs.
+func TestScenarioFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scenario", "list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"paper-2021", "handshake-flood-qfam", "retry-mitigated-flood", "versionneg-scan-campaign", "multi-vector-burst"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-scenario list missing %s:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err := run([]string{
+		"-scenario", "retry-mitigated-flood", "-seed", "3", "-scale", "0.002",
+		"-workers", "2", "-fig", "headline",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scenario:                     retry-mitigated-flood") {
+		t.Errorf("headline missing scenario banner:\n%s", out.String())
+	}
+
+	spec := filepath.Join(t.TempDir(), "custom.toml")
+	if err := os.WriteFile(spec, []byte(
+		"name = \"tiny-custom\"\n[[phases]]\nkind = \"misconfig\"\nsources = 2000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-scenario", spec, "-scale", "0.01", "-fig", "headline"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tiny-custom") {
+		t.Errorf("custom spec scenario missing from headline:\n%s", out.String())
+	}
+
+	if err := run([]string{"-scenario", "no-such-scenario", "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.toml")
+	if err := os.WriteFile(bad, []byte("name = \"x\""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", bad, "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("phase-less spec accepted")
+	}
+}
+
+// TestScenarioRecordReplayRoundTrip is the CLI form of the scenario
+// determinism contract: record a scenario month, replay it with the
+// same flags at another worker count, and require the identical
+// headline JSON (which embeds the scenario name).
+func TestScenarioRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	qsnd := filepath.Join(dir, "burst.qsnd")
+	sim := []string{"-scenario", "multi-vector-burst", "-seed", "3", "-scale", "0.002", "-fig", "headline-json"}
+
+	var direct, replayed, errOut bytes.Buffer
+	if err := run(append([]string{"record", "-o", qsnd, "-workers", "2"}, sim...), &direct, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(direct.String(), "\"scenario\": \"multi-vector-burst\"") {
+		t.Fatalf("scenario missing from headline JSON:\n%s", direct.String())
+	}
+	if err := run(append([]string{"replay", "-i", qsnd, "-workers", "8"}, sim...), &replayed, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != direct.String() {
+		t.Errorf("scenario replay diverged:\n--- direct ---\n%s\n--- replay ---\n%s", direct.String(), replayed.String())
+	}
+}
+
 // TestConvertFailureLeavesNoPartialOutput: a conversion that dies on
 // a corrupt record must not leave a truncated capture behind to be
 // mistaken for a usable one.

@@ -2,9 +2,11 @@ package quicsand
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"quicsand/internal/capture"
+	"quicsand/internal/scenario"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
 )
@@ -180,6 +182,75 @@ func TestReplayBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(qsnd, retrace.Bytes()) {
 		t.Errorf("re-checkpoint differs: %d vs %d bytes (or content)", len(qsnd), len(retrace.Bytes()))
+	}
+}
+
+// TestScenarioDeterminism extends the §8/§10 invariants across the
+// scenario layer: every built-in scenario must be bit-identical for
+// Workers ∈ {1, 2, 8} — same figures, sessions, counters, and a
+// byte-identical trace checkpoint — and `Run → record → Replay` of the
+// checkpoint must reproduce the same Analysis. paper-2021 rides the
+// existing TestWorkersBitIdentical / TestReplayBitIdentical coverage.
+func TestScenarioDeterminism(t *testing.T) {
+	id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Builtins() {
+		if name == "paper-2021" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{
+				Seed: 53, Scale: 0.002, ResearchThin: 1 << 14,
+				Identity: id, Scenario: sc,
+			}
+			runWith := func(workers int) (*Analysis, []byte) {
+				var trace bytes.Buffer
+				w := telescope.NewWriter(&trace)
+				cfg := base
+				cfg.Workers, cfg.Trace = workers, w
+				a, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				return a, trace.Bytes()
+			}
+
+			seq, seqTrace := runWith(1)
+			if seq.Telescope.Total == 0 {
+				t.Fatal("empty scenario month")
+			}
+			for _, workers := range []int{2, 8} {
+				par, parTrace := runWith(workers)
+				expectSameAnalysis(t, fmt.Sprintf("workers=%d", workers), seq, par)
+				if !bytes.Equal(seqTrace, parTrace) {
+					t.Errorf("workers=%d: trace checkpoints differ: %d vs %d bytes (or content)",
+						workers, len(seqTrace), len(parTrace))
+				}
+			}
+
+			// Run → record → Replay at another worker count.
+			src, err := capture.NewSource(bytes.NewReader(seqTrace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Workers = 8
+			replayed, err := Replay(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectSameAnalysis(t, "replay", seq, replayed)
+		})
 	}
 }
 

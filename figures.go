@@ -10,6 +10,7 @@ import (
 	"quicsand/internal/dosdetect"
 	"quicsand/internal/netmodel"
 	"quicsand/internal/report"
+	"quicsand/internal/scenario"
 	"quicsand/internal/stats"
 	"quicsand/internal/telescope"
 	"quicsand/internal/wire"
@@ -39,6 +40,9 @@ func (a *Analysis) headlineStats() headlineStats {
 // Headline renders the §5.1 overview numbers.
 func (a *Analysis) Headline() string {
 	var b strings.Builder
+	if sc := a.Config.Scenario; sc != nil {
+		fmt.Fprintf(&b, "scenario:                     %s\n", sc.Name)
+	}
 	hs := a.headlineStats()
 	total, research, reqPk, respPk := hs.total, hs.research, hs.reqPk, hs.respPk
 	fmt.Fprintf(&b, "QUIC packets captured:        %s\n", report.Count(total))
@@ -77,7 +81,12 @@ func (a *Analysis) Headline() string {
 // deterministic, so equal analyses produce byte-equal documents.
 func (a *Analysis) HeadlineJSON() string {
 	hs := a.headlineStats()
+	scName := ""
+	if a.Config.Scenario != nil {
+		scName = a.Config.Scenario.Name
+	}
 	doc := struct {
+		Scenario         string `json:"scenario,omitempty"`
 		TelescopePackets uint64 `json:"telescope_packets"`
 		QUICPackets      uint64 `json:"quic_packets"`
 		ResearchPackets  uint64 `json:"research_packets"`
@@ -91,6 +100,7 @@ func (a *Analysis) HeadlineJSON() string {
 		CommonAttacks    int    `json:"common_attacks"`
 		SweepSessions5m  uint64 `json:"sweep_sessions_5m"`
 	}{
+		Scenario:         scName,
 		TelescopePackets: a.Telescope.Total,
 		QUICPackets:      hs.total,
 		ResearchPackets:  hs.research,
@@ -405,9 +415,70 @@ func (a *Analysis) Section6() string {
 	return b.String()
 }
 
+// ScenarioInfo renders the workload description of a scenario-driven
+// run: the phase list with its windows and the schedule-derived ground
+// truth the packet-level figures are measured against.
+func (a *Analysis) ScenarioInfo() string {
+	sc := a.Config.Scenario
+	if sc == nil {
+		return "scenario: none (paper-2021 hard-coded schedule)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", sc.Name)
+	if sc.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", sc.Description)
+	}
+	if sc.Paper {
+		b.WriteString("  (paper-2021 hard-coded schedule)\n")
+	}
+	var rows [][]string
+	for i := range sc.Phases {
+		ph := &sc.Phases[i]
+		name := ph.Label
+		if name == "" {
+			name = ph.Kind
+		}
+		start, dur := ph.Window()
+		var load string
+		switch ph.Kind {
+		case scenario.KindResearchScan:
+			load = fmt.Sprintf("%d sweeps", ph.Sweeps)
+		case scenario.KindScan:
+			load = fmt.Sprintf("%d bots", ph.Sources)
+		case scenario.KindFlood:
+			load = fmt.Sprintf("%d %s attacks / %d victims", ph.Attacks, ph.Vector, ph.Victims.Size)
+			if ph.RetryMitigation {
+				load += " (retry-mitigated)"
+			}
+			if ph.Pair != nil {
+				load += " (paired)"
+			}
+		case scenario.KindMisconfig:
+			load = fmt.Sprintf("%d responders", ph.Sources)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(i), name, ph.Kind,
+			fmt.Sprintf("day %.1f +%.1fd", start/86400, dur/86400),
+			load,
+		})
+	}
+	if len(rows) > 0 {
+		b.WriteString(report.Table([]string{"#", "Phase", "Kind", "Window", "Load (at scale 1)"}, rows))
+	}
+	if t := a.Truth; t != nil {
+		fmt.Fprintf(&b, "scheduled ground truth: %d QUIC attacks on %d victims, %d TCP/ICMP attacks, %d bots, %d responders\n",
+			t.QUICAttacks, len(t.QUICVictims), t.CommonAttacks, len(t.BotAddrs), t.MisconfSources)
+	}
+	return b.String()
+}
+
 // RenderAll produces the complete report.
 func (a *Analysis) RenderAll() string {
-	sections := []string{
+	var sections []string
+	if a.Config.Scenario != nil {
+		sections = append(sections, "=== Scenario ===", a.ScenarioInfo())
+	}
+	sections = append(sections,
 		"=== Headline (§5.1) ===", a.Headline(),
 		"=== Figure 2 ===", a.Figure2(),
 		"=== Figure 3 ===", a.Figure3(),
@@ -422,7 +493,7 @@ func (a *Analysis) RenderAll() string {
 		"=== Figure 12 ===", a.Figure12(),
 		"=== Figure 13 ===", a.Figure13(),
 		"=== Section 6 ===", a.Section6(),
-	}
+	)
 	return strings.Join(sections, "\n")
 }
 

@@ -148,12 +148,17 @@ type Dissector struct {
 
 	result Result
 	// Reused scratch: long-header parse target, frame-visitor record,
-	// decrypted plaintext, CRYPTO segment list and reassembly buffer.
+	// decrypted plaintext, CRYPTO segment list, reassembly buffer and
+	// the ClientHello parse target (its strings re-allocate only when
+	// a value actually changes — interned scan templates keep this
+	// path allocation-free, see ParseClientHelloInto).
 	hdr       wire.Header
 	frame     wire.FrameInfo
 	plain     []byte
 	segs      []cryptoSeg
 	cryptoBuf []byte
+	msgs      []tlsmini.Message
+	hello     tlsmini.ClientHello
 	openers   map[openerKey]*quiccrypto.Opener
 }
 
@@ -282,14 +287,15 @@ func (d *Dissector) tryDecryptInitial(h *wire.Header, pkt []byte, info *PacketIn
 	if !ok || len(crypto) == 0 {
 		return
 	}
-	msgs, err := tlsmini.SplitMessages(crypto)
+	msgs, err := tlsmini.AppendMessages(d.msgs[:0], crypto)
+	d.msgs = msgs[:0]
 	if err != nil || len(msgs) == 0 {
 		return
 	}
 	if msgs[0].Type == tlsmini.TypeClientHello {
-		if ch, err := tlsmini.ParseClientHello(msgs[0].Body); err == nil {
+		if err := tlsmini.ParseClientHelloInto(&d.hello, msgs[0].Body); err == nil {
 			info.HasClientHello = true
-			info.SNI = ch.ServerName
+			info.SNI = d.hello.ServerName
 		}
 	}
 }

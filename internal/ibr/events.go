@@ -1,6 +1,7 @@
 package ibr
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -165,6 +166,17 @@ func (b *botSpec) build(pool *slabPool) []telescope.Packet {
 // ---------------------------------------------------------------------------
 // Flood backscatter
 
+// Rate-curve shapes for flood backscatter (Shape knob of scenario
+// flood phases). ShapeBurst is the paper's profile — a sustained base
+// rate plus a two-minute peak window; ShapeSquare spreads the whole
+// packet budget uniformly; ShapeRamp ramps density linearly toward the
+// attack's end (an escalating flood).
+const (
+	ShapeBurst uint8 = iota
+	ShapeSquare
+	ShapeRamp
+)
+
 // floodSpec describes one DoS event's backscatter as seen at the
 // telescope.
 type floodSpec struct {
@@ -180,6 +192,12 @@ type floodSpec struct {
 	scidRatio float64 // unique SCIDs per (addr,port) tuple (QUIC only)
 	rng       *netmodel.RNG
 	tpl       *Templates
+
+	// Scenario knobs (zero values reproduce the paper's profile
+	// draw-for-draw; see DESIGN.md §11).
+	shape          uint8 // rate-curve shape (ShapeBurst/Square/Ramp)
+	amp            int   // response datagrams per backscatter arrival (0/1 = none)
+	retryMitigated bool  // victim answers with Retry crypto challenges
 }
 
 // build materializes the attack's telescope packets in time order into
@@ -188,32 +206,56 @@ type floodSpec struct {
 // only a handful of distinct datagrams, each built once and shared
 // read-only by every packet that repeats it.
 func (f *floodSpec) build(pool *slabPool) []telescope.Packet {
-	n := 2*f.peakPkts + f.basePkts + 2
-	times := make([]float64, 0, n)
+	amp := f.amp
+	if amp < 1 {
+		amp = 1
+	}
+	// Arrival budget per shape: burst expands the peak over a window of
+	// up to two minutes; square/ramp spread peak+base directly.
+	arrivals := f.peakPkts + f.basePkts + 2
+	if f.shape == ShapeBurst {
+		arrivals += f.peakPkts
+	}
+	times := make([]float64, 0, arrivals)
 
 	// Bracket packets pin the observed session to the attack's true
 	// extent: victims emit backscatter from first to last spoofed
 	// packet.
 	times = append(times, 0, f.durSec)
 
-	// Burst phase: peakPkts per minute sustained over a two-minute
-	// window placed uniformly inside the attack. A 120-second window
-	// always covers one full wall-clock minute regardless of phase, so
-	// the Moore max-pps metric observes the intended rate.
-	window := 120.0
-	if f.durSec < window {
-		window = f.durSec
-	}
-	burstStart := 0.0
-	if f.durSec > window {
-		burstStart = f.rng.Float64() * (f.durSec - window)
-	}
-	burstPkts := int(float64(f.peakPkts) * window / 60)
-	for i := 0; i < burstPkts; i++ {
-		times = append(times, burstStart+f.rng.Float64()*window)
-	}
-	for i := 0; i < f.basePkts; i++ {
-		times = append(times, f.rng.Float64()*f.durSec)
+	switch f.shape {
+	case ShapeSquare:
+		// Uniform: the whole budget spread evenly over the attack.
+		for i := 0; i < f.peakPkts+f.basePkts; i++ {
+			times = append(times, f.rng.Float64()*f.durSec)
+		}
+	case ShapeRamp:
+		// Escalating: density grows linearly toward the end (CDF t²,
+		// so t = dur·√u).
+		for i := 0; i < f.peakPkts+f.basePkts; i++ {
+			times = append(times, math.Sqrt(f.rng.Float64())*f.durSec)
+		}
+	default:
+		// ShapeBurst, the paper's profile. Burst phase: peakPkts per
+		// minute sustained over a two-minute window placed uniformly
+		// inside the attack. A 120-second window always covers one
+		// full wall-clock minute regardless of phase, so the Moore
+		// max-pps metric observes the intended rate.
+		window := 120.0
+		if f.durSec < window {
+			window = f.durSec
+		}
+		burstStart := 0.0
+		if f.durSec > window {
+			burstStart = f.rng.Float64() * (f.durSec - window)
+		}
+		burstPkts := int(float64(f.peakPkts) * window / 60)
+		for i := 0; i < burstPkts; i++ {
+			times = append(times, burstStart+f.rng.Float64()*window)
+		}
+		for i := 0; i < f.basePkts; i++ {
+			times = append(times, f.rng.Float64()*f.durSec)
+		}
 	}
 	sortFloats(times)
 
@@ -233,12 +275,15 @@ func (f *floodSpec) build(pool *slabPool) []telescope.Packet {
 	var scidPool [][]byte
 	payloads := NewPayloadCache(f.tpl)
 
-	out := pool.get(n)
+	out := pool.get(arrivals * amp)
 	for _, at := range times {
 		ts := tsAt(f.startSec + at)
 		dst := addrs[f.rng.Intn(len(addrs))]
 		dport := ports[f.rng.Intn(len(ports))]
 
+		// Amplification: the victim answers each spoofed packet with
+		// amp response datagrams to the same spoofed tuple (amp = 1
+		// reproduces the paper's draw sequence exactly).
 		switch f.vector {
 		case 0: // QUIC backscatter with real wire bytes
 			tupleKey := uint32(dst)<<16 ^ uint32(dport)
@@ -254,33 +299,44 @@ func (f *floodSpec) build(pool *slabPool) []telescope.Packet {
 				}
 				scidCache[tupleKey] = scid
 			}
-			kind := pickResponseKind(f.rng)
-			payload := payloads.ResponsePacket(f.version, kind, scid)
-			out = append(out, telescope.Packet{
-				TS: ts, Src: f.victim, Dst: dst,
-				SrcPort: telescope.PortQUIC, DstPort: dport,
-				Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),
-				Payload: payload,
-			})
+			for k := 0; k < amp; k++ {
+				var kind responseKind
+				if f.retryMitigated {
+					kind = pickRetryKind(f.rng)
+				} else {
+					kind = pickResponseKind(f.rng)
+				}
+				payload := payloads.ResponsePacket(f.version, kind, scid)
+				out = append(out, telescope.Packet{
+					TS: ts, Src: f.victim, Dst: dst,
+					SrcPort: telescope.PortQUIC, DstPort: dport,
+					Proto: telescope.ProtoUDP, Size: clampSize(len(payload)),
+					Payload: payload,
+				})
+			}
 		case 1: // TCP SYN-ACK / RST backscatter
-			flags := telescope.FlagSYN | telescope.FlagACK
-			if f.rng.Float64() < 0.3 {
-				flags = telescope.FlagRST
+			for k := 0; k < amp; k++ {
+				flags := telescope.FlagSYN | telescope.FlagACK
+				if f.rng.Float64() < 0.3 {
+					flags = telescope.FlagRST
+				}
+				sport := uint16(80)
+				if f.rng.Float64() < 0.5 {
+					sport = 443
+				}
+				out = append(out, telescope.Packet{
+					TS: ts, Src: f.victim, Dst: dst,
+					SrcPort: sport, DstPort: dport,
+					Proto: telescope.ProtoTCP, Flags: flags, Size: 40,
+				})
 			}
-			sport := uint16(80)
-			if f.rng.Float64() < 0.5 {
-				sport = 443
-			}
-			out = append(out, telescope.Packet{
-				TS: ts, Src: f.victim, Dst: dst,
-				SrcPort: sport, DstPort: dport,
-				Proto: telescope.ProtoTCP, Flags: flags, Size: 40,
-			})
 		default: // ICMP echo reply / unreachable
-			out = append(out, telescope.Packet{
-				TS: ts, Src: f.victim, Dst: dst,
-				Proto: telescope.ProtoICMP, Flags: 0, Size: 56,
-			})
+			for k := 0; k < amp; k++ {
+				out = append(out, telescope.Packet{
+					TS: ts, Src: f.victim, Dst: dst,
+					Proto: telescope.ProtoICMP, Flags: 0, Size: 56,
+				})
+			}
 		}
 	}
 	return out

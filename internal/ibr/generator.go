@@ -3,7 +3,6 @@ package ibr
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"quicsand/internal/activescan"
@@ -73,14 +72,20 @@ type GroundTruth struct {
 // Generator holds the scheduled sources for one run.
 type Generator struct {
 	cfg     Config
+	root    *netmodel.RNG
 	sources []Source
 	Truth   *GroundTruth
 	tpl     *Templates
 }
 
-// New schedules a full measurement month. The heavy packet material
-// is produced lazily while the stream runs.
-func New(cfg Config) (*Generator, error) {
+// NewEmpty builds a generator with the shared substrate — simulated
+// Internet, census, identity, per-version packet templates — but an
+// empty schedule. The scenario compiler (internal/scenario) populates
+// it through the Add*Plan methods in plan.go; New layers the paper's
+// hard-coded month on top. The root-RNG fork order (census, then
+// templates, then schedule forks in call order) is the determinism
+// contract: a given (seed, plan sequence) always yields the same month.
+func NewEmpty(cfg Config) (*Generator, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1.0
 	}
@@ -110,17 +115,38 @@ func New(cfg Config) (*Generator, error) {
 		return nil, err
 	}
 
-	g := &Generator{cfg: cfg, tpl: tpl, Truth: &GroundTruth{
+	return &Generator{cfg: cfg, root: root, tpl: tpl, Truth: &GroundTruth{
 		QUICVictims: make(map[netmodel.Addr]string),
 		TaggedBots:  make(map[netmodel.Addr][]string),
-	}}
-	g.scheduleResearch(root.Fork("research"))
-	g.scheduleBots(root.Fork("bots"))
-	quicSpecs := g.scheduleQUICAttacks(root.Fork("quic-attacks"))
-	g.scheduleCommonAttacks(root.Fork("common-attacks"), quicSpecs)
-	g.scheduleMisconfig(root.Fork("misconfig"))
+	}}, nil
+}
+
+// New schedules a full measurement month — the paper's April 2021
+// workload. The heavy packet material is produced lazily while the
+// stream runs.
+func New(cfg Config) (*Generator, error) {
+	g, err := NewEmpty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.scheduleResearch(g.root.Fork("research"))
+	g.scheduleBots(g.root.Fork("bots"))
+	quicSpecs := g.scheduleQUICAttacks(g.root.Fork("quic-attacks"))
+	g.scheduleCommonAttacks(g.root.Fork("common-attacks"), quicSpecs)
+	g.scheduleMisconfig(g.root.Fork("misconfig"))
 	return g, nil
 }
+
+// Internet returns the simulated topology the generator schedules
+// against (the scenario compiler resolves victim pools on it).
+func (g *Generator) Internet() *netmodel.Internet { return g.cfg.Internet }
+
+// Census returns the active-scan census shared with the analyses.
+func (g *Generator) Census() *activescan.Census { return g.cfg.Census }
+
+// Scaled applies the configured event-count scale to a paper-magnitude
+// count (minimum 1), exactly as the paper schedule does.
+func (g *Generator) Scaled(n float64) int { return g.scaled(n) }
 
 // Run streams the merged month through sink and returns the ground
 // truth.
@@ -277,56 +303,36 @@ func (g *Generator) scheduleBots(rng *netmodel.RNG) {
 
 // ---------------------------------------------------------------------------
 
-// quicAttackPlan retains scheduling info needed for multi-vector
-// pairing.
-type quicAttackPlan struct {
-	victim   netmodel.Addr
-	startSec float64
-	durSec   float64
-}
+// Scheduled QUIC attacks are retained as FloodEvents (plan.go) for
+// multi-vector pairing.
 
 // assignVictims distributes nAttacks over a victim pool with the
-// paper's Figure 6 skew: a "cold" majority of victims is hit exactly
-// once while a small "hot" set absorbs the rest via heavy-tailed
-// popularity. Returns one victim per attack.
+// paper's Figure 6 skew (alpha 1.15) — a thin wrapper over the shared
+// assignVictimRefs engine in plan.go, so the hot/cold split and the
+// popularity draw have one source of truth.
 func assignVictims(addrs []netmodel.Addr, nAttacks int, rng *netmodel.RNG) []netmodel.Addr {
 	if len(addrs) == 0 || nAttacks == 0 {
 		return nil
 	}
-	nCold := len(addrs) * 3 / 5
-	hot := addrs[:len(addrs)-nCold]
-	cold := addrs[len(addrs)-nCold:]
-	if len(hot) == 0 {
-		hot = addrs
-	}
-	hotWeights := make([]float64, len(hot))
-	for i := range hotWeights {
-		hotWeights[i] = rng.Pareto(1, 1.15)
+	refs := make([]VictimRef, len(addrs))
+	for i, a := range addrs {
+		refs[i] = VictimRef{Addr: a}
 	}
 	out := make([]netmodel.Addr, 0, nAttacks)
-	for i := 0; i < len(cold) && len(out) < nAttacks; i++ {
-		out = append(out, cold[i])
+	for _, r := range assignVictimRefs(refs, nAttacks, 1.15, rng) {
+		out = append(out, r.Addr)
 	}
-	for len(out) < nAttacks {
-		out = append(out, hot[rng.Pick(hotWeights)])
-	}
-	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
 
-func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []quicAttackPlan {
+func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []FloodEvent {
 	census := g.cfg.Census
 
 	mkPool := func(servers []activescan.Server, n int, r *netmodel.RNG) []netmodel.Addr {
-		var addrs []netmodel.Addr
-		seen := map[netmodel.Addr]bool{}
-		for len(addrs) < n && len(seen) < len(servers) {
-			s := servers[r.Intn(len(servers))]
-			if seen[s.Addr] {
-				continue
-			}
-			seen[s.Addr] = true
-			addrs = append(addrs, s.Addr)
+		refs := PickDistinctVictims(servers, n, r)
+		addrs := make([]netmodel.Addr, len(refs))
+		for i, v := range refs {
+			addrs[i] = v.Addr
 		}
 		return addrs
 	}
@@ -350,7 +356,7 @@ func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []quicAttackPlan {
 	}
 
 	nAttacks := g.scaled(calQUICAttacks)
-	plans := make([]quicAttackPlan, 0, nAttacks)
+	plans := make([]FloodEvent, 0, nAttacks)
 	orgNames := []string{"Google", "Facebook", "Other", "Unknown"}
 	orgShares := []float64{0.58, 0.25, 0.15, 0.02}
 	orgPools := [][]netmodel.Addr{google, facebook, other, unknown}
@@ -438,7 +444,7 @@ func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []quicAttackPlan {
 			rng: rng.Fork(fmt.Sprintf("qattack/%d", i)), tpl: g.tpl,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
-		plans = append(plans, quicAttackPlan{victim: victim, startSec: start, durSec: dur})
+		plans = append(plans, FloodEvent{Victim: victim, StartSec: start, DurSec: dur})
 	}
 	g.Truth.QUICAttacks = nAttacks
 	return plans
@@ -467,119 +473,12 @@ func maxInt(a, b int) int {
 
 // ---------------------------------------------------------------------------
 
-func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicPlans []quicAttackPlan) {
+func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicEvents []FloodEvent) {
 	in := g.cfg.Internet
 
-	mkCommon := func(victim netmodel.Addr, start, dur float64, idx int) {
-		vector := 1 // TCP
-		if rng.Float64() < 0.2 {
-			vector = 2 // ICMP
-		}
-		magnitude := rng.LogNormal(0, 0.9)
-		peak := 40 + int(rng.Pareto(8, 1.3)*magnitude)
-		if peak > 2000 {
-			peak = 2000
-		}
-		baseRate := rng.Exp(0.02) * magnitude
-		if baseRate < 0.04 {
-			baseRate = 0.04
-		}
-		base := int(dur * baseRate)
-		if base > 4000 {
-			base = 4000
-		}
-		nAddrs := 2 + int(rng.Pareto(2, 1.1))
-		if nAddrs > 64 {
-			nAddrs = 64
-		}
-		spec := &floodSpec{
-			vector: vector, victim: victim,
-			startSec: start, durSec: dur,
-			peakPkts: peak, basePkts: base,
-			nAddrs: nAddrs, nPorts: 1 + rng.Intn(64),
-			rng: rng.Fork(fmt.Sprintf("cattack/%d", idx)), tpl: g.tpl,
-		}
-		g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
-		g.Truth.CommonAttacks++
-	}
-
-	// 1) Multi-vector pairing against the QUIC plans. The QUIC-only
-	// category is a property of the victim (a host nobody also floods
-	// over TCP/ICMP), so victims covering ≈9 % of the attack mass are
-	// exempted from pairing first; remaining attacks split between
-	// concurrent and sequential pairings.
-	byVictim := make(map[netmodel.Addr]int)
-	for _, qp := range quicPlans {
-		byVictim[qp.victim]++
-	}
-	victims := make([]netmodel.Addr, 0, len(byVictim))
-	for v := range byVictim {
-		victims = append(victims, v)
-	}
-	sort.Slice(victims, func(i, j int) bool {
-		if byVictim[victims[i]] != byVictim[victims[j]] {
-			return byVictim[victims[i]] < byVictim[victims[j]]
-		}
-		return victims[i] < victims[j]
-	})
-	quicOnlyTarget := int(float64(len(quicPlans)) * (1 - calShareConcurrent - calShareSequential))
-	quicOnly := make(map[netmodel.Addr]bool)
-	covered := 0
-	for _, v := range victims {
-		if covered >= quicOnlyTarget {
-			break
-		}
-		quicOnly[v] = true
-		covered += byVictim[v]
-	}
-
-	idx := 0
-	for _, qp := range quicPlans {
-		if quicOnly[qp.victim] {
-			g.Truth.QUICOnly++
-			idx++
-			continue
-		}
-		x := rng.Float64() * (calShareConcurrent + calShareSequential)
-		switch {
-		case x < calShareConcurrent:
-			g.Truth.Concurrent++
-			dur := clampF(rng.LogNormal(math.Log(1499), 1.0), qp.durSec*0.3+61, 90000)
-			var start float64
-			if rng.Float64() < 0.78 {
-				// Full containment: the common attack brackets the
-				// QUIC flood (Figure 12's dominant mode).
-				lead := 1 + rng.Exp(0.15*qp.durSec+30)
-				start = qp.startSec - lead
-				if dur < qp.durSec+lead+60 {
-					dur = qp.durSec + lead + 60 + rng.Exp(120)
-				}
-			} else {
-				// Partial overlap: start inside the QUIC attack.
-				start = qp.startSec + qp.durSec*(0.15+0.7*rng.Float64())
-			}
-			if start < 0 {
-				start = 0
-			}
-			mkCommon(qp.victim, start, dur, idx)
-		case x < calShareConcurrent+calShareSequential:
-			g.Truth.Sequential++
-			gap := clampF(rng.LogNormal(math.Log(9*3600), 1.9), 400, 28*86400)
-			dur := clampF(rng.LogNormal(math.Log(1499), 1.2), 65, 90000)
-			var start float64
-			if rng.Float64() < 0.5 {
-				start = qp.startSec + qp.durSec + gap
-			} else {
-				start = qp.startSec - gap - dur
-			}
-			if start < 0 || start+dur > measurementSeconds {
-				// Fold back inside the month on the other side.
-				start = clampF(qp.startSec+qp.durSec+gap, 0, measurementSeconds-dur-1)
-			}
-			mkCommon(qp.victim, start, dur, idx)
-		}
-		idx++
-	}
+	// 1) Multi-vector pairing against the scheduled QUIC attacks
+	// (shared with scenario plans — see pairCommonEvents in plan.go).
+	idx := g.pairCommonEvents(rng, quicEvents, calShareConcurrent, calShareSequential, "cattack")
 
 	// 2) Independent common attacks filling the 282 k total.
 	nTotal := g.scaled(calCommonAttacks)
@@ -587,28 +486,14 @@ func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicPlans []quicAtt
 	nVictims := g.scaled(calCommonVictims)
 	commonVictims := make([]netmodel.Addr, nVictims)
 	vWeights := make([]float64, nVictims)
-	pickVictim := func(r *netmodel.RNG) netmodel.Addr {
-		switch x := r.Float64(); {
-		case x < 0.30:
-			return in.RandomHostOf(in.ContentASNs[r.Intn(len(in.ContentASNs))], r)
-		case x < 0.55:
-			return in.RandomHostOf(174, r) // Cogent transit space
-		case x < 0.75:
-			return in.RandomHostOf(in.EyeballASNs[r.Intn(len(in.EyeballASNs))], r)
-		case x < 0.85:
-			return in.RandomHostOf(64500, r)
-		default:
-			return netmodel.Addr(r.Uint32()) // unallocated noise
-		}
-	}
 	for i := range commonVictims {
-		commonVictims[i] = pickVictim(rng)
+		commonVictims[i] = RandomCommonVictim(in, rng)
 		vWeights[i] = rng.Pareto(1, 1.5)
 	}
 	for i := 0; i < nIndependent; i++ {
 		dur := clampF(rng.LogNormal(math.Log(1499), 1.2), 65, 90000)
 		start := rng.Float64() * (measurementSeconds - dur)
-		mkCommon(commonVictims[rng.Pick(vWeights)], start, dur, idx)
+		g.addCommonFlood(rng, commonVictims[rng.Pick(vWeights)], start, dur, "cattack", idx)
 		idx++
 	}
 }
@@ -616,38 +501,9 @@ func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicPlans []quicAtt
 // ---------------------------------------------------------------------------
 
 func (g *Generator) scheduleMisconfig(rng *netmodel.RNG) {
-	census := g.cfg.Census
-	n := g.scaled(calMisconfSources)
-	for i := 0; i < n; i++ {
-		// Content hosts that answer junk: census members not among the
-		// flood victims (mostly), matching Figure 5's content-heavy
-		// response population.
-		var src netmodel.Addr
-		for {
-			s := census.Servers[rng.Intn(len(census.Servers))]
-			if _, isVictim := g.Truth.QUICVictims[s.Addr]; !isVictim {
-				src = s.Addr
-				break
-			}
-		}
-		version := wire.Version1
-		if s := census.Lookup(src); s != nil {
-			version = s.Version
-		}
-		nVisits := 1 + int(rng.Exp(calMisconfVisits))
-		if nVisits > 40 {
-			nVisits = 40
-		}
-		visits := make([]float64, nVisits)
-		for j := range visits {
-			visits[j] = rng.Float64() * (measurementSeconds - 120)
-		}
-		sortFloats(visits)
-		spec := &misconfigSpec{
-			src: src, version: version, visits: visits,
-			rng: rng.Fork(fmt.Sprintf("misconf/%d", i)), tpl: g.tpl,
-		}
-		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, spec.build))
-		g.Truth.MisconfSources++
-	}
+	// Content hosts that answer junk: census members not among the
+	// flood victims (mostly), matching Figure 5's content-heavy
+	// response population. Shared with scenario misconfig phases
+	// (scheduleMisconfigSources in plan.go).
+	g.scheduleMisconfigSources(rng, g.scaled(calMisconfSources), calMisconfVisits, 0, 0)
 }

@@ -6,6 +6,7 @@ import (
 
 	"quicsand/internal/handshake"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/quiccrypto"
 	"quicsand/internal/tlsmini"
 	"quicsand/internal/wire"
 )
@@ -35,6 +36,12 @@ type versionTemplates struct {
 	ping []byte
 	// oneRTT is a short-header packet (stateless-reset-shaped noise).
 	oneRTT []byte
+	// origDCID is the DCID of the template client Initial; the Retry
+	// integrity tag binds it (RFC 9001 §5.8), so Retry backscatter is
+	// rebuilt per SCID instead of patched (patching would break the tag).
+	origDCID []byte
+	// retryToken is the deterministic token Retry backscatter carries.
+	retryToken []byte
 	// scidOffsets locates the 8-byte server SCID inside each response
 	// template, per coalesced packet, for per-connection patching.
 	d1SCIDOffs   []int
@@ -132,6 +139,14 @@ func buildVersionTemplates(rng *netmodel.RNG, identity *tlsmini.Identity, v wire
 	rng.Bytes(one)
 	one[0] = 0x40 | (one[0] & 0x3f &^ 0x80)
 	vt.oneRTT = one
+
+	// Retry material: the client's original DCID (the integrity-tag
+	// binding) and a deterministic 24-byte token. Drawn last so the
+	// template byte streams of earlier artifacts stay exactly as they
+	// were before Retry support existed.
+	vt.origDCID = append([]byte(nil), h.DstConnID...)
+	vt.retryToken = make([]byte, 24)
+	rng.Bytes(vt.retryToken)
 	return vt, nil
 }
 
@@ -172,6 +187,7 @@ const (
 	kindD2
 	kindPing
 	kindOneRTT
+	kindRetry
 )
 
 // pickResponseKind draws from the tuned mixture.
@@ -183,6 +199,24 @@ func pickResponseKind(r *netmodel.RNG) responseKind {
 		return kindD2
 	case x < 0.82:
 		return kindPing
+	default:
+		return kindOneRTT
+	}
+}
+
+// pickRetryKind draws the backscatter mixture of a Retry-mitigated
+// victim: almost exclusively Retry packets (the stateless
+// crypto-challenge answer, QFAM-style), with a sliver of completed
+// handshakes from clients that did return the token, and stray 1-RTT
+// noise.
+func pickRetryKind(r *netmodel.RNG) responseKind {
+	switch x := r.Float64(); {
+	case x < 0.86:
+		return kindRetry
+	case x < 0.94:
+		return kindD1
+	case x < 0.97:
+		return kindD2
 	default:
 		return kindOneRTT
 	}
@@ -203,6 +237,8 @@ func (t *Templates) ResponsePacket(v wire.Version, kind responseKind, scid []byt
 		tpl, offs = vt.d2, vt.d2SCIDOffs
 	case kindPing:
 		tpl, offs = vt.ping, vt.pingSCIDOffs
+	case kindRetry:
+		return t.RetryPacket(v, scid)
 	default:
 		return append([]byte(nil), vt.oneRTT...)
 	}
@@ -211,6 +247,28 @@ func (t *Templates) ResponsePacket(v wire.Version, kind responseKind, scid []byt
 		copy(out[off:off+scidLen], scid)
 	}
 	return out
+}
+
+// RetryPacket builds a complete Retry datagram from the victim with
+// the given server SCID: a zero-length DCID (the template client used
+// an empty SCID, exactly what backscatter carries), the deterministic
+// template token, and a valid integrity tag bound to the template
+// client's original DCID. The tag depends on the SCID bytes, so Retry
+// backscatter is rebuilt per SCID rather than offset-patched; hot
+// paths intern the result through a PayloadCache like every other
+// response kind.
+func (t *Templates) RetryPacket(v wire.Version, scid []byte) []byte {
+	if !v.Known() {
+		v = wire.Version1
+	}
+	vt := t.versionOf(v)
+	pkt, err := quiccrypto.BuildRetry(v, nil, scid, vt.origDCID, vt.retryToken)
+	if err != nil {
+		// Unreachable: every known version has Retry keys. Degrade to
+		// short-header noise rather than corrupting the stream.
+		return append([]byte(nil), vt.oneRTT...)
+	}
+	return pkt
 }
 
 func (t *Templates) versionOf(v wire.Version) *versionTemplates {

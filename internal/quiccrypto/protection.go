@@ -32,6 +32,13 @@ type keys struct {
 	aead cipher.AEAD
 	iv   [aeadNonceLen]byte
 	hp   cipher.Block // header-protection AES block
+
+	// maskBlock is headerMask's scratch output. A stack array would
+	// escape through the cipher.Block interface call and cost one heap
+	// allocation per protected/unprotected packet — the dissector's
+	// trial-decrypt path runs once per QUIC payload packet. keys
+	// instances are single-goroutine like their Opener/Sealer owners.
+	maskBlock [16]byte
 }
 
 func deriveKeys(trafficSecret []byte) (*keys, error) {
@@ -69,8 +76,8 @@ func (k *keys) nonce(pn uint64) []byte {
 // headerMask computes the 5-byte header-protection mask from the
 // ciphertext sample (RFC 9001 §5.4.3, AES-based).
 func (k *keys) headerMask(sample []byte) [5]byte {
-	var block [16]byte
-	k.hp.Encrypt(block[:], sample)
+	k.hp.Encrypt(k.maskBlock[:], sample)
+	block := &k.maskBlock
 	var mask [5]byte
 	copy(mask[:], block[:5])
 	return mask
@@ -138,9 +145,10 @@ type Opener struct {
 	// largestPN tracks the highest packet number opened, for truncated
 	// packet-number recovery.
 	largestPN uint64
-	// nonce is scratch reused across Open calls so the per-packet
-	// telescope path stays allocation-free.
-	nonce [aeadNonceLen]byte
+	// nonce and hdrBuf are scratch reused across Open calls so the
+	// per-packet telescope path stays allocation-free.
+	nonce  [aeadNonceLen]byte
+	hdrBuf [64]byte
 }
 
 // NewOpener derives an Opener from a traffic secret.
@@ -200,12 +208,13 @@ func (o *Opener) AppendOpen(dst []byte, pkt []byte, pnOffset int) (payload []byt
 	pn = wire.DecodePacketNumber(o.largestPN, truncated, pnLen)
 
 	// The AEAD's associated data is the unprotected header; build it
-	// beside the untouched wire bytes. Long headers stay well under the
-	// stack buffer even with CIDs and a token length.
-	var hdrArr [64]byte
+	// beside the untouched wire bytes in the opener's scratch buffer
+	// (a stack array would escape through the AEAD interface call and
+	// allocate once per packet). Long headers stay well under the
+	// buffer even with CIDs and a token length.
 	var header []byte
-	if pnOffset+pnLen <= len(hdrArr) {
-		header = hdrArr[:pnOffset+pnLen]
+	if pnOffset+pnLen <= len(o.hdrBuf) {
+		header = o.hdrBuf[:pnOffset+pnLen]
 	} else {
 		header = make([]byte, pnOffset+pnLen)
 	}

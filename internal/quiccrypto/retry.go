@@ -22,27 +22,46 @@ var (
 	retryNonceD27 = []byte{0x4d, 0x16, 0x11, 0xd0, 0x55, 0x13, 0xa5, 0x52, 0xc5, 0x87, 0xd5, 0x75}
 )
 
+// retryCipher pairs a version's ready-built Retry AEAD with its nonce.
+// The keys are protocol constants, so the ciphers are built once at
+// package init and shared — GCM Seal/Open are safe for concurrent use,
+// and flood event builders intern one Retry datagram per SCID, which
+// made per-call cipher construction measurable.
+type retryCipher struct {
+	aead  cipher.AEAD
+	nonce []byte
+}
+
+var retryCiphers = func() map[wire.Version]retryCipher {
+	m := make(map[wire.Version]retryCipher, 4)
+	for _, e := range []struct {
+		v          wire.Version
+		key, nonce []byte
+	}{
+		{wire.Version1, retryKeyV1, retryNonceV1},
+		{wire.VersionDraft29, retryKeyD29, retryNonceD29},
+		{wire.VersionDraft27, retryKeyD27, retryNonceD27},
+		{wire.VersionMVFST27, retryKeyD27, retryNonceD27},
+	} {
+		block, err := aes.NewCipher(e.key)
+		if err != nil {
+			panic(err) // static 16-byte keys: unreachable
+		}
+		aead, err := cipher.NewGCM(block)
+		if err != nil {
+			panic(err)
+		}
+		m[e.v] = retryCipher{aead: aead, nonce: e.nonce}
+	}
+	return m
+}()
+
 func retryAEAD(v wire.Version) (cipher.AEAD, []byte, error) {
-	var key, nonce []byte
-	switch v {
-	case wire.Version1:
-		key, nonce = retryKeyV1, retryNonceV1
-	case wire.VersionDraft29:
-		key, nonce = retryKeyD29, retryNonceD29
-	case wire.VersionDraft27, wire.VersionMVFST27:
-		key, nonce = retryKeyD27, retryNonceD27
-	default:
+	c, ok := retryCiphers[v]
+	if !ok {
 		return nil, nil, fmt.Errorf("quiccrypto: no retry keys for version %v", v)
 	}
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return nil, nil, err
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, nil, err
-	}
-	return aead, nonce, nil
+	return c.aead, c.nonce, nil
 }
 
 // retryPseudoPacket builds the AAD for the integrity tag: the client's

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Load parses a scenario spec — JSON (first non-space byte '{') or the
+// TOML subset (toml.go) — and validates it. Unknown fields are errors
+// in both formats: a typoed knob must fail loudly, not silently keep
+// its default. Load never panics on malformed input (FuzzLoad).
+func Load(data []byte) (*Scenario, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var doc []byte
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		doc = trimmed
+	} else {
+		tree, err := parseTOML(data)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		doc, err = json.Marshal(tree)
+		if err != nil { // the parser emits only finite JSON-safe values
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var tail any
+	if err := dec.Decode(&tail); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("scenario: trailing data after spec document")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadFile reads and parses a spec file (.json or .toml; the format is
+// sniffed from the content, so the extension is advisory).
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,367 @@
+package scenario
+
+// A minimal TOML-subset parser, just large enough for scenario specs:
+// comments, [table] and [[array-of-tables]] headers with dotted paths,
+// `key = value` pairs with strings, numbers, booleans, single-line
+// arrays and inline tables. The result is a generic tree
+// (map[string]any) that load.go re-marshals through encoding/json into
+// the typed Scenario — one strict decoding path for both formats, and
+// no third-party dependency. Anything outside the subset is an error,
+// never a panic (FuzzLoad leans on that).
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// parseTOML parses spec bytes into a generic tree.
+func parseTOML(data []byte) (map[string]any, error) {
+	p := &tomlParser{
+		root:         map[string]any{},
+		defined:      map[uintptr]bool{},
+		headerTables: map[uintptr]bool{},
+		headerArrays: map[arrayKey]bool{},
+	}
+	p.headerTables[mapID(p.root)] = true
+	cur := p.root
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("toml: line %d: unterminated [[table]] header", ln+1)
+			}
+			tbl, err := p.openArrayTable(strings.TrimSpace(line[2 : len(line)-2]))
+			if err != nil {
+				return nil, fmt.Errorf("toml: line %d: %w", ln+1, err)
+			}
+			cur = tbl
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("toml: line %d: unterminated [table] header", ln+1)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			tbl, err := p.openTable(path)
+			if err != nil {
+				return nil, fmt.Errorf("toml: line %d: %w", ln+1, err)
+			}
+			if id := mapID(tbl); p.defined[id] {
+				return nil, fmt.Errorf("toml: line %d: table [%s] redefined", ln+1, path)
+			} else {
+				p.defined[id] = true
+			}
+			cur = tbl
+		default:
+			key, val, err := parsePair(line)
+			if err != nil {
+				return nil, fmt.Errorf("toml: line %d: %w", ln+1, err)
+			}
+			if _, dup := cur[key]; dup {
+				return nil, fmt.Errorf("toml: line %d: duplicate key %q", ln+1, key)
+			}
+			cur[key] = val
+		}
+	}
+	return p.root, nil
+}
+
+// tomlParser carries the bookkeeping that keeps redefinitions loud:
+// defined marks tables already opened by an explicit [header] (by map
+// identity, since paths repeat across [[array]] elements);
+// headerTables marks every table that exists because of a header path
+// (so a [header] can never silently reopen a key-assigned inline
+// table); headerArrays marks arrays created by [[headers]] (so a
+// [[header]] can never extend a key-assigned array).
+type tomlParser struct {
+	root         map[string]any
+	defined      map[uintptr]bool
+	headerTables map[uintptr]bool
+	headerArrays map[arrayKey]bool
+}
+
+// mapID is a map's stable identity, usable as a set key.
+func mapID(m map[string]any) uintptr { return reflect.ValueOf(m).Pointer() }
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// descend resolves all but the last segment of a dotted path, creating
+// intermediate tables and entering the last element of arrays-of-tables.
+func (p *tomlParser) descend(path string) (map[string]any, string, error) {
+	segs := strings.Split(path, ".")
+	cur := p.root
+	for _, seg := range segs[:len(segs)-1] {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return nil, "", fmt.Errorf("empty path segment in %q", path)
+		}
+		switch v := cur[seg].(type) {
+		case nil:
+			next := map[string]any{}
+			cur[seg] = next
+			p.headerTables[mapID(next)] = true
+			cur = next
+		case map[string]any:
+			if !p.headerTables[mapID(v)] {
+				return nil, "", fmt.Errorf("path %q crosses an inline table", path)
+			}
+			cur = v
+		case []any:
+			if len(v) == 0 {
+				return nil, "", fmt.Errorf("path %q enters an empty table array", path)
+			}
+			last, ok := v[len(v)-1].(map[string]any)
+			if !ok || !p.headerTables[mapID(last)] {
+				return nil, "", fmt.Errorf("path %q crosses a non-header table array", path)
+			}
+			cur = last
+		default:
+			return nil, "", fmt.Errorf("path %q crosses a non-table value", path)
+		}
+	}
+	last := strings.TrimSpace(segs[len(segs)-1])
+	if last == "" {
+		return nil, "", fmt.Errorf("empty path segment in %q", path)
+	}
+	return cur, last, nil
+}
+
+func (p *tomlParser) openTable(path string) (map[string]any, error) {
+	parent, name, err := p.descend(path)
+	if err != nil {
+		return nil, err
+	}
+	switch v := parent[name].(type) {
+	case nil:
+		tbl := map[string]any{}
+		parent[name] = tbl
+		p.headerTables[mapID(tbl)] = true
+		return tbl, nil
+	case map[string]any:
+		if !p.headerTables[mapID(v)] {
+			// TOML forbids a [header] extending an inline table.
+			return nil, fmt.Errorf("[%s] extends an inline table defined by assignment", path)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("[%s] redefines a non-table value", path)
+	}
+}
+
+// arrayKey identifies an array slot by its parent table's identity and
+// key name — stable across the append-reallocations the slice itself
+// goes through.
+type arrayKey struct {
+	parent uintptr
+	name   string
+}
+
+func (p *tomlParser) openArrayTable(path string) (map[string]any, error) {
+	parent, name, err := p.descend(path)
+	if err != nil {
+		return nil, err
+	}
+	key := arrayKey{parent: mapID(parent), name: name}
+	tbl := map[string]any{}
+	switch v := parent[name].(type) {
+	case nil:
+		parent[name] = []any{tbl}
+		p.headerArrays[key] = true
+	case []any:
+		if !p.headerArrays[key] {
+			// TOML forbids [[header]] extending a key-assigned array —
+			// and silently merging would hide a leftover `phases = []`.
+			return nil, fmt.Errorf("[[%s]] extends an array defined by assignment", path)
+		}
+		parent[name] = append(v, tbl)
+	default:
+		return nil, fmt.Errorf("[[%s]] redefines a non-array value", path)
+	}
+	p.headerTables[mapID(tbl)] = true
+	return tbl, nil
+}
+
+func parsePair(s string) (string, any, error) {
+	eq := strings.Index(s, "=")
+	if eq < 0 {
+		return "", nil, fmt.Errorf("expected key = value, got %q", s)
+	}
+	key := strings.TrimSpace(s[:eq])
+	if key == "" || strings.ContainsAny(key, "[]{}\",") {
+		return "", nil, fmt.Errorf("bad key %q", key)
+	}
+	if strings.Contains(key, ".") {
+		// Storing "a.b" flat would surface later as a baffling
+		// json "unknown field" — reject at the TOML layer instead.
+		return "", nil, fmt.Errorf("dotted key %q unsupported; use a [table] header", key)
+	}
+	val, err := parseValue(strings.TrimSpace(s[eq+1:]))
+	if err != nil {
+		return "", nil, err
+	}
+	return key, val, nil
+}
+
+func parseValue(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing value")
+	}
+	switch s[0] {
+	case '"':
+		str, rest, err := parseString(s)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("trailing data after string: %q", rest)
+		}
+		return str, nil
+	case '[':
+		items, err := splitBracketed(s, '[', ']')
+		if err != nil {
+			return nil, err
+		}
+		arr := make([]any, 0, len(items))
+		for _, it := range items {
+			v, err := parseValue(it)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, nil
+	case '{':
+		items, err := splitBracketed(s, '{', '}')
+		if err != nil {
+			return nil, err
+		}
+		tbl := map[string]any{}
+		for _, it := range items {
+			key, val, err := parsePair(it)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := tbl[key]; dup {
+				return nil, fmt.Errorf("duplicate key %q in inline table", key)
+			}
+			tbl[key] = val
+		}
+		return tbl, nil
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q", s)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// TOML allows nan/inf literals; scenario specs never do — and
+		// they could not survive the JSON re-marshalling anyway.
+		return nil, fmt.Errorf("non-finite number %q", s)
+	}
+	return f, nil
+}
+
+// parseString consumes a basic "…" string and returns the remainder.
+func parseString(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in string")
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}
+
+// splitBracketed splits the contents of a single-line [ … ] or { … }
+// at top-level commas, respecting nesting and strings.
+func splitBracketed(s string, open, close byte) ([]string, error) {
+	if s[len(s)-1] != close {
+		return nil, fmt.Errorf("unterminated %c…%c value", open, close)
+	}
+	inner := s[1 : len(s)-1]
+	var items []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		c := inner[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced %c…%c value", open, close)
+			}
+		case c == ',' && depth == 0:
+			items = append(items, strings.TrimSpace(inner[start:i]))
+			start = i + 1
+		}
+	}
+	if inStr || depth != 0 {
+		return nil, fmt.Errorf("unbalanced %c…%c value", open, close)
+	}
+	if tail := strings.TrimSpace(inner[start:]); tail != "" {
+		items = append(items, tail)
+	} else if len(items) > 0 {
+		return nil, fmt.Errorf("trailing comma in %c…%c value", open, close)
+	}
+	return items, nil
+}

@@ -18,6 +18,11 @@ type ClientHello struct {
 	// DraftParams selects the pre-RFC transport-parameter codepoint
 	// (0xffa5) used by draft-27/-29 deployments.
 	DraftParams bool
+
+	// tpBuf recycles the TransportParams backing array across
+	// ParseClientHelloInto calls while keeping the nil-when-absent
+	// contract on TransportParams itself.
+	tpBuf []byte
 }
 
 // Marshal serializes the ClientHello including its handshake header.
@@ -92,19 +97,59 @@ func appendExtension(dst []byte, typ uint16, body []byte) []byte {
 	return append(dst, body...)
 }
 
-// ParseClientHello parses the body of a ClientHello message (without
-// the 4-byte handshake header).
-func ParseClientHello(body []byte) (*ClientHello, error) {
-	c := &cursor{b: body}
-	ch := &ClientHello{}
+// setString replaces *dst with the bytes' string value, allocating
+// only when the value actually changes. The telescope's scan traffic
+// interns a handful of template payloads, so repeated parses of the
+// same hello keep returning the same string with zero allocations
+// (string(b) inside a comparison does not allocate).
+func setString(dst *string, b []byte) {
+	if *dst != string(b) {
+		*dst = string(b)
+	}
+}
+
+// appendStringReuse grows a string slice by one entry, reusing the
+// retired entry's value when it already matches (the ALPN analogue of
+// setString).
+func appendStringReuse(dst []string, b []byte) []string {
+	if len(dst) < cap(dst) {
+		dst = dst[:len(dst)+1]
+		setString(&dst[len(dst)-1], b)
+		return dst
+	}
+	return append(dst, string(b))
+}
+
+// ParseClientHelloInto parses a ClientHello body into ch, reusing its
+// backing storage — the dissector's hot path parses one of a few
+// interned scan templates per packet, which this makes allocation-free
+// in steady state. Fields absent from the hello are reset. On error ch
+// is left partially filled and must not be read.
+func ParseClientHelloInto(ch *ClientHello, body []byte) error {
+	ch.SessionID = ch.SessionID[:0]
+	ch.CipherSuites = ch.CipherSuites[:0]
+	ch.ALPN = ch.ALPN[:0]
+	ch.KeyShareX25519 = ch.KeyShareX25519[:0]
+	if ch.TransportParams != nil {
+		ch.tpBuf = ch.TransportParams[:0]
+		ch.TransportParams = nil
+	}
+	ch.DraftParams = false
+	// ServerName is cleared only when this hello carries no SNI: the
+	// retained value is what lets setString skip the string allocation
+	// when consecutive parses see the same name (the interned-template
+	// steady state).
+	sawSNI := false
+
+	c := cursor{b: body}
 	if v := c.u16(); v != VersionTLS12 && c.err == nil {
-		return nil, fmt.Errorf("tlsmini: legacy_version %#04x: %w", v, ErrMalformed)
+		return fmt.Errorf("tlsmini: legacy_version %#04x: %w", v, ErrMalformed)
 	}
 	copy(ch.Random[:], c.bytes(32))
-	ch.SessionID = append([]byte(nil), c.bytes(int(c.u8()))...)
+	ch.SessionID = append(ch.SessionID, c.bytes(int(c.u8()))...)
 	nSuites := int(c.u16())
 	if nSuites%2 != 0 {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
 	for i := 0; i < nSuites/2; i++ {
 		ch.CipherSuites = append(ch.CipherSuites, c.u16())
@@ -112,65 +157,78 @@ func ParseClientHello(body []byte) (*ClientHello, error) {
 	c.bytes(int(c.u8())) // compression methods
 	extLen := int(c.u16())
 	if c.err != nil {
-		return nil, c.err
+		return c.err
 	}
-	ext := &cursor{b: c.bytes(extLen)}
+	ext := cursor{b: c.bytes(extLen)}
 	if c.err != nil {
-		return nil, c.err
+		return c.err
 	}
 	for len(ext.b) > 0 && ext.err == nil {
 		typ := ext.u16()
 		body := ext.bytes(int(ext.u16()))
 		if ext.err != nil {
-			return nil, ext.err
+			return ext.err
 		}
 		switch typ {
 		case extServerName:
-			e := &cursor{b: body}
+			e := cursor{b: body}
 			e.u16() // list length
 			if e.u8() == 0 {
-				ch.ServerName = string(e.bytes(int(e.u16())))
+				setString(&ch.ServerName, e.bytes(int(e.u16())))
+				sawSNI = true
 			}
 			if e.err != nil {
-				return nil, e.err
+				return e.err
 			}
 		case extALPN:
-			e := &cursor{b: body}
-			list := &cursor{b: e.bytes(int(e.u16()))}
+			e := cursor{b: body}
+			list := cursor{b: e.bytes(int(e.u16()))}
 			if e.err != nil {
-				return nil, e.err
+				return e.err
 			}
 			for len(list.b) > 0 && list.err == nil {
-				ch.ALPN = append(ch.ALPN, string(list.bytes(int(list.u8()))))
+				ch.ALPN = appendStringReuse(ch.ALPN, list.bytes(int(list.u8())))
 			}
 			if list.err != nil {
-				return nil, list.err
+				return list.err
 			}
 		case extKeyShare:
-			e := &cursor{b: body}
-			shares := &cursor{b: e.bytes(int(e.u16()))}
+			e := cursor{b: body}
+			shares := cursor{b: e.bytes(int(e.u16()))}
 			if e.err != nil {
-				return nil, e.err
+				return e.err
 			}
 			for len(shares.b) > 0 && shares.err == nil {
 				group := shares.u16()
 				key := shares.bytes(int(shares.u16()))
 				if group == GroupX25519 {
-					ch.KeyShareX25519 = append([]byte(nil), key...)
+					ch.KeyShareX25519 = append(ch.KeyShareX25519[:0], key...)
 				}
 			}
 			if shares.err != nil {
-				return nil, shares.err
+				return shares.err
 			}
 		case extQUICTransportParams:
-			ch.TransportParams = append([]byte(nil), body...)
+			ch.TransportParams = append(ch.tpBuf, body...)
 		case extQUICTransportParamsDraft:
-			ch.TransportParams = append([]byte(nil), body...)
+			ch.TransportParams = append(ch.tpBuf, body...)
 			ch.DraftParams = true
 		}
 	}
-	if ext.err != nil {
-		return nil, ext.err
+	if !sawSNI {
+		ch.ServerName = ""
+	}
+	return ext.err
+}
+
+// ParseClientHello parses the body of a ClientHello message (without
+// the 4-byte handshake header) into a fresh struct. Hot paths that
+// parse repeatedly should use ParseClientHelloInto with a reused
+// ClientHello instead.
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	ch := &ClientHello{}
+	if err := ParseClientHelloInto(ch, body); err != nil {
+		return nil, err
 	}
 	return ch, nil
 }

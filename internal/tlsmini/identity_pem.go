@@ -1,0 +1,53 @@
+package tlsmini
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// EncodePEM serializes the identity as a certificate block followed by
+// an EC private-key block — the container the golden-trace corpus
+// checks in, so fixture traces reproduce byte-identically across
+// processes (template payloads embed the certificate).
+func (id *Identity) EncodePEM() ([]byte, error) {
+	keyDER, err := x509.MarshalECPrivateKey(id.Key)
+	if err != nil {
+		return nil, fmt.Errorf("tlsmini: marshal key: %w", err)
+	}
+	out := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: id.CertDER})
+	out = append(out, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})...)
+	return out, nil
+}
+
+// ParseIdentityPEM reads an identity produced by EncodePEM: one
+// CERTIFICATE block and one EC PRIVATE KEY block, in any order.
+func ParseIdentityPEM(data []byte) (*Identity, error) {
+	id := &Identity{}
+	for len(data) > 0 {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		switch block.Type {
+		case "CERTIFICATE":
+			leaf, err := x509.ParseCertificate(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("tlsmini: parse certificate: %w", err)
+			}
+			id.CertDER, id.Leaf = block.Bytes, leaf
+		case "EC PRIVATE KEY":
+			key, err := x509.ParseECPrivateKey(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("tlsmini: parse key: %w", err)
+			}
+			id.Key = key
+		}
+	}
+	if id.CertDER == nil || id.Key == nil {
+		return nil, errors.New("tlsmini: identity PEM needs a CERTIFICATE and an EC PRIVATE KEY block")
+	}
+	return id, nil
+}

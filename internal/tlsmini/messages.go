@@ -170,7 +170,13 @@ type Message struct {
 // SplitMessages splits a contiguous CRYPTO stream into handshake
 // messages. It returns ErrTruncated if the stream ends mid-message.
 func SplitMessages(stream []byte) ([]Message, error) {
-	var msgs []Message
+	return AppendMessages(nil, stream)
+}
+
+// AppendMessages is SplitMessages with caller-supplied storage: hot
+// paths (the telescope dissector) pass a recycled msgs[:0] so the
+// per-datagram split allocates nothing in steady state.
+func AppendMessages(msgs []Message, stream []byte) ([]Message, error) {
 	for len(stream) > 0 {
 		if len(stream) < 4 {
 			return msgs, ErrTruncated

@@ -17,9 +17,11 @@
 // Run executes the whole month and returns an Analysis whose Figure*
 // and Headline methods regenerate every figure and table of the
 // paper's evaluation (see EXPERIMENTS.md for the paper-vs-measured
-// record). The server-side DoS benchmark (Table 1) lives in
-// internal/flood with real handshake machinery from internal/quicserver
-// and internal/quicclient.
+// record). The workload is declarative: Config.Scenario selects a
+// built-in or spec-loaded scenario (internal/scenario) in place of
+// the paper's hard-coded month. The server-side DoS benchmark
+// (Table 1) lives in internal/flood with real handshake machinery
+// from internal/quicserver and internal/quicclient.
 package quicsand
 
 import (
@@ -35,6 +37,7 @@ import (
 	"quicsand/internal/greynoise"
 	"quicsand/internal/ibr"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/scenario"
 	"quicsand/internal/sessions"
 	"quicsand/internal/stats"
 	"quicsand/internal/telescope"
@@ -66,6 +69,12 @@ type Config struct {
 	// the month out over N analysis shards keyed by source address.
 	// Analysis results are bit-identical for every value (DESIGN.md §8).
 	Workers int
+	// Scenario selects the workload: nil (or the paper-2021 built-in)
+	// runs the paper's hard-coded month, anything else compiles the
+	// declarative phases onto the same engine (internal/scenario,
+	// DESIGN.md §11). Replay must pass the recorded run's scenario for
+	// the ground-truth joins to line up, exactly like Seed and Scale.
+	Scenario *scenario.Scenario
 }
 
 // Analysis is the result of one pipeline run: every figure's data,
@@ -227,7 +236,7 @@ func prepare(cfg Config, a *Analysis) (gen *ibr.Generator, tum, rwth netmodel.Pr
 	a.Internet = netmodel.BuildInternet()
 	// Census shared with the generator (same seed path).
 	a.Census = activescan.Build(a.Internet, netmodel.NewRNG(cfg.Seed).Fork("census"), activescan.Config{})
-	gen, err = ibr.New(ibr.Config{
+	icfg := ibr.Config{
 		Seed:         cfg.Seed,
 		Scale:        cfg.Scale,
 		ResearchThin: cfg.ResearchThin,
@@ -235,7 +244,12 @@ func prepare(cfg Config, a *Analysis) (gen *ibr.Generator, tum, rwth netmodel.Pr
 		Internet:     a.Internet,
 		Census:       a.Census,
 		Identity:     cfg.Identity,
-	})
+	}
+	if cfg.Scenario != nil {
+		gen, err = scenario.Compile(cfg.Scenario, icfg)
+	} else {
+		gen, err = ibr.New(icfg)
+	}
 	if err != nil {
 		return nil, tum, rwth, fmt.Errorf("quicsand: generator: %w", err)
 	}
