@@ -338,6 +338,45 @@ func BenchmarkFigure13(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Floods runs the scenario-parameterized Table 1 flood
+// workloads: each flood-centric built-in generates and analyzes its
+// month (research scanners skipped so flood handling dominates), with
+// the detected Moore-threshold attack count reported alongside
+// throughput and asserted against the analytic oracle's tolerance-free
+// cap (internal/oracle). Snapshots land in BENCH_PR5.json via
+// scripts/bench_snapshot.sh.
+func BenchmarkTable1Floods(b *testing.B) {
+	for _, name := range []string{"handshake-flood-qfam", "retry-mitigated-flood", "multi-vector-burst"} {
+		sc, err := scenario.Builtin(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchPipelineCfg(0)
+			cfg.SkipResearch = true
+			cfg.Scenario = sc
+			exp, err := Expect(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			attackCap := exp.QUICAttackCap()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				attacks := len(a.QUICDetector.Attacks)
+				if attacks > attackCap {
+					b.Fatalf("%d attacks exceed the oracle cap %d", attacks, attackCap)
+				}
+				b.ReportMetric(a.Pipeline.Throughput(), "packets/s")
+				b.ReportMetric(float64(attacks), "attacks")
+			}
+		})
+	}
+}
+
 // BenchmarkTable1 sweeps the paper's nine flood configurations.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -7,6 +7,9 @@
 //	quicsand record  -o FILE [flags] simulate and checkpoint the capture
 //	quicsand replay  -i FILE [flags] re-analyze a stored capture
 //	quicsand convert -i IN -o OUT    transcode between QSND and pcap
+//	quicsand compare -scenario A [-scenario B] [-json]
+//	                                 validate runs against the analytic
+//	                                 oracle and diff two scenarios
 //
 // Shared simulation flags:
 //
@@ -62,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return runReplay(args[1:], stdout, stderr)
 		case "convert":
 			return runConvert(args[1:], stderr)
+		case "compare":
+			return runCompare(args[1:], stdout, stderr)
 		}
 	}
 	return runSimulate(args, stdout, stderr)
@@ -83,6 +88,15 @@ type simOpts struct {
 }
 
 func addSimFlags(fs *flag.FlagSet) *simOpts {
+	o := addBaseSimFlags(fs)
+	o.scenarioSel = fs.String("scenario", "", "workload: built-in scenario name, spec file (.json/.toml), or 'list'")
+	return o
+}
+
+// addBaseSimFlags registers every shared simulation flag except
+// -scenario — compare replaces the single-valued selector with a
+// repeatable one and reuses the rest.
+func addBaseSimFlags(fs *flag.FlagSet) *simOpts {
 	return &simOpts{
 		seed:         fs.Uint64("seed", 2021, "simulation seed (runs are bit-reproducible)"),
 		scale:        fs.Float64("scale", 0.1, "event-count scale; 1.0 = paper magnitudes"),
@@ -92,7 +106,6 @@ func addSimFlags(fs *flag.FlagSet) *simOpts {
 		stats:        fs.Bool("stats", false, "print per-stage pipeline throughput to stderr"),
 		cpuProfile:   fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
 		memProfile:   fs.String("memprofile", "", "write a post-run heap profile to this file"),
-		scenarioSel:  fs.String("scenario", "", "workload: built-in scenario name, spec file (.json/.toml), or 'list'"),
 	}
 }
 
@@ -107,6 +120,9 @@ func (o *simOpts) config() (quicsand.Config, error) {
 		SkipResearch: *o.skipResearch,
 		Workers:      *o.workers,
 	}
+	if o.scenarioSel == nil {
+		return cfg, nil // compare resolves its own selectors
+	}
 	sel := *o.scenarioSel
 	if sel == "" {
 		return cfg, nil
@@ -117,40 +133,47 @@ func (o *simOpts) config() (quicsand.Config, error) {
 		// skips parseSim from silently running a full simulation.
 		return cfg, errors.New("-scenario list: nothing to run")
 	}
+	sc, err := resolveScenario(sel)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Scenario = sc
+	return cfg, nil
+}
+
+// resolveScenario turns a -scenario value — a built-in name or a
+// JSON/TOML spec path — into a loaded scenario. Shared by every
+// subcommand that selects workloads (simulate/record/replay/compare).
+func resolveScenario(sel string) (*scenario.Scenario, error) {
 	sc, err := scenario.Builtin(sel)
 	if err == nil {
 		if info, statErr := os.Stat(sel); statErr == nil && !info.IsDir() {
 			// A local file shadowed by a built-in name must not be
 			// silently ignored; make the user disambiguate. (A mere
 			// directory of the same name is no spec candidate.)
-			return cfg, fmt.Errorf("-scenario %q names both a built-in and a local file; use ./%s for the file", sel, sel)
+			return nil, fmt.Errorf("-scenario %q names both a built-in and a local file; use ./%s for the file", sel, sel)
+		}
+		return sc, nil
+	}
+	// A known built-in name that still errored means the registry
+	// itself is broken — surface that, never mask it as a path
+	// lookup failure.
+	for _, name := range scenario.Builtins() {
+		if name == sel {
+			return nil, err
 		}
 	}
-	if err != nil {
-		// A known built-in name that still errored means the registry
-		// itself is broken — surface that, never mask it as a path
-		// lookup failure.
-		for _, name := range scenario.Builtins() {
-			if name == sel {
-				return cfg, err
-			}
-		}
-		// Not a built-in: treat the value as a spec path. Keep the
-		// stat error so ENOENT and EACCES stay distinguishable.
-		info, statErr := os.Stat(sel)
-		if statErr != nil {
-			return cfg, fmt.Errorf("-scenario %q: not a built-in (%s) and %w",
-				sel, strings.Join(scenario.Builtins(), ", "), statErr)
-		}
-		if info.IsDir() {
-			return cfg, fmt.Errorf("-scenario %q: is a directory, not a spec file", sel)
-		}
-		if sc, err = scenario.LoadFile(sel); err != nil {
-			return cfg, err
-		}
+	// Not a built-in: treat the value as a spec path. Keep the
+	// stat error so ENOENT and EACCES stay distinguishable.
+	info, statErr := os.Stat(sel)
+	if statErr != nil {
+		return nil, fmt.Errorf("-scenario %q: not a built-in (%s) and %w",
+			sel, strings.Join(scenario.Builtins(), ", "), statErr)
 	}
-	cfg.Scenario = sc
-	return cfg, nil
+	if info.IsDir() {
+		return nil, fmt.Errorf("-scenario %q: is a directory, not a spec file", sel)
+	}
+	return scenario.LoadFile(sel)
 }
 
 // listScenarios prints the built-in registry (the -scenario list verb).

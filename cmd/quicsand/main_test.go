@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -237,6 +238,130 @@ func TestReplayRejectsGarbageInput(t *testing.T) {
 		t.Error("garbage input accepted")
 	}
 	if err := run([]string{"replay", "-i", filepath.Join(dir, "missing"), "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+// TestScenarioFlagBadSpecs covers the -scenario file error surface
+// beyond the phase-less spec above: syntactically broken TOML, JSON
+// with unknown fields (strict decoding), and a directory passed as a
+// spec.
+func TestScenarioFlagBadSpecs(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+
+	mangled := filepath.Join(dir, "mangled.toml")
+	if err := os.WriteFile(mangled, []byte("name = \"x\n[[phases]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", mangled, "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("mangled TOML accepted")
+	}
+
+	unknown := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknown, []byte(
+		`{"name": "x", "phases": [{"kind": "scan", "sources": 5, "turbo": true}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", unknown, "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+	if err := run([]string{"-scenario", dir, "-scale", "0.002"}, &out, &errOut); err == nil {
+		t.Error("directory accepted as spec")
+	}
+}
+
+// TestCompareCLI drives the compare subcommand end to end: the
+// self-diff must be empty and violation-free, and the flag error
+// surface (missing scenario, unknown scenario, too many scenarios)
+// must reject before any simulation runs.
+func TestCompareCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"compare", "-scenario", "retry-mitigated-flood", "-scenario", "retry-mitigated-flood",
+		"-seed", "3", "-scale", "0.002", "-thin", "16384", "-workers", "2",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"verdict: all oracle checks hold", "identical analyses — empty diff"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err = run([]string{
+		"compare", "-json", "-scenario", "retry-mitigated-flood", "-scenario", "handshake-flood-qfam",
+		"-seed", "3", "-scale", "0.002", "-thin", "16384", "-workers", "2",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("cross-compare failed: %v", err)
+	}
+	var doc struct {
+		Scenarios []struct {
+			Name       string `json:"name"`
+			Violations int    `json:"violations"`
+		} `json:"scenarios"`
+		Diff      []struct{ Name string } `json:"diff"`
+		Identical *bool                   `json:"identical"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("compare -json output unparsable: %v\n%s", err, out.String())
+	}
+	if len(doc.Scenarios) != 2 || doc.Scenarios[0].Name != "retry-mitigated-flood" {
+		t.Errorf("compare -json scenarios: %+v", doc.Scenarios)
+	}
+	for _, s := range doc.Scenarios {
+		if s.Violations != 0 {
+			t.Errorf("%s: %d oracle violations", s.Name, s.Violations)
+		}
+	}
+	if doc.Identical == nil || *doc.Identical || len(doc.Diff) == 0 {
+		t.Errorf("different scenarios reported as identical (diff %d rows)", len(doc.Diff))
+	}
+
+	// Error surface: every rejection must come from flag/scenario
+	// resolution, before a pipeline run could burn seconds.
+	for _, tc := range [][]string{
+		{"compare"},
+		{"compare", "-scenario", "no-such-scenario"},
+		{"compare", "-scenario", "paper-2021", "-scenario", "paper-2021", "-scenario", "paper-2021"},
+		{"compare", "-scenario", filepath.Join(t.TempDir(), "missing.toml")},
+	} {
+		if err := run(tc, &out, &errOut); err == nil {
+			t.Errorf("%v accepted", tc)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"compare", "-scenario", "list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "built-in scenarios:") {
+		t.Errorf("compare -scenario list output:\n%s", out.String())
+	}
+}
+
+// TestConvertSinkErrors covers the path-level convert error surface:
+// an uncreatable output path and a missing input must both fail up
+// front. The mid-copy sticky-writer path (a sink that starts erroring
+// after N bytes, full-disk style) is driven at the capture layer by
+// TestCopyOntoFullSink, and a mid-copy *read* failure with output
+// cleanup by TestConvertFailureLeavesNoPartialOutput above.
+func TestConvertSinkErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.qsnd")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"record", "-scale", "0.002", "-skip-research", "-o", good}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"convert", "-i", good, "-o", filepath.Join(dir, "no-such-dir", "out.pcap"),
+	}, &out, &errOut); err == nil {
+		t.Error("uncreatable output path accepted")
+	}
+	if err := run([]string{"convert", "-i", filepath.Join(dir, "absent.qsnd"), "-o", filepath.Join(dir, "x.pcap")}, &out, &errOut); err == nil {
 		t.Error("missing input accepted")
 	}
 }

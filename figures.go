@@ -121,6 +121,38 @@ func (a *Analysis) HeadlineJSON() string {
 	return string(b)
 }
 
+// HeadlineMetrics returns the §5.1 headline numbers as an ordered
+// name/value list — the machine-comparable form `quicsand compare`
+// diffs between two scenarios (report.DiffMetrics). It is derived by
+// decoding HeadlineJSON's (flat) document token by token, so the two
+// views cannot drift apart: a stat added there automatically joins the
+// diff. Only the scenario name is dropped — two different scenarios
+// would otherwise always "differ".
+func (a *Analysis) HeadlineMetrics() []report.Metric {
+	dec := json.NewDecoder(strings.NewReader(a.HeadlineJSON()))
+	dec.UseNumber()
+	if _, err := dec.Token(); err != nil { // opening brace
+		return nil
+	}
+	var out []report.Metric
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return out
+		}
+		valTok, err := dec.Token()
+		if err != nil {
+			return out
+		}
+		key, ok := keyTok.(string)
+		if !ok || key == "scenario" {
+			continue
+		}
+		out = append(out, report.Metric{Name: key, Value: fmt.Sprint(valTok)})
+	}
+	return out
+}
+
 // Figure2 renders hourly QUIC packet counts by source family.
 func (a *Analysis) Figure2() string {
 	var b strings.Builder

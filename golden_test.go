@@ -198,4 +198,41 @@ func TestGolden(t *testing.T) {
 			expectSameAnalysis(t, fmt.Sprintf("golden/%s", run.name), live, replayed)
 		})
 	}
+	checkGoldenOrphans(t)
+}
+
+// checkGoldenOrphans keeps the fixture directory in lockstep with
+// goldenRuns: renaming or removing a built-in used to leave its old
+// .qsnd.gz/.render.txt behind (and `-update` silently kept
+// regenerating around them). Unknown fixtures now fail CI; `-update`
+// prunes them instead.
+func checkGoldenOrphans(t *testing.T) {
+	t.Helper()
+	known := map[string]bool{"identity.pem": true}
+	for _, run := range goldenRuns {
+		known[run.name+".qsnd.gz"] = true
+		known[run.name+".render.txt"] = true
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		if *update && os.IsNotExist(err) {
+			return
+		}
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if known[e.Name()] {
+			continue
+		}
+		path := filepath.Join(goldenDir, e.Name())
+		if *update {
+			if err := os.Remove(path); err != nil {
+				t.Errorf("pruning stale fixture %s: %v", path, err)
+				continue
+			}
+			t.Logf("pruned stale fixture %s", path)
+			continue
+		}
+		t.Errorf("orphan fixture %s: no golden run produces it (renamed built-in? regenerate with -update to prune)", path)
+	}
 }

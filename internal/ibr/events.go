@@ -127,9 +127,9 @@ func (b *botSpec) build(pool *slabPool) []telescope.Packet {
 	payload := b.tpl.ScanPacket(b.version)
 	out := pool.get(len(b.visits) * (b.pktsPer + 2))
 	for _, visit := range b.visits {
-		n := 1 + int(b.rng.Exp(float64(b.pktsPer-1)))
-		if n > 120 {
-			n = 120
+		n := BotMinPacketsPerVisit + int(b.rng.Exp(float64(b.pktsPer-1)))
+		if n > BotMaxPacketsPerVisit {
+			n = BotMaxPacketsPerVisit
 		}
 		// The exponential tail regularly exceeds the mean-based
 		// estimate; grow through the pool so the build stays inside
@@ -365,7 +365,7 @@ func (m *misconfigSpec) build(pool *slabPool) []telescope.Packet {
 	out := pool.get(len(m.visits) * 17)
 	for _, visit := range m.visits {
 		// Appendix B profile: ~11 packets over ~7 s at ~0.18 max pps.
-		n := 5 + m.rng.Intn(13)
+		n := MisconfMinPacketsPerVisit + m.rng.Intn(MisconfMaxPacketsPerVisit-MisconfMinPacketsPerVisit+1)
 		at := visit
 		dst := netmodel.TelescopePrefix.Random(m.rng)
 		dport := uint16(1024 + m.rng.Intn(64000))

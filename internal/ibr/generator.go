@@ -32,6 +32,11 @@ type Config struct {
 	Census   *activescan.Census
 	// Identity signs the template handshakes; generated when nil.
 	Identity *tlsmini.Identity
+	// RecordLedger captures every scheduled event in Generator.Ledger
+	// (see ledger.go) — the analytic oracle's input. Recording is pure
+	// observation: it never consumes an RNG draw, so a run is
+	// bit-identical with or without it.
+	RecordLedger bool
 }
 
 // Calibration constants: the paper-published magnitudes the generator
@@ -76,6 +81,9 @@ type Generator struct {
 	sources []Source
 	Truth   *GroundTruth
 	tpl     *Templates
+	// Ledger is the schedule-time event record (nil unless
+	// Config.RecordLedger).
+	Ledger *Ledger
 }
 
 // NewEmpty builds a generator with the shared substrate — simulated
@@ -115,10 +123,14 @@ func NewEmpty(cfg Config) (*Generator, error) {
 		return nil, err
 	}
 
-	return &Generator{cfg: cfg, root: root, tpl: tpl, Truth: &GroundTruth{
+	g := &Generator{cfg: cfg, root: root, tpl: tpl, Truth: &GroundTruth{
 		QUICVictims: make(map[netmodel.Addr]string),
 		TaggedBots:  make(map[netmodel.Addr][]string),
-	}}, nil
+	}}
+	if cfg.RecordLedger {
+		g.Ledger = &Ledger{}
+	}
+	return g, nil
 }
 
 // New schedules a full measurement month — the paper's April 2021
@@ -218,8 +230,9 @@ func (g *Generator) scheduleResearch(rng *netmodel.RNG) {
 	}
 	for i, s := range starts {
 		start := (s.day + rng.Float64()*0.3) * 86400
-		g.sources = append(g.sources,
-			newResearchScan(rng.Fork(fmt.Sprintf("scan/%d", i)), s.host, start, s.dur, g.cfg.ResearchThin))
+		scan := newResearchScan(rng.Fork(fmt.Sprintf("scan/%d", i)), s.host, start, s.dur, g.cfg.ResearchThin)
+		g.sources = append(g.sources, scan)
+		g.recordResearch("paper/research", scan, s.dur.Seconds())
 	}
 }
 
@@ -287,6 +300,7 @@ func (g *Generator) scheduleBots(rng *netmodel.RNG) {
 			withload: true,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, bot.build))
+		g.recordBot("paper/bots", bot)
 		g.Truth.BotAddrs = append(g.Truth.BotAddrs, src)
 		if rng.Float64() < 0.023 {
 			tag := "Mirai"
@@ -444,6 +458,7 @@ func (g *Generator) scheduleQUICAttacks(rng *netmodel.RNG) []FloodEvent {
 			rng: rng.Fork(fmt.Sprintf("qattack/%d", i)), tpl: g.tpl,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
+		g.recordFlood("paper/quic-attacks", spec, orgNames[orgIdx])
 		plans = append(plans, FloodEvent{Victim: victim, StartSec: start, DurSec: dur})
 	}
 	g.Truth.QUICAttacks = nAttacks
@@ -478,7 +493,7 @@ func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicEvents []FloodE
 
 	// 1) Multi-vector pairing against the scheduled QUIC attacks
 	// (shared with scenario plans — see pairCommonEvents in plan.go).
-	idx := g.pairCommonEvents(rng, quicEvents, calShareConcurrent, calShareSequential, "cattack")
+	idx := g.pairCommonEvents(rng, quicEvents, calShareConcurrent, calShareSequential, "cattack", "paper/common-paired")
 
 	// 2) Independent common attacks filling the 282 k total.
 	nTotal := g.scaled(calCommonAttacks)
@@ -493,7 +508,7 @@ func (g *Generator) scheduleCommonAttacks(rng *netmodel.RNG, quicEvents []FloodE
 	for i := 0; i < nIndependent; i++ {
 		dur := clampF(rng.LogNormal(math.Log(1499), 1.2), 65, 90000)
 		start := rng.Float64() * (measurementSeconds - dur)
-		g.addCommonFlood(rng, commonVictims[rng.Pick(vWeights)], start, dur, "cattack", idx)
+		g.addCommonFlood(rng, commonVictims[rng.Pick(vWeights)], start, dur, "cattack", idx, "paper/common")
 		idx++
 	}
 }
@@ -505,5 +520,5 @@ func (g *Generator) scheduleMisconfig(rng *netmodel.RNG) {
 	// flood victims (mostly), matching Figure 5's content-heavy
 	// response population. Shared with scenario misconfig phases
 	// (scheduleMisconfigSources in plan.go).
-	g.scheduleMisconfigSources(rng, g.scaled(calMisconfSources), calMisconfVisits, 0, 0)
+	g.scheduleMisconfigSources(rng, g.scaled(calMisconfSources), calMisconfVisits, 0, 0, "paper/misconfig")
 }

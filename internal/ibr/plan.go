@@ -129,9 +129,11 @@ func (g *Generator) AddResearchPlan(label string, p ResearchPlan) {
 		}
 		frac := (float64(i) + 0.1 + 0.8*rng.Float64()) / float64(p.Sweeps)
 		at := start + frac*avail
-		g.sources = append(g.sources, newResearchScan(
+		scan := newResearchScan(
 			rng.Fork(fmt.Sprintf("sweep/%d", i)), host, at,
-			time.Duration(sweepSec*float64(time.Second)), g.cfg.ResearchThin))
+			time.Duration(sweepSec*float64(time.Second)), g.cfg.ResearchThin)
+		g.sources = append(g.sources, scan)
+		g.recordResearch(label, scan, sweepSec)
 	}
 }
 
@@ -212,6 +214,7 @@ func (g *Generator) AddScanPlan(label string, p ScanPlan) {
 			withload: !p.NoPayload,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, bot.build))
+		g.recordBot(label, bot)
 		g.Truth.BotAddrs = append(g.Truth.BotAddrs, src)
 		if rng.Float64() < tagShare {
 			g.Truth.TaggedBots[src] = append(g.Truth.TaggedBots[src], drawBotTag(rng))
@@ -347,6 +350,7 @@ func (g *Generator) AddFloodPlan(label string, p FloodPlan) []FloodEvent {
 			shape: p.Shape, amp: amp, retryMitigated: p.RetryMitigated,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(atkStart), v.Addr, spec.build))
+		g.recordFlood(label, spec, v.Org)
 
 		if vector == VectorQUIC {
 			g.Truth.QUICAttacks++
@@ -419,14 +423,16 @@ func (g *Generator) AddPairedCommon(label string, events []FloodEvent, p PairPla
 	if len(events) == 0 || p.ConcurrentShare+p.SequentialShare <= 0 {
 		return
 	}
-	g.pairCommonEvents(rng, events, p.ConcurrentShare, p.SequentialShare, "pair")
+	g.pairCommonEvents(rng, events, p.ConcurrentShare, p.SequentialShare, "pair", label)
 }
 
 // addCommonFlood schedules one TCP/ICMP attack with the paper's
 // common-flood profile — the single source of truth shared by the
 // hard-coded schedule's pairing and independent fills and by scenario
 // PairPlans (a calibration change here moves every path together).
-func (g *Generator) addCommonFlood(rng *netmodel.RNG, victim netmodel.Addr, start, dur float64, forkPrefix string, idx int) {
+// ledgerLabel tags the scheduled event in the ledger; forkPrefix is
+// part of the frozen RNG fork naming and must never change with it.
+func (g *Generator) addCommonFlood(rng *netmodel.RNG, victim netmodel.Addr, start, dur float64, forkPrefix string, idx int, ledgerLabel string) {
 	vector := VectorTCP
 	if rng.Float64() < 0.2 {
 		vector = VectorICMP
@@ -456,6 +462,7 @@ func (g *Generator) addCommonFlood(rng *netmodel.RNG, victim netmodel.Addr, star
 		rng: rng.Fork(fmt.Sprintf("%s/%d", forkPrefix, idx)), tpl: g.tpl,
 	}
 	g.sources = append(g.sources, newLazySource(tsAt(start), victim, spec.build))
+	g.recordFlood(ledgerLabel, spec, "")
 	g.Truth.CommonAttacks++
 }
 
@@ -463,7 +470,7 @@ func (g *Generator) addCommonFlood(rng *netmodel.RNG, victim netmodel.Addr, star
 // QUIC-only exemption scan, then per-event concurrent/sequential
 // partner draws (Figures 8/12/13). It returns the next fork index so
 // the paper schedule can continue numbering its independent fills.
-func (g *Generator) pairCommonEvents(rng *netmodel.RNG, events []FloodEvent, cShare, sShare float64, forkPrefix string) int {
+func (g *Generator) pairCommonEvents(rng *netmodel.RNG, events []FloodEvent, cShare, sShare float64, forkPrefix, ledgerLabel string) int {
 	byVictim := make(map[netmodel.Addr]int)
 	for _, e := range events {
 		byVictim[e.Victim]++
@@ -517,7 +524,7 @@ func (g *Generator) pairCommonEvents(rng *netmodel.RNG, events []FloodEvent, cSh
 			if start < 0 {
 				start = 0
 			}
-			g.addCommonFlood(rng, e.Victim, start, dur, forkPrefix, idx)
+			g.addCommonFlood(rng, e.Victim, start, dur, forkPrefix, idx, ledgerLabel)
 		} else {
 			g.Truth.Sequential++
 			gap := clampF(rng.LogNormal(math.Log(9*3600), 1.9), 400, 28*86400)
@@ -532,7 +539,7 @@ func (g *Generator) pairCommonEvents(rng *netmodel.RNG, events []FloodEvent, cSh
 				// Fold back inside the month on the other side.
 				start = clampF(e.StartSec+e.DurSec+gap, 0, measurementSeconds-dur-1)
 			}
-			g.addCommonFlood(rng, e.Victim, start, dur, forkPrefix, idx)
+			g.addCommonFlood(rng, e.Victim, start, dur, forkPrefix, idx, ledgerLabel)
 		}
 		idx++
 	}
@@ -597,7 +604,7 @@ func (g *Generator) AddMisconfigPlan(label string, p MisconfigPlan) {
 	if p.VisitsMean <= 0 {
 		p.VisitsMean = calMisconfVisits
 	}
-	g.scheduleMisconfigSources(rng, g.scaled(float64(p.Sources)), p.VisitsMean, p.StartSec, p.DurSec)
+	g.scheduleMisconfigSources(rng, g.scaled(float64(p.Sources)), p.VisitsMean, p.StartSec, p.DurSec, label)
 }
 
 // scheduleMisconfigSources is the single misconfig-responder
@@ -607,7 +614,7 @@ func (g *Generator) AddMisconfigPlan(label string, p MisconfigPlan) {
 // profile, one lazily built source per responder. The victim-exclusion
 // draw is bounded so a census fully covered by victims degrades to
 // victim hosts instead of spinning.
-func (g *Generator) scheduleMisconfigSources(rng *netmodel.RNG, n int, visitsMean, startSec, durSec float64) {
+func (g *Generator) scheduleMisconfigSources(rng *netmodel.RNG, n int, visitsMean, startSec, durSec float64, ledgerLabel string) {
 	census := g.cfg.Census
 	if n <= 0 || len(census.Servers) == 0 {
 		return
@@ -644,6 +651,7 @@ func (g *Generator) scheduleMisconfigSources(rng *netmodel.RNG, n int, visitsMea
 			rng: rng.Fork(fmt.Sprintf("misconf/%d", i)), tpl: g.tpl,
 		}
 		g.sources = append(g.sources, newLazySource(tsAt(visits[0]), src, spec.build))
+		g.recordMisconfig(ledgerLabel, spec, start)
 		g.Truth.MisconfSources++
 	}
 }

@@ -154,6 +154,49 @@ func Sparkline(values []uint64, buckets int, logScale bool) string {
 	return b.String()
 }
 
+// Metric is one named scalar in a comparable metric list — the form
+// `quicsand compare` diffs between scenarios. Values are
+// deterministically formatted strings, so equality is bit-equality of
+// the underlying analysis numbers.
+type Metric struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// MetricDiff is one differing row of a metric-list comparison.
+type MetricDiff struct {
+	Name string `json:"name"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// DiffMetrics pairs two metric lists by name and returns only the
+// rows whose values differ — an empty result means the analyses agree
+// on every metric. Rows keep a's order; names only b carries append at
+// the end (diffing against a missing value).
+func DiffMetrics(a, b []Metric) []MetricDiff {
+	bv := make(map[string]string, len(b))
+	for _, m := range b {
+		bv[m.Name] = m.Value
+	}
+	seen := make(map[string]bool, len(a))
+	var out []MetricDiff
+	for _, m := range a {
+		seen[m.Name] = true
+		if v, ok := bv[m.Name]; !ok {
+			out = append(out, MetricDiff{Name: m.Name, A: m.Value, B: "(absent)"})
+		} else if v != m.Value {
+			out = append(out, MetricDiff{Name: m.Name, A: m.Value, B: v})
+		}
+	}
+	for _, m := range b {
+		if !seen[m.Name] {
+			out = append(out, MetricDiff{Name: m.Name, A: "(absent)", B: m.Value})
+		}
+	}
+	return out
+}
+
 // Percent formats a share with one decimal.
 func Percent(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 

@@ -290,6 +290,25 @@ func (s *Session) DominantVersion() wire.Version {
 	return s.versions.dominant()
 }
 
+// Versions returns every distinct wire version observed in the
+// session's long-header packets, in no particular order — the oracle's
+// version-membership check reads it (a session may only carry versions
+// its scheduled events were compiled with).
+func (s *Session) Versions() []wire.Version {
+	if s.versions.m != nil {
+		out := make([]wire.Version, 0, len(s.versions.m))
+		for v := range s.versions.m {
+			out = append(out, v)
+		}
+		return out
+	}
+	out := make([]wire.Version, 0, s.versions.n)
+	for i := uint8(0); i < s.versions.n; i++ {
+		out = append(out, s.versions.vs[i])
+	}
+	return out
+}
+
 // InitialShare and HandshakeShare return the fraction of QUIC packets
 // of each type — §6's message-mix check (≈ 1/3 Initial, 2/3 Handshake
 // for flood backscatter).

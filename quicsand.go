@@ -37,11 +37,13 @@ import (
 	"quicsand/internal/greynoise"
 	"quicsand/internal/ibr"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/oracle"
 	"quicsand/internal/scenario"
 	"quicsand/internal/sessions"
 	"quicsand/internal/stats"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
+	"quicsand/internal/wire"
 )
 
 // Config parameterizes a full pipeline run.
@@ -429,6 +431,86 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 	pstats.Wall = time.Since(schedStart)
 	a.Pipeline = pstats
 	return a, nil
+}
+
+// Expect computes the analytic oracle's prediction for cfg without
+// generating a single packet: the scenario compiles onto a
+// ledger-recording generator (scheduling only, the same cheap pass
+// Replay uses to rebuild ground truth) and internal/oracle derives the
+// exact-or-bounded expected analysis outputs. The result is
+// independent of cfg.Workers and of live-vs-replay execution, so one
+// Expectation validates every run of the (seed, scale, scenario)
+// triple (DESIGN.md §12).
+func Expect(cfg Config) (*oracle.Expectation, error) {
+	return oracle.Expect(cfg.Scenario, ibr.Config{
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+		ResearchThin: cfg.ResearchThin,
+		SkipResearch: cfg.SkipResearch,
+		Identity:     cfg.Identity,
+	})
+}
+
+// OracleObserved projects the Analysis onto the oracle's observation
+// schema — the measured side of oracle.Evaluate.
+func (a *Analysis) OracleObserved() *oracle.Observed {
+	obs := &oracle.Observed{
+		TelescopeTotal:      a.Telescope.Total,
+		UDP443:              a.Telescope.UDP443,
+		TCPICMP:             a.Telescope.TCPICMP,
+		ResearchPackets:     a.HourlySource.TotalOf("TUM-Scans") + a.HourlySource.TotalOf("RWTH-Scans"),
+		NonQUIC:             a.NonQUIC,
+		DistinctQUICSources: int(a.Sweep.LowerBound()),
+		RequestSessions:     len(a.RequestSessions),
+		ResponseSessions:    len(a.ResponseSessions),
+		RequestSources:      make(map[netmodel.Addr]uint64),
+		Responders:          make(map[netmodel.Addr]*oracle.ResponderObs),
+		CommonAttacks:       len(a.CommonDetector.Attacks),
+		CommonInspected:     a.CommonDetector.Inspected,
+	}
+	for _, s := range a.RequestSessions {
+		if s.Kind() == sessions.KindMixed {
+			obs.MixedSessions++
+		}
+		obs.RequestPackets += uint64(s.Packets)
+		obs.RequestSources[s.Src] += uint64(s.Packets)
+	}
+	for _, s := range a.ResponseSessions {
+		obs.ResponsePackets += uint64(s.Packets)
+		r := obs.Responders[s.Src]
+		if r == nil {
+			r = &oracle.ResponderObs{
+				Start: s.Start, End: s.End,
+				Versions: make(map[wire.Version]bool),
+			}
+			obs.Responders[s.Src] = r
+		}
+		r.Sessions++
+		r.Packets += uint64(s.Packets)
+		r.RetryPackets += uint64(s.TypeCounts[wire.PacketTypeRetry])
+		if s.Start < r.Start {
+			r.Start = s.Start
+		}
+		if s.End > r.End {
+			r.End = s.End
+		}
+		for _, v := range s.Versions() {
+			r.Versions[v] = true
+		}
+	}
+	for _, atk := range a.QUICDetector.Attacks {
+		obs.QUICAttacks = append(obs.QUICAttacks, oracle.AttackObs{
+			Victim:         atk.Victim,
+			Packets:        atk.Packets,
+			DurationSec:    atk.Duration(),
+			MaxPPS:         atk.MaxPPS,
+			SpoofedClients: atk.SpoofedClients,
+			ClientPorts:    atk.ClientPorts,
+			UniqueSCIDs:    atk.UniqueSCIDs,
+			Version:        atk.Version,
+		})
+	}
+	return obs
 }
 
 // Victims returns the unique QUIC flood victims.
