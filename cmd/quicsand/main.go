@@ -14,7 +14,7 @@
 // Shared simulation flags:
 //
 //	[-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
-//	[-scenario NAME|FILE] [-fig SECTION] [-stats]
+//	[-scenario NAME|FILE] [-fig SECTION] [-stats] [-manifest FILE]
 //	[-cpuprofile FILE] [-memprofile FILE]
 //
 // -scenario selects the workload: a built-in scenario name
@@ -23,7 +23,10 @@
 // is the paper's hard-coded April 2021 month. Replay takes the
 // recorded run's -scenario like it takes -seed and -scale.
 //
-// SECTION is one of: all, headline, headline-json, 2–13, section6. At
+// SECTION is one of: all, headline, headline-json, stats, 2–13,
+// section6. -stats prints the run's pipeline throughput, shard balance
+// and telemetry counters to stderr; -manifest writes a machine-readable
+// run record (config, stage timings, telemetry snapshot) to FILE. At
 // -scale 1.0 the run reproduces paper-scale magnitudes and takes a few
 // minutes; the default 0.1 finishes in seconds with identical shapes.
 // -workers fans the analysis over N shards (0 = all CPUs); results are
@@ -82,6 +85,7 @@ type simOpts struct {
 	skipResearch *bool
 	workers      *int
 	stats        *bool
+	manifest     *string
 	cpuProfile   *string
 	memProfile   *string
 	scenarioSel  *string
@@ -103,7 +107,8 @@ func addBaseSimFlags(fs *flag.FlagSet) *simOpts {
 		thin:         fs.Uint("thin", 64, "research-scan thinning weight"),
 		skipResearch: fs.Bool("skip-research", false, "omit research scanners (Figure 2 loses its main series)"),
 		workers:      fs.Int("workers", 0, "pipeline shards; 0 = all CPUs, 1 = sequential"),
-		stats:        fs.Bool("stats", false, "print per-stage pipeline throughput to stderr"),
+		stats:        fs.Bool("stats", false, "print pipeline throughput, shard balance and telemetry to stderr"),
+		manifest:     fs.String("manifest", "", "write a machine-readable run manifest (config, timings, telemetry) to this file"),
 		cpuProfile:   fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
 		memProfile:   fs.String("memprofile", "", "write a post-run heap profile to this file"),
 	}
@@ -291,6 +296,8 @@ func renderFigure(a *quicsand.Analysis, fig string, stdout io.Writer) error {
 		out = a.Figure13()
 	case "section6":
 		out = a.Section6()
+	case "stats":
+		out = a.StatsReport()
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
@@ -345,7 +352,7 @@ func traceSink(path string, format capture.Format, stderr io.Writer) (sink captu
 // run the pipeline (profiled), settle the optional trace sink, print
 // stats and the selected figure. On a failed run the trace is aborted,
 // never finished.
-func simulateAndRender(opts *simOpts, cfg quicsand.Config, finish func() error, abort func(), fig string, stdout, stderr io.Writer) error {
+func simulateAndRender(opts *simOpts, cfg quicsand.Config, command string, finish func() error, abort func(), fig string, stdout, stderr io.Writer) error {
 	var a *quicsand.Analysis
 	err := opts.profiled(func() (err error) {
 		a, err = quicsand.Run(cfg)
@@ -362,10 +369,24 @@ func simulateAndRender(opts *simOpts, cfg quicsand.Config, finish func() error, 
 			return err
 		}
 	}
-	if *opts.stats {
-		fmt.Fprint(stderr, a.Pipeline)
+	if err := opts.report(a, "quicsand "+command, stderr); err != nil {
+		return err
 	}
 	return renderFigure(a, fig, stdout)
+}
+
+// report handles the shared observability outputs: -stats prints the
+// full stats report to stderr, -manifest writes the run manifest.
+func (o *simOpts) report(a *quicsand.Analysis, command string, stderr io.Writer) error {
+	if *o.stats {
+		fmt.Fprint(stderr, a.StatsReport())
+	}
+	if *o.manifest != "" {
+		if err := a.Manifest(command).WriteFile(*o.manifest); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+	}
+	return nil
 }
 
 // runSimulate is the classic flag-only invocation: generate and print.
@@ -392,7 +413,7 @@ func runSimulate(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg.Trace, finish, abort = sink, fin, ab
 	}
-	return simulateAndRender(opts, cfg, finish, abort, *fig, stdout, stderr)
+	return simulateAndRender(opts, cfg, "simulate", finish, abort, *fig, stdout, stderr)
 }
 
 // runRecord simulates the month and checkpoints the capture; with -fig
@@ -424,7 +445,7 @@ func runRecord(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg.Trace = sink
-	return simulateAndRender(opts, cfg, finish, abort, *fig, stdout, stderr)
+	return simulateAndRender(opts, cfg, "record", finish, abort, *fig, stdout, stderr)
 }
 
 // runReplay re-analyzes a stored capture (QSND or pcap, sniffed by
@@ -466,8 +487,8 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: %w", *in, err)
 	}
 	reportSkipped(src, *in, stderr)
-	if *opts.stats {
-		fmt.Fprint(stderr, a.Pipeline)
+	if err := opts.report(a, "quicsand replay", stderr); err != nil {
+		return err
 	}
 	return renderFigure(a, *fig, stdout)
 }

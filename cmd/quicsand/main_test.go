@@ -9,13 +9,27 @@ import (
 	"testing"
 )
 
+// stripIngest drops the ingest_* provenance lines replay adds to the
+// headline JSON — the one intentional live-vs-replay difference.
+func stripIngest(doc string) string {
+	var out []string
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.Contains(line, `"ingest_`) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
 // TestRunHeadlineSmoke exercises flag parsing and a tiny-scale run
 // through the real pipeline, including the -workers knob.
 func TestRunHeadlineSmoke(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "run.json")
 	var out, errOut bytes.Buffer
 	err := run([]string{
 		"-seed", "3", "-scale", "0.002", "-thin", "1048576",
-		"-workers", "2", "-fig", "headline", "-stats",
+		"-workers", "2", "-fig", "headline", "-stats", "-manifest", manifest,
 	}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +39,24 @@ func TestRunHeadlineSmoke(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "2 workers") {
 		t.Errorf("-stats output missing worker count:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "telemetry (2 workers)") {
+		t.Errorf("-stats output missing telemetry block:\n%s", errOut.String())
+	}
+	var m struct {
+		Command   string         `json:"command"`
+		Config    map[string]any `json:"config"`
+		Telemetry map[string]any `json:"telemetry"`
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if m.Command != "quicsand simulate" || m.Config["seed"] != float64(3) || m.Telemetry == nil {
+		t.Errorf("manifest content wrong: %+v", m)
 	}
 }
 
@@ -118,9 +150,13 @@ func TestRecordConvertReplayRoundTrip(t *testing.T) {
 		if err := run(append([]string{"replay", "-i", in, "-workers", "4"}, sim...), &replayed, &errOut); err != nil {
 			t.Fatal(err)
 		}
-		if replayed.String() != direct.String() {
+		if stripIngest(replayed.String()) != stripIngest(direct.String()) {
 			t.Errorf("replay of %s diverged from recorded run:\n--- direct ---\n%s\n--- replay ---\n%s",
 				filepath.Base(in), direct.String(), replayed.String())
+		}
+		if !strings.Contains(replayed.String(), "\"ingest_format\"") {
+			t.Errorf("replay of %s missing ingest provenance:\n%s",
+				filepath.Base(in), replayed.String())
 		}
 	}
 }
@@ -195,7 +231,7 @@ func TestScenarioRecordReplayRoundTrip(t *testing.T) {
 	if err := run(append([]string{"replay", "-i", qsnd, "-workers", "8"}, sim...), &replayed, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	if replayed.String() != direct.String() {
+	if stripIngest(replayed.String()) != stripIngest(direct.String()) {
 		t.Errorf("scenario replay diverged:\n--- direct ---\n%s\n--- replay ---\n%s", direct.String(), replayed.String())
 	}
 }

@@ -8,6 +8,15 @@
 // dissected in order by a per-shard dissector while the socket reader
 // never blocks on crypto.
 //
+// Observability: -metrics ADDR serves Prometheus text exposition on
+// /metrics (live per-shard counters plus heartbeat gauges, and the
+// final merged snapshot once shutdown begins) together with the
+// standard net/http/pprof handlers; -heartbeat controls the structured
+// progress log (packets/s, shard skew, heap); -manifest FILE writes a
+// machine-readable run record at shutdown. SIGINT/SIGTERM stop the
+// capture gracefully: the pipeline drains, the final telemetry
+// snapshot is flushed, and the process exits cleanly.
+//
 // Point any QUIC client at it (or run cmd/quicsand's generated trace
 // through it) to watch the classification logic work on live traffic.
 package main
@@ -21,36 +30,74 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"quicsand/internal/dissect"
 	"quicsand/internal/engine"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8443", "UDP address to observe")
 	workers := flag.Int("workers", 0, "dissection shards; 0 = all CPUs")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "progress-log interval (0 disables)")
+	manifest := flag.String("manifest", "", "write a machine-readable run manifest at shutdown")
 	flag.Parse()
 
-	pc, err := net.ListenPacket("udp", *listen)
-	if err != nil {
+	opts := serveOpts{
+		workers:   *workers,
+		metrics:   *metrics,
+		heartbeat: *heartbeat,
+		manifest:  *manifest,
+	}
+	if err := run(*listen, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "telescoped:", err)
 		os.Exit(1)
+	}
+}
+
+// run binds the socket, installs graceful SIGINT/SIGTERM shutdown, and
+// serves until the socket closes. The signal goroutine is reaped before
+// run returns (no leak), so tests can call it repeatedly.
+func run(listen string, opts serveOpts, out, diag io.Writer) error {
+	pc, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		return err
 	}
 	defer pc.Close()
-	fmt.Printf("telescoped: observing %s (ctrl-c to stop)\n", pc.LocalAddr())
+	fmt.Fprintf(diag, "telescoped: observing %s (SIGINT/SIGTERM to stop)\n", pc.LocalAddr())
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
-		<-stop
-		pc.Close()
+		defer wg.Done()
+		select {
+		case sig := <-stop:
+			fmt.Fprintf(diag, "telescoped: %v: draining pipeline, flushing final snapshot\n", sig)
+			pc.Close()
+		case <-done:
+		}
 	}()
 
-	if err := serve(pc, *workers, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "telescoped:", err)
-		os.Exit(1)
-	}
+	err = serve(opts, pc, out, diag)
+	signal.Stop(stop)
+	close(done)
+	wg.Wait()
+	return err
+}
+
+// serveOpts parameterizes one serve run.
+type serveOpts struct {
+	workers   int
+	metrics   string // Prometheus+pprof listen address; "" disables
+	heartbeat time.Duration
+	manifest  string // run-manifest path; "" disables
 }
 
 // datagram is one received UDP payload with its remote address.
@@ -60,11 +107,33 @@ type datagram struct {
 }
 
 // serve drains pc through the sharded engine until the socket closes,
-// then prints pipeline stats. Each shard owns one dissector; lines are
-// serialized onto out with a mutex (completion order — a live view,
-// not a canonical trace).
-func serve(pc net.PacketConn, workers int, out io.Writer) error {
-	n := engine.Config{Workers: workers}.ResolveWorkers()
+// then flushes the final telemetry snapshot: the stage table and
+// counter block onto out, the merged snapshot onto the /metrics
+// endpoint, and the optional manifest to disk. Each shard owns one
+// dissector and one live counter bank; lines are serialized onto out
+// with a mutex (completion order — a live view, not a canonical
+// trace).
+func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
+	n := engine.Config{Workers: opts.workers}.ResolveWorkers()
+	live := telemetry.NewLive(n)
+
+	var srv *telemetry.Server
+	if opts.metrics != "" {
+		s, err := telemetry.NewServer(opts.metrics, live)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer s.Close()
+		srv = s
+		fmt.Fprintf(diag, "telescoped: metrics on http://%s/metrics (pprof on /debug/pprof)\n", s.Addr())
+	}
+	if opts.heartbeat > 0 {
+		hb := telemetry.StartHeartbeat(live, srv, opts.heartbeat, func(format string, args ...any) {
+			fmt.Fprintf(diag, "telescoped: "+format+"\n", args...)
+		})
+		defer hb.Stop()
+	}
+
 	chans := make([]chan datagram, n)
 	for i := range chans {
 		chans[i] = make(chan datagram, 64)
@@ -107,22 +176,68 @@ func serve(pc net.PacketConn, workers int, out io.Writer) error {
 		dissectors[i] = dissect.NewDissector()
 	}
 	var mu sync.Mutex
-	st := engine.Run(engine.Config{Workers: workers}, feeds, func(shard int, d datagram) bool {
-		text := describe(dissectors[shard], d)
+	st := engine.Run(engine.Config{Workers: opts.workers}, feeds, func(shard int, d datagram) bool {
+		bank := live.Shard(shard)
+		bank.Packets.Add(1)
+		bank.Bytes.Add(uint64(len(d.data)))
+		text, quic := describe(dissectors[shard], d)
+		if !quic {
+			bank.NonQUIC.Add(1)
+		}
 		mu.Lock()
 		fmt.Fprint(out, text)
 		mu.Unlock()
 		return false
 	}, nil)
+
+	// Final snapshot: merge the per-shard dissector banks, publish to
+	// the endpoint (scrapable until the process exits), and flush the
+	// human-readable form.
+	snap := &telemetry.Snapshot{Workers: n}
+	for _, d := range dissectors {
+		snap.Dissect.Merge(&d.Metrics)
+	}
+	snap.ShardPackets = live.ShardCounts()
+	snap.Engine = st.Engine
+	if srv != nil {
+		srv.SetFinal(snap)
+	}
 	fmt.Fprint(out, st)
+	fmt.Fprint(out, snap.Text())
+
+	if opts.manifest != "" {
+		m := &telemetry.Manifest{
+			Command: "telescoped",
+			Config: map[string]any{
+				"listen":  pc.LocalAddr().String(),
+				"workers": n,
+			},
+			Workers:       st.Workers,
+			WallNS:        st.Wall.Nanoseconds(),
+			PacketsPerSec: st.Throughput(),
+			ShardPackets:  snap.ShardPackets,
+			ShardSkew:     snap.Skew(),
+			Telemetry:     snap,
+		}
+		for _, s := range st.Stages {
+			m.Stages = append(m.Stages, telemetry.StageTiming{
+				Name: s.Name, Items: s.Items, WallNS: s.Wall.Nanoseconds(),
+			})
+		}
+		if err := m.WriteFile(opts.manifest); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Fprintf(diag, "telescoped: manifest written to %s\n", opts.manifest)
+	}
 	return nil
 }
 
-// describe classifies one datagram into printable lines.
-func describe(d *dissect.Dissector, dg datagram) string {
+// describe classifies one datagram into printable lines; quic reports
+// whether deep validation accepted it.
+func describe(d *dissect.Dissector, dg datagram) (text string, quic bool) {
 	r, err := d.Dissect(dg.data)
 	if err != nil {
-		return fmt.Sprintf("%-21s %5dB  not QUIC\n", dg.addr, len(dg.data))
+		return fmt.Sprintf("%-21s %5dB  not QUIC\n", dg.addr, len(dg.data)), false
 	}
 	var b strings.Builder
 	for _, pi := range r.Packets {
@@ -137,5 +252,5 @@ func describe(d *dissect.Dissector, dg datagram) string {
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), true
 }

@@ -3,6 +3,7 @@ package quicsand
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"quicsand/internal/capture"
@@ -75,6 +76,20 @@ func TestWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// stripIngest removes the ingest_* provenance lines from a headline
+// JSON document. They sit before every always-present field, so the
+// stripped replay document is byte-identical to the live one.
+func stripIngest(doc string) string {
+	var out []string
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.Contains(line, `"ingest_`) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
 // expectSameAnalysis asserts two analyses agree on every rendered
 // figure and on structured session/counter state.
 func expectSameAnalysis(t *testing.T, label string, want, got *Analysis) {
@@ -85,7 +100,9 @@ func expectSameAnalysis(t *testing.T, label string, want, got *Analysis) {
 	if got.RenderAll() != want.RenderAll() {
 		t.Errorf("%s: figure data diverged (see RenderAll)", label)
 	}
-	if got.HeadlineJSON() != want.HeadlineJSON() {
+	// Replay provenance (ingest_*) is the one intentional live-vs-replay
+	// difference in the headline document; strip it before comparing.
+	if stripIngest(got.HeadlineJSON()) != stripIngest(want.HeadlineJSON()) {
 		t.Errorf("%s: headline JSON diverged", label)
 	}
 	if len(want.QUICSessions) != len(got.QUICSessions) {

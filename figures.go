@@ -85,8 +85,20 @@ func (a *Analysis) HeadlineJSON() string {
 	if a.Config.Scenario != nil {
 		scName = a.Config.Scenario.Name
 	}
+	// Replay provenance: present only on replayed runs. The ingest
+	// fields sit before every always-present field so stripping their
+	// lines yields a document byte-identical to the live run's —
+	// scripts/replay_roundtrip.sh and expectSameAnalysis rely on this.
+	var ingestFormat string
+	var ingestRecords uint64
+	if a.Telemetry != nil {
+		ingestFormat = a.Telemetry.Ingest.Format
+		ingestRecords = a.Telemetry.Ingest.Records
+	}
 	doc := struct {
 		Scenario         string `json:"scenario,omitempty"`
+		IngestFormat     string `json:"ingest_format,omitempty"`
+		IngestRecords    uint64 `json:"ingest_records,omitempty"`
 		TelescopePackets uint64 `json:"telescope_packets"`
 		QUICPackets      uint64 `json:"quic_packets"`
 		ResearchPackets  uint64 `json:"research_packets"`
@@ -101,6 +113,8 @@ func (a *Analysis) HeadlineJSON() string {
 		SweepSessions5m  uint64 `json:"sweep_sessions_5m"`
 	}{
 		Scenario:         scName,
+		IngestFormat:     ingestFormat,
+		IngestRecords:    ingestRecords,
 		TelescopePackets: a.Telescope.Total,
 		QUICPackets:      hs.total,
 		ResearchPackets:  hs.research,
@@ -145,7 +159,9 @@ func (a *Analysis) HeadlineMetrics() []report.Metric {
 			return out
 		}
 		key, ok := keyTok.(string)
-		if !ok || key == "scenario" {
+		if !ok || key == "scenario" || strings.HasPrefix(key, "ingest_") {
+			// Replay provenance would make live-vs-replay comparisons of
+			// identical analyses always "differ", like the scenario name.
 			continue
 		}
 		out = append(out, report.Metric{Name: key, Value: fmt.Sprint(valTok)})

@@ -63,6 +63,8 @@ type Sink interface {
 	Err() error
 	// Count returns records written so far.
 	Count() uint64
+	// Dropped returns records discarded after the first write error.
+	Dropped() uint64
 }
 
 // Format identifies a trace container format.
@@ -163,6 +165,28 @@ func (s *qsndSource) Next() (*telescope.Packet, error) {
 		return nil, err
 	}
 	return &s.p, nil
+}
+
+// SourceFormat reports which container a Source produced by NewSource
+// is reading.
+func SourceFormat(src Source) Format {
+	switch src.(type) {
+	case *qsndSource:
+		return FormatQSND
+	case *PcapReader:
+		return FormatPcap
+	}
+	return FormatUnknown
+}
+
+// SourceSkipped reports how many records the source dropped during
+// decode (non-UDP/IPv4 pcap frames); always zero for the lossless
+// native store.
+func SourceSkipped(src Source) uint64 {
+	if pr, ok := src.(*PcapReader); ok {
+		return pr.Skipped
+	}
+	return 0
 }
 
 // Copy streams every record from src into dst — the convert path.

@@ -7,6 +7,7 @@ import (
 
 	"quicsand/internal/engine"
 	"quicsand/internal/ibr"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 )
 
@@ -62,6 +63,10 @@ type Scatter struct {
 	once    sync.Once
 	err     error
 	packets uint64
+	// tel accumulates the reader goroutine's batch counters; written
+	// only by the reader (or feedInline) and read after engine.Run
+	// returns — channel close/join orders the accesses.
+	tel telemetry.Ingest
 }
 
 // NewScatter prepares a scatter of src over n shards.
@@ -139,6 +144,14 @@ func (s *Scatter) Err() error { return s.err }
 // Packets returns the number of records scattered. Valid like Err.
 func (s *Scatter) Packets() uint64 { return s.packets }
 
+// Telemetry returns the ingest counters for the completed run. Valid
+// like Err.
+func (s *Scatter) Telemetry() telemetry.Ingest {
+	t := s.tel
+	t.Records = s.packets
+	return t
+}
+
 // feedInline is the single-shard path: no goroutines, no copies — the
 // source's packet is consumed synchronously before the next read, per
 // the Source contract.
@@ -185,13 +198,20 @@ func (s *Scatter) scatter() {
 	nextBatch := func(k int) *batch {
 		select {
 		case b := <-s.free[k]:
+			s.tel.BatchReuses++
 			return b
 		default:
+			s.tel.BatchAllocs++
 			return &batch{
 				pkts:  make([]telescope.Packet, 0, scatterBatch),
 				arena: make([]byte, 0, scatterArenaCap),
 			}
 		}
+	}
+	sendBatch := func(k int, b *batch) {
+		s.tel.Batches++
+		s.tel.BatchFill.Observe(uint64(len(b.pkts)))
+		s.in[k] <- b
 	}
 	for {
 		p, err := s.src.Next()
@@ -222,13 +242,13 @@ func (s *Scatter) scatter() {
 		}
 		s.packets++
 		if len(b.pkts) == scatterBatch {
-			s.in[k] <- b
+			sendBatch(k, b)
 			building[k] = nil
 		}
 	}
 	for k, b := range building {
 		if b != nil && len(b.pkts) > 0 {
-			s.in[k] <- b
+			sendBatch(k, b)
 		}
 	}
 	for _, ch := range s.in {

@@ -17,6 +17,7 @@ import (
 	"errors"
 
 	"quicsand/internal/quiccrypto"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
 	"quicsand/internal/wire"
@@ -146,6 +147,10 @@ type Dissector struct {
 	// (TryDecrypt=false) against full validation.
 	TryDecrypt bool
 
+	// Metrics accumulates this dissector's counters; shard-local, merged
+	// by the caller at reduce time.
+	Metrics telemetry.Dissect
+
 	result Result
 	// Reused scratch: long-header parse target, frame-visitor record,
 	// decrypted plaintext, CRYPTO segment list, reassembly buffer and
@@ -176,8 +181,10 @@ func (d *Dissector) Dissect(payload []byte) (*Result, error) {
 	r := &d.result
 	r.Packets = r.Packets[:0]
 	r.Valid = false
+	d.Metrics.Datagrams++
 
 	if len(payload) == 0 {
+		d.Metrics.ParseFailures++
 		return r, ErrNotQUIC
 	}
 	rest := payload
@@ -216,8 +223,10 @@ func (d *Dissector) Dissect(payload []byte) (*Result, error) {
 		rest = rest[h.PacketLen():]
 	}
 	if !r.Valid {
+		d.Metrics.ParseFailures++
 		return r, ErrNotQUIC
 	}
+	d.Metrics.Packets += uint64(len(r.Packets))
 	return r, nil
 }
 
@@ -229,8 +238,10 @@ func (d *Dissector) opener(v wire.Version, dcid wire.ConnectionID) (*quiccrypto.
 	k.n = uint8(len(dcid))
 	copy(k.dcid[:], dcid)
 	if o := d.openers[k]; o != nil {
+		d.Metrics.OpenerHits++
 		return o, nil
 	}
+	d.Metrics.OpenerMisses++
 	o, err := quiccrypto.NewInitialOpener(v, dcid, quiccrypto.PerspectiveServer)
 	if err != nil {
 		return nil, err
@@ -238,6 +249,7 @@ func (d *Dissector) opener(v wire.Version, dcid wire.ConnectionID) (*quiccrypto.
 	if d.openers == nil {
 		d.openers = make(map[openerKey]*quiccrypto.Opener, 8)
 	} else if len(d.openers) >= maxOpeners {
+		d.Metrics.OpenerResets++
 		clear(d.openers)
 	}
 	d.openers[k] = o
@@ -271,6 +283,7 @@ func (d *Dissector) tryDecryptInitial(h *wire.Header, pkt []byte, info *PacketIn
 		return
 	}
 	info.Decrypted = true
+	d.Metrics.Decrypted++
 	d.segs = d.segs[:0]
 	err = wire.VisitFrames(payload, &d.frame, func(fi *wire.FrameInfo) error {
 		info.FrameTypes = append(info.FrameTypes, fi.Type)
@@ -295,6 +308,7 @@ func (d *Dissector) tryDecryptInitial(h *wire.Header, pkt []byte, info *PacketIn
 	if msgs[0].Type == tlsmini.TypeClientHello {
 		if err := tlsmini.ParseClientHelloInto(&d.hello, msgs[0].Body); err == nil {
 			info.HasClientHello = true
+			d.Metrics.ClientHellos++
 			info.SNI = d.hello.ServerName
 		}
 	}

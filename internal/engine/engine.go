@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"quicsand/internal/losertree"
+	"quicsand/internal/telemetry"
 )
 
 // Config parameterizes a pipeline run.
@@ -112,6 +113,11 @@ type Stats struct {
 	Stages []Stage
 	// Wall is the total wall time, set by the caller via Finish.
 	Wall time.Duration
+	// Engine holds the tap/recycling telemetry merged across shards.
+	// These counters are runtime-dependent (batch boundaries and buffer
+	// reuse vary with scheduling), not part of the deterministic stream
+	// projection.
+	Engine telemetry.Engine
 
 	start time.Time
 }
@@ -234,11 +240,16 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 		}
 	}
 
+	// Each worker owns one telemetry bank — plain counters, no atomics;
+	// the wg.Wait below orders every write before the merge read.
+	workerTel := make([]telemetry.Engine, n)
+
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
+			tel := &workerTel[i]
 			start := time.Now()
 			var buf []T
 			nextBuf := func() []T {
@@ -246,10 +257,21 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 				// only while the recycling loop is still priming.
 				select {
 				case b := <-freeChans[i]:
+					tel.BufReuses++
 					return b
 				default:
+					tel.BufAllocs++
 					return make([]T, 0, batch)
 				}
+			}
+			sendBatch := func() {
+				tel.TapBatches++
+				tel.TapBatchFill.Observe(uint64(len(buf)))
+				if q := uint64(len(tapChans[i])); q > tel.QueueHighWater {
+					tel.QueueHighWater = q
+				}
+				tapChans[i] <- buf
+				buf = nil
 			}
 			feeds[i](func(item T) {
 				st.ShardItems[i]++
@@ -260,14 +282,13 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 					}
 					buf = append(buf, item)
 					if len(buf) >= batch {
-						tapChans[i] <- buf
-						buf = nil
+						sendBatch()
 					}
 				}
 			})
 			if tapChans != nil {
 				if len(buf) > 0 {
-					tapChans[i] <- buf
+					sendBatch()
 				}
 				close(tapChans[i])
 			}
@@ -280,6 +301,9 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 		tapped = mergeTap(tapChans, freeChans, tap)
 	}
 	wg.Wait()
+	for i := range workerTel {
+		st.Engine.Merge(&workerTel[i])
+	}
 
 	wall := time.Since(t0)
 	st.AddStage("analyze", st.Items(), wall)

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"quicsand/internal/telemetry"
+)
+
+// TestStageZeroWall pins the division guards: a stage that recorded no
+// wall time (or a clock hiccup driving it negative) reports zero
+// throughput instead of +Inf/NaN.
+func TestStageZeroWall(t *testing.T) {
+	if got := (Stage{Items: 100, Wall: 0}).PerSecond(); got != 0 {
+		t.Errorf("zero-wall PerSecond = %g, want 0", got)
+	}
+	if got := (Stage{Items: 100, Wall: -time.Second}).PerSecond(); got != 0 {
+		t.Errorf("negative-wall PerSecond = %g, want 0", got)
+	}
+	if got := (Stage{Items: 1000, Wall: time.Second}).PerSecond(); got != 1000 {
+		t.Errorf("PerSecond = %g, want 1000", got)
+	}
+}
+
+// TestStatsThroughputZeroWall covers Throughput before Finish stamps
+// the wall time.
+func TestStatsThroughputZeroWall(t *testing.T) {
+	st := &Stats{ShardItems: []uint64{500, 500}}
+	if got := st.Throughput(); got != 0 {
+		t.Errorf("unfinished Throughput = %g, want 0", got)
+	}
+	st.Wall = 2 * time.Second
+	if got := st.Throughput(); got != 500 {
+		t.Errorf("Throughput = %g, want 500", got)
+	}
+}
+
+// TestStageNamedMissing asserts lookups of absent stages return a zero
+// Stage rather than panicking or matching a prefix.
+func TestStageNamedMissing(t *testing.T) {
+	st := &Stats{Stages: []Stage{{Name: "analyze", Items: 7, Wall: time.Second}}}
+	if got := st.StageNamed("analyze"); got.Items != 7 {
+		t.Errorf("StageNamed(analyze) = %+v", got)
+	}
+	if got := st.StageNamed("anal"); got != (Stage{}) {
+		t.Errorf("StageNamed(prefix) = %+v, want zero Stage", got)
+	}
+	if got := st.StageNamed("nope"); got != (Stage{}) {
+		t.Errorf("StageNamed(missing) = %+v, want zero Stage", got)
+	}
+}
+
+// TestEngineTelemetryInvariants checks the tap-machinery accounting on
+// real tapped runs: every batch sent was either freshly allocated or
+// recycled (TapBatches == BufAllocs + BufReuses), the fill histogram
+// saw every batch and every tapped item, and the inline single-worker
+// path — which has no tap machinery — leaves the bank zero.
+func TestEngineTelemetryInvariants(t *testing.T) {
+	const total = 5000
+	for _, workers := range []int{2, 4, 8} {
+		feeds := make([]Feed[int], workers)
+		for i := range feeds {
+			i := i
+			feeds[i] = func(emit func(int)) {
+				for v := i; v < total; v += workers {
+					emit(v)
+				}
+			}
+		}
+		var merged []int
+		st := Run(Config{Workers: workers, BatchSize: 64}, feeds,
+			func(shard, v int) bool { return true },
+			&Tap[int]{
+				Less: func(a, b int) bool { return a < b },
+				Sink: func(v int) { merged = append(merged, v) },
+			})
+		e := &st.Engine
+		if !sort.IntsAreSorted(merged) || len(merged) != total {
+			t.Fatalf("workers=%d: merge broken (%d items)", workers, len(merged))
+		}
+		if e.TapBatches == 0 {
+			t.Fatalf("workers=%d: no tap batches counted", workers)
+		}
+		if e.TapBatches != e.BufAllocs+e.BufReuses {
+			t.Errorf("workers=%d: TapBatches %d != BufAllocs %d + BufReuses %d",
+				workers, e.TapBatches, e.BufAllocs, e.BufReuses)
+		}
+		if e.TapBatchFill.Count != e.TapBatches {
+			t.Errorf("workers=%d: fill count %d != batches %d",
+				workers, e.TapBatchFill.Count, e.TapBatches)
+		}
+		if e.TapBatchFill.Sum != total {
+			t.Errorf("workers=%d: fill sum %d != %d tapped items",
+				workers, e.TapBatchFill.Sum, total)
+		}
+	}
+
+	// Inline path: no tap goroutines, no batches, bank stays zero.
+	var merged []int
+	st := Run(Config{Workers: 1}, []Feed[int]{feedOf(2, 4, 6)},
+		func(shard, v int) bool { return true },
+		&Tap[int]{
+			Less: func(a, b int) bool { return a < b },
+			Sink: func(v int) { merged = append(merged, v) },
+		})
+	if len(merged) != 3 {
+		t.Fatalf("inline tap delivered %d items", len(merged))
+	}
+	if st.Engine != (telemetry.Engine{}) {
+		t.Errorf("inline run populated engine telemetry: %+v", st.Engine)
+	}
+}

@@ -274,6 +274,7 @@ func (f *floodSpec) build(pool *slabPool) []telescope.Packet {
 	// scheduler state into the SCID histogram).
 	var scidPool [][]byte
 	payloads := NewPayloadCache(f.tpl)
+	payloads.Stats = pool.genStats()
 
 	out := pool.get(arrivals * amp)
 	for _, at := range times {
@@ -361,6 +362,7 @@ func (m *misconfigSpec) build(pool *slabPool) []telescope.Packet {
 	var scid [scidLen]byte
 	m.rng.Bytes(scid[:])
 	payloads := NewPayloadCache(m.tpl)
+	payloads.Stats = pool.genStats()
 	// 17 = 5+Intn(13) upper bound: the arena never regrows.
 	out := pool.get(len(m.visits) * 17)
 	for _, visit := range m.visits {

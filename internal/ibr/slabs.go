@@ -1,6 +1,9 @@
 package ibr
 
-import "quicsand/internal/telescope"
+import (
+	"quicsand/internal/telemetry"
+	"quicsand/internal/telescope"
+)
 
 // slabChunk is the packet-slab granularity for incrementally producing
 // sources (research scans): one allocation per 256 packets instead of
@@ -26,6 +29,22 @@ const maxFreeSlabs = 32
 // sink chain.
 type slabPool struct {
 	free [][]telescope.Packet
+	// recycle gates the freelist. A non-recycling pool (the trace-tap
+	// mode, where downstream retains packet pointers) still exists as a
+	// stats conduit but degrades to plain allocation.
+	recycle bool
+	// stats, when set, counts slab traffic into the owning merger's
+	// Generate bank.
+	stats *telemetry.Generate
+}
+
+// genStats returns the pool's Generate bank, nil-receiver safe, for
+// wiring into payload caches and other per-shard consumers.
+func (p *slabPool) genStats() *telemetry.Generate {
+	if p == nil {
+		return nil
+	}
+	return p.stats
 }
 
 // get returns an empty slab with capacity ≥ n, reusing a free one when
@@ -33,18 +52,26 @@ type slabPool struct {
 // stays O(1) under mixed slab sizes.
 func (p *slabPool) get(n int) []telescope.Packet {
 	if p != nil {
-		lo := len(p.free) - 4
-		if lo < 0 {
-			lo = 0
+		if p.stats != nil {
+			p.stats.SlabGets++
 		}
-		for i := len(p.free) - 1; i >= lo; i-- {
-			if cap(p.free[i]) >= n {
-				s := p.free[i]
-				last := len(p.free) - 1
-				p.free[i] = p.free[last]
-				p.free[last] = nil
-				p.free = p.free[:last]
-				return s[:0]
+		if p.recycle {
+			lo := len(p.free) - 4
+			if lo < 0 {
+				lo = 0
+			}
+			for i := len(p.free) - 1; i >= lo; i-- {
+				if cap(p.free[i]) >= n {
+					s := p.free[i]
+					last := len(p.free) - 1
+					p.free[i] = p.free[last]
+					p.free[last] = nil
+					p.free = p.free[:last]
+					if p.stats != nil {
+						p.stats.SlabReuses++
+					}
+					return s[:0]
+				}
 			}
 		}
 	}
@@ -54,7 +81,7 @@ func (p *slabPool) get(n int) []telescope.Packet {
 // put returns a slab to the pool for reuse. The caller must guarantee
 // no packet inside s is still referenced downstream.
 func (p *slabPool) put(s []telescope.Packet) {
-	if p == nil || cap(s) == 0 {
+	if p == nil || !p.recycle || cap(s) == 0 {
 		return
 	}
 	if len(p.free) < maxFreeSlabs {

@@ -11,6 +11,7 @@ package ibr
 import (
 	"quicsand/internal/losertree"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 )
 
@@ -62,9 +63,12 @@ type mergeEntry struct {
 type Merger struct {
 	entries []mergeEntry
 	tree    *losertree.Tree
-	// pool, when non-nil, recycles exhausted sources' packet slabs to
-	// later-activating sources of this shard (EnableRecycling).
+	// pool is always present as the shard's stats conduit; its freelist
+	// only engages after EnableRecycling.
 	pool *slabPool
+	// tel accumulates this shard's generator counters; read via
+	// Telemetry after the stream is drained.
+	tel telemetry.Generate
 }
 
 // less orders live entries by (timestamp, source address, schedule
@@ -92,10 +96,19 @@ func (m *Merger) less(a, b int32) bool {
 // subsets.
 func NewMerger(sources ...Source) *Merger {
 	m := &Merger{entries: make([]mergeEntry, 0, len(sources))}
+	m.pool = &slabPool{stats: &m.tel}
 	for _, s := range sources {
 		m.addEntry(s)
 	}
 	return m
+}
+
+// Telemetry returns the shard's generator counters; call after the
+// stream is drained.
+func (m *Merger) Telemetry() telemetry.Generate {
+	t := m.tel
+	t.EventsPlanned = uint64(len(m.entries))
+	return t
 }
 
 // EnableRecycling attaches a fresh slab pool: exhausted sources return
@@ -104,19 +117,12 @@ func NewMerger(sources ...Source) *Merger {
 // emitted in — never when a trace tap (or any other stage) buffers
 // packet pointers past that call.
 func (m *Merger) EnableRecycling() {
-	m.pool = &slabPool{}
-	for i := range m.entries {
-		if p, ok := m.entries[i].source.(pooled); ok {
-			p.setPool(m.pool)
-		}
-	}
+	m.pool.recycle = true
 }
 
 func (m *Merger) addEntry(s Source) {
-	if m.pool != nil {
-		if p, ok := s.(pooled); ok {
-			p.setPool(m.pool)
-		}
+	if p, ok := s.(pooled); ok {
+		p.setPool(m.pool)
 	}
 	m.entries = append(m.entries, mergeEntry{
 		at: s.StartTime(), src: s.Src(), id: len(m.entries), source: s,
@@ -147,6 +153,7 @@ func (m *Merger) Next() *telescope.Packet {
 			// Activate: pull the first packet and re-key on its true
 			// timestamp (StartTime is only a lower bound).
 			if pkt, ok := e.source.Next(); ok {
+				m.tel.EventsEmitted++
 				e.pkt = pkt
 				e.at = pkt.TS
 			} else {
@@ -156,6 +163,7 @@ func (m *Merger) Next() *telescope.Packet {
 			continue
 		}
 		out := e.pkt
+		m.tel.Packets++
 		if nxt, ok := e.source.Next(); ok {
 			e.pkt = nxt
 			e.at = nxt.TS

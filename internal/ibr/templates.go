@@ -7,6 +7,7 @@ import (
 	"quicsand/internal/handshake"
 	"quicsand/internal/netmodel"
 	"quicsand/internal/quiccrypto"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/tlsmini"
 	"quicsand/internal/wire"
 )
@@ -306,6 +307,9 @@ type payloadKey struct {
 type PayloadCache struct {
 	t *Templates
 	m map[payloadKey][]byte
+	// Stats, when set, counts hits/misses into the shard's Generate
+	// bank (shared-template 1-RTT resolutions count as hits).
+	Stats *telemetry.Generate
 }
 
 // NewPayloadCache creates an empty cache over the templates.
@@ -319,6 +323,9 @@ func NewPayloadCache(t *Templates) *PayloadCache {
 // result as read-only.
 func (c *PayloadCache) ResponsePacket(v wire.Version, kind responseKind, scid []byte) []byte {
 	if kind == kindOneRTT {
+		if c.Stats != nil {
+			c.Stats.PayloadHits++
+		}
 		return c.t.versionOf(v).oneRTT
 	}
 	var k payloadKey
@@ -326,7 +333,13 @@ func (c *PayloadCache) ResponsePacket(v wire.Version, kind responseKind, scid []
 	k.kind = kind
 	copy(k.scid[:], scid)
 	if p, ok := c.m[k]; ok {
+		if c.Stats != nil {
+			c.Stats.PayloadHits++
+		}
 		return p
+	}
+	if c.Stats != nil {
+		c.Stats.PayloadMisses++
 	}
 	if c.m == nil {
 		c.m = make(map[payloadKey][]byte, 8)

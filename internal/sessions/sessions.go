@@ -12,6 +12,7 @@ import (
 
 	"quicsand/internal/dissect"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 	"quicsand/internal/wire"
 )
@@ -353,6 +354,12 @@ type Sessionizer struct {
 
 	// Count of emitted sessions.
 	Emitted int
+
+	// Metrics accumulates this sessionizer's counters; shard-local,
+	// merged by the caller at reduce time. Emitted and SetSpills are
+	// properties of the stream; the eviction-cause split (gap vs sweep
+	// vs flush) depends on sweep cadence and so varies with shard count.
+	Metrics telemetry.Sessions
 }
 
 // NewSessionizer creates a sessionizer with the paper's defaults.
@@ -378,6 +385,7 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 	s := sz.active[p.Src]
 	if s != nil {
 		if gap := p.TS - s.End; gap > timeoutMS {
+			sz.Metrics.TimeoutSplits++
 			sz.finish(s)
 			delete(sz.active, p.Src)
 			s = nil
@@ -441,6 +449,7 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 		sz.lastSweep = p.TS
 		for src, old := range sz.active {
 			if p.TS-old.End > timeoutMS {
+				sz.Metrics.SweepEvicted++
 				sz.finish(old)
 				delete(sz.active, src)
 			}
@@ -455,6 +464,21 @@ func (sz *Sessionizer) finish(s *Session) {
 	}
 	s.curCount = 0
 	sz.Emitted++
+	sz.Metrics.Emitted++
+	// Spilled sets are the ones whose inline capacity overflowed into a
+	// map — a stream property (same anatomy regardless of sharding).
+	if s.peerAddrs.m != nil {
+		sz.Metrics.SetSpills++
+	}
+	if s.peerPorts.m != nil {
+		sz.Metrics.SetSpills++
+	}
+	if s.scids.m != nil {
+		sz.Metrics.SetSpills++
+	}
+	if s.versions.m != nil {
+		sz.Metrics.SetSpills++
+	}
 	if sz.Emit != nil {
 		sz.Emit(s)
 	}
@@ -463,6 +487,7 @@ func (sz *Sessionizer) finish(s *Session) {
 // Flush emits all still-active sessions (end of stream).
 func (sz *Sessionizer) Flush() {
 	for src, s := range sz.active {
+		sz.Metrics.FlushEmitted++
 		sz.finish(s)
 		delete(sz.active, src)
 	}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// StageTiming is one pipeline stage's contribution to a manifest.
+type StageTiming struct {
+	Name   string `json:"name"`
+	Items  uint64 `json:"items"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// Manifest is the machine-readable record of one run, written by
+// `-manifest FILE`: enough config to reproduce it, enough timing and
+// telemetry to compare it against other runs. Config is typically a
+// map or a struct; maps marshal with sorted keys, so equal configs
+// produce equal manifests.
+type Manifest struct {
+	Command       string        `json:"command"`
+	Config        any           `json:"config,omitempty"`
+	Workers       int           `json:"workers"`
+	WallNS        int64         `json:"wall_ns"`
+	PacketsPerSec float64       `json:"packets_per_sec"`
+	Stages        []StageTiming `json:"stages,omitempty"`
+	ShardPackets  []uint64      `json:"shard_packets,omitempty"`
+	ShardSkew     float64       `json:"shard_skew"`
+	Telemetry     *Snapshot     `json:"telemetry,omitempty"`
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text renders the snapshot as the human-readable counter block the
+// `quicsand -fig stats` view and telescoped's shutdown flush print.
+// Sections whose layer saw no traffic are omitted, so a replay run
+// shows ingest instead of generate and vice versa.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry (%d workers)\n", s.Workers)
+	if d := &s.Dissect; d.Datagrams > 0 {
+		fmt.Fprintf(&b, "  dissect:  %d datagrams, %d QUIC packets, %d parse failures\n",
+			d.Datagrams, d.Packets, d.ParseFailures)
+		fmt.Fprintf(&b, "            %d decrypted Initials, %d ClientHellos, opener cache %d hit / %d miss / %d reset\n",
+			d.Decrypted, d.ClientHellos, d.OpenerHits, d.OpenerMisses, d.OpenerResets)
+	}
+	if x := &s.Sessions; x.Emitted > 0 {
+		fmt.Fprintf(&b, "  sessions: %d emitted (%d gap-split, %d swept, %d flushed), %d set spills\n",
+			x.Emitted, x.TimeoutSplits, x.SweepEvicted, x.FlushEmitted, x.SetSpills)
+	}
+	if g := &s.Generate; g.EventsPlanned > 0 {
+		fmt.Fprintf(&b, "  generate: %d/%d events emitted, %d packets, payload cache %d hit / %d miss",
+			g.EventsEmitted, g.EventsPlanned, g.Packets, g.PayloadHits, g.PayloadMisses)
+		if g.SlabGets > 0 {
+			fmt.Fprintf(&b, ", slabs %d reused / %d", g.SlabReuses, g.SlabGets)
+		}
+		b.WriteByte('\n')
+	}
+	if in := &s.Ingest; in.Records > 0 {
+		fmt.Fprintf(&b, "  ingest:   %d records (%s), %d decode drops", in.Records, in.Format, in.DecodeDrops)
+		if in.Batches > 0 {
+			fmt.Fprintf(&b, ", %d batches (mean fill %.1f, %d reused / %d allocated)",
+				in.Batches, in.BatchFill.Mean(), in.BatchReuses, in.BatchAllocs)
+		}
+		b.WriteByte('\n')
+	}
+	if e := &s.Engine; e.TapBatches > 0 {
+		fmt.Fprintf(&b, "  tap:      %d batches (mean fill %.1f), bufs %d reused / %d allocated, queue high-water %d\n",
+			e.TapBatches, e.TapBatchFill.Mean(), e.BufReuses, e.BufAllocs, e.QueueHighWater)
+	}
+	if t := &s.Trace; t.Written > 0 || t.Dropped > 0 {
+		fmt.Fprintf(&b, "  trace:    %d records written, %d dropped\n", t.Written, t.Dropped)
+	}
+	return b.String()
+}
+
+// promCounter writes one fully-labelled counter sample with its HELP
+// and TYPE preamble.
+func promCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// promGaugeF writes one gauge sample.
+func promGaugeF(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// promHist writes a Hist in Prometheus histogram exposition form:
+// cumulative buckets with power-of-two upper bounds plus sum/count.
+func promHist(w io.Writer, name, help string, h *Hist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	bound := uint64(1)
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += h.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+		bound <<= 1
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format under the given metric prefix (e.g. "quicsand").
+// The output order is fixed, so equal snapshots expose byte-equal
+// documents.
+func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) {
+	p := func(suffix string) string { return prefix + "_" + suffix }
+	promGaugeF(w, p("workers"), "Shard count of the run.", float64(s.Workers))
+	if len(s.ShardPackets) > 0 {
+		name := p("shard_packets_total")
+		fmt.Fprintf(w, "# HELP %s Packets processed per shard.\n# TYPE %s counter\n", name, name)
+		for i, n := range s.ShardPackets {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, n)
+		}
+		promGaugeF(w, p("shard_skew"), "Max/mean shard packet ratio (1 = balanced).", s.Skew())
+	}
+
+	d := &s.Dissect
+	promCounter(w, p("dissect_datagrams_total"), "UDP payloads offered to the dissector.", d.Datagrams)
+	promCounter(w, p("dissect_packets_total"), "Structurally valid QUIC packets (incl. coalesced).", d.Packets)
+	promCounter(w, p("dissect_parse_failures_total"), "Datagrams rejected as not-QUIC.", d.ParseFailures)
+	promCounter(w, p("dissect_decrypted_total"), "Initials decrypted with on-wire DCID keys.", d.Decrypted)
+	promCounter(w, p("dissect_client_hellos_total"), "Decrypted Initials carrying a ClientHello.", d.ClientHellos)
+	promCounter(w, p("dissect_opener_hits_total"), "Initial-opener cache hits.", d.OpenerHits)
+	promCounter(w, p("dissect_opener_misses_total"), "Initial-opener cache misses (HKDF+AES derivations).", d.OpenerMisses)
+	promCounter(w, p("dissect_opener_resets_total"), "Wholesale opener-cache resets.", d.OpenerResets)
+
+	x := &s.Sessions
+	promCounter(w, p("sessions_emitted_total"), "Completed sessions.", x.Emitted)
+	promCounter(w, p("sessions_timeout_splits_total"), "Sessions closed inline by a timeout gap.", x.TimeoutSplits)
+	promCounter(w, p("sessions_sweep_evicted_total"), "Sessions closed by the lazy expiry sweep.", x.SweepEvicted)
+	promCounter(w, p("sessions_flush_emitted_total"), "Sessions force-closed at end of stream.", x.FlushEmitted)
+	promCounter(w, p("sessions_set_spills_total"), "Inline anatomy sets spilled to maps.", x.SetSpills)
+
+	g := &s.Generate
+	promCounter(w, p("generate_events_planned_total"), "Scheduled generator sources.", g.EventsPlanned)
+	promCounter(w, p("generate_events_emitted_total"), "Generator sources activated.", g.EventsEmitted)
+	promCounter(w, p("generate_packets_total"), "Generated packets.", g.Packets)
+	promCounter(w, p("generate_payload_hits_total"), "Payload-cache hits.", g.PayloadHits)
+	promCounter(w, p("generate_payload_misses_total"), "Payload-cache misses (datagrams built).", g.PayloadMisses)
+	promCounter(w, p("generate_slab_gets_total"), "Packet-slab requests.", g.SlabGets)
+	promCounter(w, p("generate_slab_reuses_total"), "Packet-slab freelist hits.", g.SlabReuses)
+
+	in := &s.Ingest
+	promCounter(w, p("ingest_records_total"), "Records read from the replay source.", in.Records)
+	promCounter(w, p("ingest_decode_drops_total"), "Records dropped during decapsulation.", in.DecodeDrops)
+	promCounter(w, p("ingest_batches_total"), "Scatter batches dealt to shards.", in.Batches)
+	promCounter(w, p("ingest_batch_reuses_total"), "Scatter batches recycled from shards.", in.BatchReuses)
+	promCounter(w, p("ingest_batch_allocs_total"), "Scatter batches freshly allocated.", in.BatchAllocs)
+	promHist(w, p("ingest_batch_fill"), "Scatter batch fill (packets per batch).", &in.BatchFill)
+
+	e := &s.Engine
+	promCounter(w, p("engine_tap_batches_total"), "Tap batches sent to the merge.", e.TapBatches)
+	promCounter(w, p("engine_buf_reuses_total"), "Tap buffers recycled from the merge.", e.BufReuses)
+	promCounter(w, p("engine_buf_allocs_total"), "Tap buffers freshly allocated.", e.BufAllocs)
+	promGaugeF(w, p("engine_queue_high_water"), "Deepest per-shard tap queue seen (batches).", float64(e.QueueHighWater))
+	promHist(w, p("engine_tap_batch_fill"), "Tap batch fill (items per batch).", &e.TapBatchFill)
+
+	t := &s.Trace
+	promCounter(w, p("trace_written_total"), "Checkpoint records written.", t.Written)
+	promCounter(w, p("trace_dropped_total"), "Checkpoint records dropped after a write error.", t.Dropped)
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServerExposition walks a Server through its three phases — live
+// counters only, heartbeat gauges, final snapshot — and asserts the
+// /metrics document grows accordingly with the right content type.
+func TestServerExposition(t *testing.T) {
+	live := NewLive(2)
+	srv, err := NewServer("127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/metrics"
+
+	live.Shard(0).Packets.Add(3)
+	live.Shard(0).Bytes.Add(300)
+	live.Shard(1).Packets.Add(1)
+	live.Shard(1).NonQUIC.Add(1)
+
+	doc, ct := scrape(t, url)
+	if !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"quicsand_live_packets_total 4",
+		"quicsand_live_bytes_total 300",
+		"quicsand_live_non_quic_total 1",
+		`quicsand_live_shard_packets_total{shard="0"} 3`,
+		`quicsand_live_shard_packets_total{shard="1"} 1`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("live doc missing %q:\n%s", want, doc)
+		}
+	}
+	if strings.Contains(doc, "quicsand_progress_") || strings.Contains(doc, "quicsand_dissect_") {
+		t.Errorf("progress/final metrics exposed before being set:\n%s", doc)
+	}
+
+	srv.SetProgress(live.Progress())
+	doc, _ = scrape(t, url)
+	if !strings.Contains(doc, "quicsand_progress_packets_per_sec") ||
+		!strings.Contains(doc, "quicsand_progress_goroutines") {
+		t.Errorf("progress gauges missing:\n%s", doc)
+	}
+
+	snap := &Snapshot{Workers: 2}
+	snap.Dissect.Datagrams = 4
+	snap.Dissect.Packets = 3
+	srv.SetFinal(snap)
+	doc, _ = scrape(t, url)
+	if !strings.Contains(doc, "quicsand_dissect_datagrams_total 4") {
+		t.Errorf("final snapshot missing:\n%s", doc)
+	}
+
+	// pprof rides on the same mux.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+// TestServerCloseNoLeak cycles server start/scrape/close and asserts
+// the goroutine count returns to baseline.
+func TestServerCloseNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, err := NewServer("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scrape(t, "http://"+srv.Addr()+"/metrics")
+		if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHeartbeatTicksAndStops asserts the heartbeat logs progress,
+// refreshes the server, and that Stop is idempotent and leak-free.
+func TestHeartbeatTicksAndStops(t *testing.T) {
+	live := NewLive(1)
+	live.Shard(0).Packets.Add(10)
+	srv, err := NewServer("127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var lines []string
+	hb := StartHeartbeat(live, srv, 5*time.Millisecond, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, strings.TrimSpace(format))
+		mu.Unlock()
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never ticked twice")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	hb.Stop()
+	hb.Stop() // idempotent
+
+	doc, _ := scrape(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(doc, "quicsand_progress_packets_per_sec") {
+		t.Errorf("heartbeat never refreshed server gauges:\n%s", doc)
+	}
+
+	// After Stop returns the ticker goroutine has exited; no more lines
+	// may arrive.
+	mu.Lock()
+	n := len(lines)
+	mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != n {
+		t.Errorf("heartbeat ticked after Stop: %d -> %d lines", n, len(lines))
+	}
+}
+
+// TestHeartbeatNilServerNilLog covers the degenerate wiring telescoped
+// uses when -metrics is off: no server, no logger, still leak-free.
+func TestHeartbeatNilServerNilLog(t *testing.T) {
+	hb := StartHeartbeat(NewLive(1), nil, time.Millisecond, nil)
+	time.Sleep(10 * time.Millisecond)
+	hb.Stop()
+}

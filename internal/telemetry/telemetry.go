@@ -1,0 +1,355 @@
+// Package telemetry is the pipeline's zero-allocation metrics layer.
+// Counters and fixed-bucket histograms live in plain per-shard structs
+// embedded in the hot-path operators (dissector, sessionizer, slab
+// pool, scatter, engine worker) — value fields, single-writer, no
+// atomics, no allocation — and are merged at reduce time exactly like
+// the sharded analysis state: commutative uint64 additions, so any
+// worker count folds to the same totals where the underlying quantity
+// is a property of the packet stream.
+//
+// Two determinism classes coexist in one Snapshot (DESIGN.md §13):
+//
+//   - stream-derived counters (packets dissected, parse failures,
+//     sessions emitted, payload-cache hits, records replayed) are
+//     bit-identical for every worker count and for live vs replayed
+//     runs — the Stream projection exposes exactly these, and the
+//     telemetry determinism tests assert their invariance;
+//   - runtime counters (opener-cache hits, slab/batch recycling, tap
+//     batch fill, queue high-water, per-shard balance) describe how a
+//     particular execution ran and legitimately vary with scheduling.
+//
+// The live exposition side (Live, Server, Heartbeat) uses one
+// cache-line-padded atomic bank per shard instead: telescoped's socket
+// pipeline is open-ended, so its counters must be readable mid-run
+// from the metrics endpoint and the heartbeat without racing the
+// workers.
+package telemetry
+
+import "math/bits"
+
+// HistBuckets is the fixed bucket count of Hist: powers of two from
+// <=1 up to >=2^14, plus the zero bucket.
+const HistBuckets = 16
+
+// Hist is a fixed power-of-two-bucket histogram for small cardinal
+// quantities (batch fill, queue depth). Observing is one shift-class
+// instruction plus two increments — no allocation, no atomics; merging
+// is element-wise addition.
+type Hist struct {
+	// Buckets[i] counts observations v with bits.Len64(v) == i, i.e.
+	// bucket 0 holds v=0 and bucket i>0 holds v in [2^(i-1), 2^i).
+	// The last bucket absorbs everything larger.
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+	// Count and Sum track the observation count and total.
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Dissect counts the QUIC dissector's work. One struct lives in each
+// shard's Dissector; all fields are stream-derived except the opener
+// cache triple, which depends on how traffic interleaved on the shard.
+type Dissect struct {
+	// Datagrams counts UDP payloads offered to Dissect.
+	Datagrams uint64 `json:"datagrams"`
+	// Packets counts structurally valid QUIC packets (including
+	// coalesced ones) inside accepted datagrams.
+	Packets uint64 `json:"packets"`
+	// ParseFailures counts datagrams rejected as not-QUIC — the deep
+	// validation filter the paper's §4.1 false-positive ablation is
+	// about.
+	ParseFailures uint64 `json:"parse_failures"`
+	// Decrypted counts Initials whose protection was removable with
+	// the on-wire DCID (genuine client Initials).
+	Decrypted uint64 `json:"decrypted"`
+	// ClientHellos counts decrypted Initials carrying a parseable
+	// ClientHello.
+	ClientHellos uint64 `json:"client_hellos"`
+	// Opener cache behavior (runtime: shard interleaving dependent).
+	OpenerHits   uint64 `json:"opener_hits"`
+	OpenerMisses uint64 `json:"opener_misses"`
+	OpenerResets uint64 `json:"opener_resets"`
+}
+
+// Merge folds o into d (commutative).
+func (d *Dissect) Merge(o *Dissect) {
+	d.Datagrams += o.Datagrams
+	d.Packets += o.Packets
+	d.ParseFailures += o.ParseFailures
+	d.Decrypted += o.Decrypted
+	d.ClientHellos += o.ClientHellos
+	d.OpenerHits += o.OpenerHits
+	d.OpenerMisses += o.OpenerMisses
+	d.OpenerResets += o.OpenerResets
+}
+
+// Sessions counts sessionizer activity. Emitted and SetSpills are
+// stream-derived; the eviction-cause split (gap-split vs lazy sweep vs
+// end-of-stream flush) depends on sweep cadence, which varies with the
+// shard count.
+type Sessions struct {
+	// Emitted counts completed sessions.
+	Emitted uint64 `json:"emitted"`
+	// TimeoutSplits counts sessions closed inline by a same-source gap
+	// exceeding the timeout.
+	TimeoutSplits uint64 `json:"timeout_splits"`
+	// SweepEvicted counts sessions closed by the lazy expiry sweep.
+	SweepEvicted uint64 `json:"sweep_evicted"`
+	// FlushEmitted counts sessions force-closed at end of stream.
+	FlushEmitted uint64 `json:"flush_emitted"`
+	// SetSpills counts inline anatomy sets (peer addrs/ports, SCIDs,
+	// versions) that outgrew their inline arms and spilled to a map —
+	// the compact-session optimization's miss counter.
+	SetSpills uint64 `json:"set_spills"`
+}
+
+// Merge folds o into s (commutative).
+func (s *Sessions) Merge(o *Sessions) {
+	s.Emitted += o.Emitted
+	s.TimeoutSplits += o.TimeoutSplits
+	s.SweepEvicted += o.SweepEvicted
+	s.FlushEmitted += o.FlushEmitted
+	s.SetSpills += o.SetSpills
+}
+
+// Generate counts the background-radiation generator's work: one
+// struct per shard merger. Event and packet counts plus the per-event
+// payload cache are stream-derived; slab recycling is runtime.
+type Generate struct {
+	// EventsPlanned counts scheduled sources on the shard.
+	EventsPlanned uint64 `json:"events_planned"`
+	// EventsEmitted counts sources actually activated by the merger
+	// (equal to EventsPlanned once the stream drains).
+	EventsEmitted uint64 `json:"events_emitted"`
+	// Packets counts generated packets.
+	Packets uint64 `json:"packets"`
+	// Payload-interning cache (per event, so stream-derived).
+	PayloadHits   uint64 `json:"payload_hits"`
+	PayloadMisses uint64 `json:"payload_misses"`
+	// Packet-slab freelist behavior (runtime: reuse depends on shard
+	// activation order).
+	SlabGets   uint64 `json:"slab_gets"`
+	SlabReuses uint64 `json:"slab_reuses"`
+}
+
+// Merge folds o into g (commutative).
+func (g *Generate) Merge(o *Generate) {
+	g.EventsPlanned += o.EventsPlanned
+	g.EventsEmitted += o.EventsEmitted
+	g.Packets += o.Packets
+	g.PayloadHits += o.PayloadHits
+	g.PayloadMisses += o.PayloadMisses
+	g.SlabGets += o.SlabGets
+	g.SlabReuses += o.SlabReuses
+}
+
+// Ingest counts the replay path: records read from a stored capture
+// and how they were batched toward the shards. Records, DecodeDrops
+// and Format are stream-derived; batching is runtime.
+type Ingest struct {
+	// Format is the source container ("qsnd", "pcap"); empty for
+	// generated (non-replay) runs.
+	Format string `json:"format,omitempty"`
+	// Records counts packets read from the source.
+	Records uint64 `json:"records"`
+	// DecodeDrops counts records the decapsulation could not represent
+	// (pcap: non-IPv4, fragments, unsupported transports).
+	DecodeDrops uint64 `json:"decode_drops"`
+	// Scatter batching (runtime).
+	Batches     uint64 `json:"batches"`
+	BatchFill   Hist   `json:"batch_fill"`
+	BatchReuses uint64 `json:"batch_reuses"`
+	BatchAllocs uint64 `json:"batch_allocs"`
+}
+
+// Merge folds o into i (commutative; a non-empty Format wins).
+func (i *Ingest) Merge(o *Ingest) {
+	if i.Format == "" {
+		i.Format = o.Format
+	}
+	i.Records += o.Records
+	i.DecodeDrops += o.DecodeDrops
+	i.Batches += o.Batches
+	i.BatchFill.Merge(&o.BatchFill)
+	i.BatchReuses += o.BatchReuses
+	i.BatchAllocs += o.BatchAllocs
+}
+
+// Engine counts the sharded engine's tap-merge machinery: batch sends,
+// buffer recycling, and the deepest tap queue observed. All runtime.
+type Engine struct {
+	// TapBatches counts batches sent to the merge goroutine.
+	TapBatches uint64 `json:"tap_batches"`
+	// TapBatchFill is the batch-size distribution (full batches land
+	// in one bucket; the tail batch per shard is partial).
+	TapBatchFill Hist `json:"tap_batch_fill"`
+	// Buffer recycling between merge and workers.
+	BufReuses uint64 `json:"buf_reuses"`
+	BufAllocs uint64 `json:"buf_allocs"`
+	// QueueHighWater is the deepest per-shard tap queue seen (in
+	// batches) — how far a fast shard ran ahead of the merge.
+	QueueHighWater uint64 `json:"queue_high_water"`
+}
+
+// Merge folds o into e; QueueHighWater takes the maximum.
+func (e *Engine) Merge(o *Engine) {
+	e.TapBatches += o.TapBatches
+	e.TapBatchFill.Merge(&o.TapBatchFill)
+	e.BufReuses += o.BufReuses
+	e.BufAllocs += o.BufAllocs
+	if o.QueueHighWater > e.QueueHighWater {
+		e.QueueHighWater = o.QueueHighWater
+	}
+}
+
+// Trace counts the checkpoint writer: records written and records
+// discarded after a sticky write error. Stream-derived.
+type Trace struct {
+	Written uint64 `json:"written"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Merge folds o into t (commutative).
+func (t *Trace) Merge(o *Trace) {
+	t.Written += o.Written
+	t.Dropped += o.Dropped
+}
+
+// Snapshot is the merged end-of-run view of every instrumented layer —
+// the telemetry twin of Analysis. Runs assemble it at reduce time from
+// the per-shard structs; telescoped assembles it at shutdown from its
+// dissectors and live bank.
+type Snapshot struct {
+	// Workers is the shard count the run used.
+	Workers int `json:"workers"`
+	// ShardPackets is the per-shard packet count — the balance view
+	// manifests attribute skew with (runtime: the partition hash is
+	// deterministic, but the slice length tracks the worker count).
+	ShardPackets []uint64 `json:"shard_packets,omitempty"`
+
+	Dissect  Dissect  `json:"dissect"`
+	Sessions Sessions `json:"sessions"`
+	Generate Generate `json:"generate"`
+	Ingest   Ingest   `json:"ingest"`
+	Engine   Engine   `json:"engine"`
+	Trace    Trace    `json:"trace"`
+}
+
+// Merge folds o into s. All component merges commute; ShardPackets
+// merges element-wise (growing as needed) and Workers takes the
+// maximum, so partial snapshots combine deterministically.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	for len(s.ShardPackets) < len(o.ShardPackets) {
+		s.ShardPackets = append(s.ShardPackets, 0)
+	}
+	for i, n := range o.ShardPackets {
+		s.ShardPackets[i] += n
+	}
+	s.Dissect.Merge(&o.Dissect)
+	s.Sessions.Merge(&o.Sessions)
+	s.Generate.Merge(&o.Generate)
+	s.Ingest.Merge(&o.Ingest)
+	s.Engine.Merge(&o.Engine)
+	s.Trace.Merge(&o.Trace)
+}
+
+// Skew returns the shard balance ratio max/mean of ShardPackets
+// (1.0 = perfectly balanced; 0 when empty).
+func (s *Snapshot) Skew() float64 {
+	return skew(s.ShardPackets)
+}
+
+func skew(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, n := range counts {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
+}
+
+// Stream is the worker-invariant projection of a Snapshot: every field
+// is a pure property of the packet stream, so two runs over the same
+// stream — any worker count, live or replayed — produce bit-identical
+// Streams. The telemetry determinism tests compare exactly this.
+type Stream struct {
+	Datagrams     uint64 `json:"datagrams"`
+	QUICPackets   uint64 `json:"quic_packets"`
+	ParseFailures uint64 `json:"parse_failures"`
+	Decrypted     uint64 `json:"decrypted"`
+	ClientHellos  uint64 `json:"client_hellos"`
+
+	SessionsEmitted uint64 `json:"sessions_emitted"`
+	SetSpills       uint64 `json:"set_spills"`
+
+	EventsPlanned    uint64 `json:"events_planned"`
+	GeneratedPackets uint64 `json:"generated_packets"`
+	PayloadHits      uint64 `json:"payload_hits"`
+	PayloadMisses    uint64 `json:"payload_misses"`
+
+	IngestRecords uint64 `json:"ingest_records"`
+	DecodeDrops   uint64 `json:"decode_drops"`
+
+	TraceWritten uint64 `json:"trace_written"`
+	TraceDropped uint64 `json:"trace_dropped"`
+}
+
+// Stream projects the worker-invariant counters out of the snapshot.
+func (s *Snapshot) Stream() Stream {
+	return Stream{
+		Datagrams:        s.Dissect.Datagrams,
+		QUICPackets:      s.Dissect.Packets,
+		ParseFailures:    s.Dissect.ParseFailures,
+		Decrypted:        s.Dissect.Decrypted,
+		ClientHellos:     s.Dissect.ClientHellos,
+		SessionsEmitted:  s.Sessions.Emitted,
+		SetSpills:        s.Sessions.SetSpills,
+		EventsPlanned:    s.Generate.EventsPlanned,
+		GeneratedPackets: s.Generate.Packets,
+		PayloadHits:      s.Generate.PayloadHits,
+		PayloadMisses:    s.Generate.PayloadMisses,
+		IngestRecords:    s.Ingest.Records,
+		DecodeDrops:      s.Ingest.DecodeDrops,
+		TraceWritten:     s.Trace.Written,
+		TraceDropped:     s.Trace.Dropped,
+	}
+}

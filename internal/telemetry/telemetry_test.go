@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHistBuckets pins the power-of-two bucketing: zero lands in
+// bucket 0, each v in [2^(i-1), 2^i) in bucket i, and everything at or
+// beyond 2^14 in the last bucket.
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 13, 14}, {1<<14 - 1, 14}, {1 << 14, 15}, {1 << 40, 15},
+	}
+	for _, c := range cases {
+		var h Hist
+		h.Observe(c.v)
+		for i, n := range h.Buckets {
+			want := uint64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want %d", c.v, i, n, want)
+			}
+		}
+		if h.Count != 1 || h.Sum != c.v {
+			t.Errorf("Observe(%d): count=%d sum=%d", c.v, h.Count, h.Sum)
+		}
+	}
+}
+
+func TestHistMergeAndMean(t *testing.T) {
+	var a, b Hist
+	a.Observe(4)
+	a.Observe(8)
+	b.Observe(0)
+	b.Observe(12)
+
+	var empty Hist
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty Mean = %g, want 0", got)
+	}
+
+	a.Merge(&b)
+	if a.Count != 4 || a.Sum != 24 {
+		t.Fatalf("merged count=%d sum=%d, want 4/24", a.Count, a.Sum)
+	}
+	if got := a.Mean(); got != 6 {
+		t.Errorf("Mean = %g, want 6", got)
+	}
+}
+
+// fillSnapshot produces a snapshot with every field distinct, keyed off
+// base, so merge tests notice any dropped or swapped field.
+func fillSnapshot(base uint64) *Snapshot {
+	s := &Snapshot{Workers: int(base % 7), ShardPackets: []uint64{base, base + 1}}
+	v := reflect.ValueOf(s).Elem()
+	n := base
+	var fill func(reflect.Value)
+	fill = func(v reflect.Value) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				n++
+				f.SetUint(n)
+			case reflect.Struct:
+				fill(f)
+			case reflect.Array:
+				for j := 0; j < f.Len(); j++ {
+					n++
+					f.Index(j).SetUint(n)
+				}
+			case reflect.String:
+				f.SetString(fmt.Sprintf("fmt%d", base))
+			}
+		}
+	}
+	fill(v.FieldByName("Dissect"))
+	fill(v.FieldByName("Sessions"))
+	fill(v.FieldByName("Generate"))
+	fill(v.FieldByName("Ingest"))
+	fill(v.FieldByName("Engine"))
+	fill(v.FieldByName("Trace"))
+	return s
+}
+
+// TestSnapshotMergeCommutes asserts a⊕b == b⊕a for fully-populated
+// snapshots — the property that makes reduce-time merging independent
+// of worker completion order.
+func TestSnapshotMergeCommutes(t *testing.T) {
+	ab := fillSnapshot(100)
+	ab.Merge(fillSnapshot(2000))
+	ba := fillSnapshot(2000)
+	ba.Merge(fillSnapshot(100))
+	// Format differs (first non-empty wins) — align before comparing.
+	ba.Ingest.Format = ab.Ingest.Format
+	if !reflect.DeepEqual(ab, ba) {
+		t.Errorf("merge not commutative:\n a⊕b %+v\n b⊕a %+v", ab, ba)
+	}
+}
+
+// TestSnapshotMergeRaggedShards covers merging snapshots with different
+// shard counts (replay at another worker count): the shorter slice
+// grows, Workers takes the max.
+func TestSnapshotMergeRaggedShards(t *testing.T) {
+	a := &Snapshot{Workers: 2, ShardPackets: []uint64{5, 7}}
+	b := &Snapshot{Workers: 4, ShardPackets: []uint64{1, 2, 3, 4}}
+	a.Merge(b)
+	if a.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", a.Workers)
+	}
+	if want := []uint64{6, 9, 3, 4}; !reflect.DeepEqual(a.ShardPackets, want) {
+		t.Errorf("ShardPackets = %v, want %v", a.ShardPackets, want)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		counts []uint64
+		want   float64
+	}{
+		{nil, 0},
+		{[]uint64{0, 0}, 0},
+		{[]uint64{10, 10}, 1},
+		{[]uint64{3, 1}, 1.5},
+	}
+	for _, c := range cases {
+		if got := skew(c.counts); got != c.want {
+			t.Errorf("skew(%v) = %g, want %g", c.counts, got, c.want)
+		}
+	}
+}
+
+// TestStreamProjection asserts Stream picks exactly the stream-derived
+// fields and none of the runtime ones.
+func TestStreamProjection(t *testing.T) {
+	s := fillSnapshot(10)
+	st := s.Stream()
+	if st.Datagrams != s.Dissect.Datagrams || st.QUICPackets != s.Dissect.Packets ||
+		st.ParseFailures != s.Dissect.ParseFailures || st.Decrypted != s.Dissect.Decrypted ||
+		st.ClientHellos != s.Dissect.ClientHellos {
+		t.Error("dissect projection wrong")
+	}
+	if st.SessionsEmitted != s.Sessions.Emitted || st.SetSpills != s.Sessions.SetSpills {
+		t.Error("sessions projection wrong")
+	}
+	if st.EventsPlanned != s.Generate.EventsPlanned || st.GeneratedPackets != s.Generate.Packets ||
+		st.PayloadHits != s.Generate.PayloadHits || st.PayloadMisses != s.Generate.PayloadMisses {
+		t.Error("generate projection wrong")
+	}
+	if st.IngestRecords != s.Ingest.Records || st.DecodeDrops != s.Ingest.DecodeDrops {
+		t.Error("ingest projection wrong")
+	}
+	if st.TraceWritten != s.Trace.Written || st.TraceDropped != s.Trace.Dropped {
+		t.Error("trace projection wrong")
+	}
+}
+
+// TestTextOmitsIdleSections checks the human rendering only prints
+// layers that saw traffic.
+func TestTextOmitsIdleSections(t *testing.T) {
+	s := &Snapshot{Workers: 2}
+	s.Dissect.Datagrams = 10
+	s.Dissect.Packets = 9
+	out := s.Text()
+	if !strings.Contains(out, "dissect:") {
+		t.Errorf("dissect section missing:\n%s", out)
+	}
+	for _, absent := range []string{"sessions:", "generate:", "ingest:", "tap:", "trace:"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("idle section %q rendered:\n%s", absent, out)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministic pins the exposition contract: equal
+// snapshots render byte-equal documents, every sample has a TYPE line,
+// and histogram buckets are cumulative up to +Inf == count.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		s := fillSnapshot(42)
+		// fillSnapshot fabricates internally-inconsistent histograms;
+		// rebuild them from real observations so the cumulative-bucket
+		// invariant holds.
+		s.Engine.TapBatchFill = Hist{}
+		s.Ingest.BatchFill = Hist{}
+		s.Engine.TapBatchFill.Observe(3)
+		s.Engine.TapBatchFill.Observe(512)
+		s.WritePrometheus(&b, "quicsand")
+		return b.String()
+	}
+	doc := render()
+	if doc != render() {
+		t.Fatal("equal snapshots rendered different documents")
+	}
+
+	typed := map[string]bool{}
+	var lastCum uint64
+	for _, line := range strings.Split(strings.TrimSuffix(doc, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(name, suffix); t != name && typed[t] {
+				base = t
+			}
+		}
+		if !typed[base] {
+			t.Errorf("sample %q has no preceding # TYPE", line)
+		}
+		// Cumulative-bucket check for the tap fill histogram.
+		if strings.HasPrefix(line, "quicsand_engine_tap_batch_fill_bucket") {
+			var v uint64
+			fmt.Sscan(fields[1], &v)
+			if v < lastCum {
+				t.Errorf("bucket not cumulative at %q (prev %d)", line, lastCum)
+			}
+			lastCum = v
+		}
+	}
+	if !strings.Contains(doc, `quicsand_engine_tap_batch_fill_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket != count:\n%s", doc)
+	}
+}
+
+// TestManifestWriteFile round-trips a manifest through disk and JSON.
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	m := &Manifest{
+		Command:       "quicsand simulate",
+		Config:        map[string]any{"seed": 7},
+		Workers:       4,
+		WallNS:        123456,
+		PacketsPerSec: 1e6,
+		Stages:        []StageTiming{{Name: "dissect", Items: 10, WallNS: 99}},
+		ShardPackets:  []uint64{5, 5},
+		ShardSkew:     1.0,
+		Telemetry:     fillSnapshot(3),
+	}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("manifest missing trailing newline")
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if got.Command != m.Command || got.Workers != 4 || len(got.Stages) != 1 {
+		t.Errorf("round trip mangled manifest: %+v", got)
+	}
+	if got.Telemetry == nil || got.Telemetry.Dissect.Datagrams != m.Telemetry.Dissect.Datagrams {
+		t.Error("telemetry snapshot lost in round trip")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"quicsand/internal/scenario"
 	"quicsand/internal/sessions"
 	"quicsand/internal/stats"
+	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 	"quicsand/internal/tlsmini"
 	"quicsand/internal/wire"
@@ -116,9 +117,14 @@ type Analysis struct {
 	NonQUIC uint64
 
 	// Pipeline reports per-stage throughput (packets/s, stage
-	// latency) for the run. It is the only Analysis field that varies
-	// between runs of the same seed.
+	// latency) for the run. Together with the runtime parts of
+	// Telemetry it is all that varies between runs of the same seed.
 	Pipeline *engine.Stats
+
+	// Telemetry is the merged per-layer counter snapshot. Its Stream
+	// projection is bit-identical across worker counts and live/replay;
+	// the rest (cache, recycling, balance) describes this execution.
+	Telemetry *telemetry.Snapshot
 }
 
 // sourceClassifier builds the Figure 2 labeller ("TUM-Scans",
@@ -345,6 +351,28 @@ func (a *Analysis) reduce(shards []*pipelineShard, tum, rwth netmodel.Prefix) {
 	a.ScanSources = a.GreyNoise.Summarize(srcs)
 }
 
+// collectTelemetry folds the shards' per-layer counters plus the
+// engine's own bank into one Snapshot. Counter merges commute, so the
+// result is independent of shard order.
+func collectTelemetry(cfg Config, shards []*pipelineShard, pstats *engine.Stats) *telemetry.Snapshot {
+	snap := &telemetry.Snapshot{Workers: pstats.Workers}
+	for _, sh := range shards {
+		snap.Dissect.Merge(&sh.dis.Metrics)
+		snap.Sessions.Merge(&sh.quicSz.Metrics)
+		snap.Sessions.Merge(&sh.commonSz.Metrics)
+	}
+	snap.ShardPackets = append([]uint64(nil), pstats.ShardItems...)
+	snap.Engine = pstats.Engine
+	if c, ok := cfg.Trace.(interface {
+		Count() uint64
+		Dropped() uint64
+	}); ok {
+		snap.Trace.Written = c.Count()
+		snap.Trace.Dropped = c.Dropped()
+	}
+	return snap
+}
+
 // Run generates the month and performs every analysis stage in one
 // sharded streaming pass (see Config.Workers).
 func Run(cfg Config) (*Analysis, error) {
@@ -363,7 +391,8 @@ func Run(cfg Config) (*Analysis, error) {
 	// Packet-slab recycling is legal only when nothing retains packet
 	// pointers past the sink call; the trace tap buffers packets across
 	// goroutines, so checkpointing runs pay the allocations instead.
-	for i, m := range gen.Feeds(workers, cfg.Trace == nil) {
+	mergers := gen.Feeds(workers, cfg.Trace == nil)
+	for i, m := range mergers {
 		feeds[i] = m.Run
 	}
 
@@ -373,6 +402,11 @@ func Run(cfg Config) (*Analysis, error) {
 
 	reduceStart := time.Now()
 	a.reduce(shards, tum, rwth)
+	a.Telemetry = collectTelemetry(cfg, shards, pstats)
+	for _, m := range mergers {
+		g := m.Telemetry()
+		a.Telemetry.Generate.Merge(&g)
+	}
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(
@@ -423,6 +457,10 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 
 	reduceStart := time.Now()
 	a.reduce(shards, tum, rwth)
+	a.Telemetry = collectTelemetry(cfg, shards, pstats)
+	a.Telemetry.Ingest = sc.Telemetry()
+	a.Telemetry.Ingest.Format = capture.SourceFormat(src).String()
+	a.Telemetry.Ingest.DecodeDrops = capture.SourceSkipped(src)
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(

@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# bench_diff.sh — the perf-trend gate: compare a fresh benchmark
+# snapshot against the latest checked-in BENCH_*.json and fail when a
+# tracked metric regressed beyond tolerance.
+#
+# Usage: scripts/bench_diff.sh [fresh.json]
+#
+# Without an argument a fresh snapshot is recorded first via
+# bench_snapshot.sh (honouring BENCHTIME). The baseline is the
+# lexically-latest BENCH_*.json in the repo root — the snapshot each PR
+# checks in.
+#
+# Tolerances (percent, env-tunable):
+#   BENCH_TOL_ALLOCS  allocs/op growth            (default 20)
+#   BENCH_TOL_TIME    ns/op growth and packets/s   (default 20)
+#                     shrinkage — raise this on shared/noisy hardware
+#                     (the CI perf-trend job uses several hundred,
+#                     since -benchtime 1x timings jitter wildly; the
+#                     alloc gate is the load-bearing one there)
+#
+# Benchmarks present on only one side are reported but never fail the
+# gate (new benchmarks appear, old ones retire).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tol_allocs="${BENCH_TOL_ALLOCS:-20}"
+tol_time="${BENCH_TOL_TIME:-20}"
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+if [ -z "$baseline" ]; then
+    echo "bench_diff: no checked-in BENCH_*.json baseline found" >&2
+    exit 1
+fi
+
+fresh="${1:-}"
+cleanup=""
+if [ -z "$fresh" ]; then
+    fresh="$(mktemp)"
+    cleanup="$fresh"
+    ./scripts/bench_snapshot.sh "$fresh"
+fi
+trap '[ -n "$cleanup" ] && rm -f "$cleanup"' EXIT
+
+echo "bench_diff: baseline $baseline, tolerance allocs ${tol_allocs}% / time ${tol_time}%" >&2
+
+# Both files are the flat one-record-per-line JSON bench_snapshot.sh
+# writes; pull out (bench, metric, value) triples with awk.
+extract() {
+    awk '
+    /"bench"/ {
+        name = $0; sub(/.*"bench": "/, "", name); sub(/".*/, "", name)
+        if (match($0, /"ns_per_op": [0-9.]+/))
+            print name, "ns_per_op", substr($0, RSTART+13, RLENGTH-13)
+        if (match($0, /"allocs_per_op": [0-9.]+/))
+            print name, "allocs_per_op", substr($0, RSTART+17, RLENGTH-17)
+        if (match($0, /"packets\/s":[0-9.]+/))
+            print name, "packets_per_s", substr($0, RSTART+12, RLENGTH-12)
+    }' "$1"
+}
+
+old="$(mktemp)"; new="$(mktemp)"
+trap '[ -n "$cleanup" ] && rm -f "$cleanup"; rm -f "$old" "$new"' EXIT
+extract "$baseline" > "$old"
+extract "$fresh" > "$new"
+
+awk -v tol_allocs="$tol_allocs" -v tol_time="$tol_time" '
+NR == FNR { base[$1 "/" $2] = $3; next }
+{
+    key = $1 "/" $2; metric = $2; v = $3
+    if (!(key in base)) { news[key] = 1; next }
+    b = base[key]; seen[key] = 1
+    if (b == 0) next
+    # packets/s regresses downward; time and allocs regress upward.
+    if (metric == "packets_per_s") { delta = (b - v) / b * 100; tol = tol_time }
+    else if (metric == "ns_per_op") { delta = (v - b) / b * 100; tol = tol_time }
+    else { delta = (v - b) / b * 100; tol = tol_allocs }
+    if (delta > tol) {
+        bad++
+        printf "REGRESSION %-55s %-14s %14.0f -> %14.0f  (%+.1f%% > %.0f%%)\n",
+            $1, metric, b, v, delta, tol
+    } else {
+        printf "ok         %-55s %-14s %14.0f -> %14.0f  (%+.1f%%)\n",
+            $1, metric, b, v, delta
+    }
+}
+END {
+    for (k in news) printf "new        %s (no baseline, not gated)\n", k
+    for (k in base) if (!(k in seen)) printf "retired    %s (baseline only, not gated)\n", k
+    if (bad > 0) {
+        printf "bench_diff: %d metric(s) regressed beyond tolerance\n", bad > "/dev/stderr"
+        exit 1
+    }
+}' "$old" "$new"
+
+echo "bench_diff: no regression beyond tolerance" >&2

@@ -1,0 +1,164 @@
+package quicsand
+
+import (
+	"bytes"
+	"testing"
+
+	"quicsand/internal/capture"
+	"quicsand/internal/telescope"
+	"quicsand/internal/tlsmini"
+)
+
+// TestTelemetryStreamDeterminism is the telemetry layer's determinism
+// contract (DESIGN.md §13): the Stream projection of a run's Snapshot —
+// the stream-derived counters — must be bit-identical for every worker
+// count, and a replay of the run's checkpoint must reproduce the same
+// dissect/session/trace-side stream counters again, at any worker
+// count, from either container format.
+func TestTelemetryStreamDeterminism(t *testing.T) {
+	id, err := tlsmini.GenerateSelfSigned("quic.example.net", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Seed: 97, Scale: 0.01, ResearchThin: 1 << 14, Identity: id}
+
+	runWith := func(workers int) (*Analysis, []byte) {
+		var trace bytes.Buffer
+		cfg := base
+		cfg.Workers, cfg.Trace = workers, telescope.NewWriter(&trace)
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Trace.(*telescope.Writer).Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return a, trace.Bytes()
+	}
+
+	ref, qsnd := runWith(1)
+	if ref.Telemetry == nil {
+		t.Fatal("Run produced no telemetry snapshot")
+	}
+	want := ref.Telemetry.Stream()
+	if want.Datagrams == 0 || want.SessionsEmitted == 0 || want.EventsPlanned == 0 ||
+		want.TraceWritten == 0 {
+		t.Fatalf("reference stream implausibly empty: %+v", want)
+	}
+	// Cross-check against the analysis itself: the trace recorded every
+	// telescope capture. (Dissect.Datagrams is smaller — only UDP
+	// QUIC-candidates reach deep dissection.)
+	if want.TraceWritten != ref.Telescope.Total || want.TraceDropped != 0 {
+		t.Errorf("trace counters %d/%d, want %d/0", want.TraceWritten, want.TraceDropped, ref.Telescope.Total)
+	}
+
+	for _, workers := range []int{2, 8} {
+		a, _ := runWith(workers)
+		if got := a.Telemetry.Stream(); got != want {
+			t.Errorf("workers=%d: stream diverged:\n want %+v\n got  %+v", workers, want, got)
+		}
+		if got := len(a.Telemetry.ShardPackets); got != workers {
+			t.Errorf("workers=%d: %d shard counts", workers, got)
+		}
+	}
+
+	// Replays: same dissect/session stream counters, no generate-side
+	// counters (nothing was generated), ingest provenance filled in.
+	pcap := convertToPcap(t, qsnd)
+	replayWant := want
+	replayWant.EventsPlanned, replayWant.GeneratedPackets = 0, 0
+	replayWant.PayloadHits, replayWant.PayloadMisses = 0, 0
+	replayWant.TraceWritten = 0 // replay ran without a trace sink
+	replayWant.IngestRecords = ref.Telescope.Total
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, in := range []struct {
+			name   string
+			data   []byte
+			format string
+		}{{"qsnd", qsnd, "qsnd"}, {"pcap", pcap, "pcap"}} {
+			src, err := capture.NewSource(bytes.NewReader(in.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Workers = workers
+			a, err := Replay(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := a.Telemetry
+			if snap == nil {
+				t.Fatalf("%s/workers=%d: no telemetry", in.name, workers)
+			}
+			if got := snap.Stream(); got != replayWant {
+				t.Errorf("%s/workers=%d: replay stream diverged:\n want %+v\n got  %+v",
+					in.name, workers, replayWant, got)
+			}
+			if snap.Ingest.Format != in.format {
+				t.Errorf("%s/workers=%d: ingest format = %q", in.name, workers, snap.Ingest.Format)
+			}
+			if snap.Ingest.Records != ref.Telescope.Total {
+				t.Errorf("%s/workers=%d: ingest records = %d, want %d",
+					in.name, workers, snap.Ingest.Records, ref.Telescope.Total)
+			}
+		}
+	}
+}
+
+// convertToPcap re-containers a QSND checkpoint as pcap.
+func convertToPcap(t *testing.T, qsnd []byte) []byte {
+	t.Helper()
+	src, err := capture.NewSource(bytes.NewReader(qsnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := capture.NewSink(&buf, capture.FormatPcap)
+	if _, err := capture.Copy(sink, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetrySnapshotConservation checks internal consistency of one
+// parallel run's snapshot: every generated packet traverses exactly one
+// shard, parse failures match the analysis's NonQUIC counter, and the
+// dissector's subset relations hold after the merge.
+func TestTelemetrySnapshotConservation(t *testing.T) {
+	a, err := Run(Config{Seed: 11, Scale: 0.005, ResearchThin: 1 << 14, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Telemetry
+	if snap == nil {
+		t.Fatal("no telemetry snapshot")
+	}
+	var shardSum uint64
+	for _, n := range snap.ShardPackets {
+		shardSum += n
+	}
+	if shardSum != snap.Generate.Packets {
+		t.Errorf("shard packets sum %d != generated packets %d", shardSum, snap.Generate.Packets)
+	}
+	d := &snap.Dissect
+	if d.Datagrams == 0 || d.Datagrams > shardSum {
+		t.Errorf("dissected datagrams %d outside (0, %d]", d.Datagrams, shardSum)
+	}
+	if d.ParseFailures != uint64(a.NonQUIC) {
+		t.Errorf("parse failures %d != NonQUIC %d", d.ParseFailures, a.NonQUIC)
+	}
+	if d.Packets < d.Datagrams-d.ParseFailures {
+		t.Errorf("packet count %d below accepted datagrams %d", d.Packets, d.Datagrams-d.ParseFailures)
+	}
+	if sk := snap.Skew(); sk < 1 {
+		t.Errorf("skew %g < 1 with traffic on %d shards", sk, len(snap.ShardPackets))
+	}
+	// A generated (non-replay) run must not carry ingest provenance.
+	if snap.Ingest.Format != "" || snap.Ingest.Records != 0 {
+		t.Errorf("generated run carries ingest provenance: %+v", snap.Ingest)
+	}
+}
