@@ -3,6 +3,7 @@ package main
 // The compare subcommand: differential validation from the real CLI.
 //
 //	quicsand compare -scenario A [-scenario B] [-json] [sim flags]
+//	quicsand compare -scenario A -i FILE [-salvage] [sim flags]
 //
 // For each selected scenario it computes the analytic oracle's
 // expectation (internal/oracle — scheduling only, no packets), runs
@@ -10,8 +11,11 @@ package main
 // With two scenarios it additionally diffs their measured headline
 // metrics side by side; identical analyses report an empty diff
 // (comparing a scenario against itself is the pipeline's end-to-end
-// self-test). Oracle violations make the command fail, so CI can gate
-// on it.
+// self-test). With -i the single scenario's expectation is validated
+// against a replay of the stored capture instead of a fresh run —
+// combined with -salvage, that checks a damaged capture against the
+// oracle's degraded-run bounds (DESIGN.md §14). Oracle violations make
+// the command fail, so CI can gate on it.
 
 import (
 	"encoding/json"
@@ -19,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"quicsand"
+	"quicsand/internal/capture"
 	"quicsand/internal/oracle"
 	"quicsand/internal/report"
 	"quicsand/internal/scenario"
@@ -63,8 +69,10 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("quicsand compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	opts := addBaseSimFlags(fs)
+	sal := addSalvageFlags(fs)
 	var sels scenarioList
 	fs.Var(&sels, "scenario", "scenario to validate; repeat for a side-by-side diff (or 'list')")
+	in := fs.String("i", "", "validate a replay of this capture instead of a fresh run (single -scenario only)")
 	jsonOut := fs.Bool("json", false, "emit the checks and diff as one JSON document")
 	if help, err := parse(fs, args); help || err != nil {
 		return err
@@ -82,6 +90,9 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		// silently discarding all but the last — refuse instead.
 		return errors.New("compare: -cpuprofile/-memprofile need a single -scenario (profiles would overwrite each other)")
 	}
+	if *in != "" && len(sels) > 1 {
+		return errors.New("compare: -i validates one capture against one -scenario")
+	}
 
 	var runs []*compareScenario
 	for _, sel := range sels {
@@ -89,7 +100,7 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		run, err := compareOne(opts, sc)
+		run, err := compareOne(opts, sc, *in, sal.policy(), stderr)
 		if err != nil {
 			return fmt.Errorf("compare %s: %w", sc.Name, err)
 		}
@@ -124,21 +135,39 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// compareOne validates a single scenario: expectation, full run,
-// oracle evaluation, headline metrics.
-func compareOne(opts *simOpts, sc *scenario.Scenario) (*compareScenario, error) {
+// compareOne validates a single scenario: expectation, full run (or a
+// replay of the stored capture when input is set), oracle evaluation,
+// headline metrics.
+func compareOne(opts *simOpts, sc *scenario.Scenario, input string, pol capture.SalvagePolicy, stderr io.Writer) (*compareScenario, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Scenario = sc
+	cfg.Salvage = pol
 	exp, err := quicsand.Expect(cfg)
 	if err != nil {
 		return nil, err
 	}
 	var a *quicsand.Analysis
 	err = opts.profiled(func() (err error) {
-		a, err = quicsand.Run(cfg)
+		if input == "" {
+			a, err = quicsand.Run(cfg)
+			return err
+		}
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, err := capture.NewSource(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", input, err)
+		}
+		a, err = quicsand.Replay(cfg, src)
+		if err == nil {
+			reportSkipped(src, input, stderr)
+		}
 		return err
 	})
 	if err != nil {

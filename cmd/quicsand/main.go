@@ -11,6 +11,14 @@
 //	                                 validate runs against the analytic
 //	                                 oracle and diff two scenarios
 //
+// The capture-reading subcommands (replay, convert, compare -i) accept
+// [-salvage] [-salvage-retries N] [-salvage-backoff D]: by default a
+// corrupt record aborts the run with its terminal error; -salvage
+// resyncs past damaged spans and counts the loss instead (reported via
+// -stats, the manifest and the oracle's degraded bounds — DESIGN.md
+// §14), and -salvage-retries retries transient source errors with
+// exponential backoff.
+//
 // Shared simulation flags:
 //
 //	[-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
@@ -46,6 +54,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"quicsand"
 	"quicsand/internal/capture"
@@ -203,6 +212,33 @@ func parse(fs *flag.FlagSet, args []string) (help bool, err error) {
 		return false, err
 	}
 	return false, nil
+}
+
+// salvageOpts are the degraded-input flags every capture-reading
+// subcommand shares (replay, convert, compare -i). The default — all
+// zero — preserves the historical fail-fast contract: the first
+// corrupt record aborts with its terminal error.
+type salvageOpts struct {
+	skip    *bool
+	retries *int
+	backoff *time.Duration
+}
+
+func addSalvageFlags(fs *flag.FlagSet) *salvageOpts {
+	return &salvageOpts{
+		skip:    fs.Bool("salvage", false, "skip corrupt records: resync to the next plausible boundary and count the damage instead of aborting"),
+		retries: fs.Int("salvage-retries", 0, "retry transient source errors up to N times with exponential backoff"),
+		backoff: fs.Duration("salvage-backoff", 0, "base backoff before the first transient retry (doubles per attempt; 0 = 1ms)"),
+	}
+}
+
+// policy resolves the flags into the capture-layer salvage policy.
+func (o *salvageOpts) policy() capture.SalvagePolicy {
+	return capture.SalvagePolicy{
+		SkipCorrupt: *o.skip,
+		MaxRetries:  *o.retries,
+		Backoff:     *o.backoff,
+	}
 }
 
 // parseSim parses a simulate-style flag set and services the
@@ -456,6 +492,7 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("quicsand replay", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	opts := addSimFlags(fs)
+	sal := addSalvageFlags(fs)
 	in := fs.String("i", "", "capture file to replay (required)")
 	fig := fs.String("fig", "headline", "section to print: all, headline, headline-json, 2..13, section6")
 	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
@@ -468,6 +505,7 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.Salvage = sal.policy()
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
@@ -495,12 +533,16 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 
 // reportSkipped warns when pcap decapsulation dropped frames the
 // telescope packet model cannot represent (non-IPv4, fragments, other
-// transports) — otherwise a mostly-foreign capture would silently
-// analyze a fraction of its records.
+// transports), and when salvage mode skipped damaged spans — otherwise
+// a degraded capture would silently analyze a fraction of its records.
 func reportSkipped(src capture.Source, path string, stderr io.Writer) {
 	if pr, ok := src.(*capture.PcapReader); ok && pr.Skipped > 0 {
 		fmt.Fprintf(stderr, "warning: %s: skipped %d unrepresentable frames (non-IPv4, fragments, or unsupported transports)\n",
 			path, pr.Skipped)
+	}
+	if sv := capture.SourceSalvage(src); sv != (capture.SalvageStats{}) {
+		fmt.Fprintf(stderr, "warning: %s: salvage skipped %d corrupt records over %d resyncs (%d bytes, <= %d records lost, %d transient retries)\n",
+			path, sv.CorruptRecords, sv.ResyncScans, sv.SalvagedBytes, sv.MaxLostRecords, sv.TransientRetries)
 	}
 }
 
@@ -512,6 +554,7 @@ func runConvert(args []string, stderr io.Writer) error {
 	in := fs.String("i", "", "input capture (required; format sniffed by magic)")
 	out := fs.String("o", "", "output capture (required)")
 	format := fs.String("format", "auto", "output format: auto (by extension), qsnd, pcap")
+	sal := addSalvageFlags(fs)
 	if help, err := parse(fs, args); help || err != nil {
 		return err
 	}
@@ -530,6 +573,9 @@ func runConvert(args []string, stderr io.Writer) error {
 	src, err := capture.NewSource(src0)
 	if err != nil {
 		return fmt.Errorf("%s: %w", *in, err)
+	}
+	if pol := sal.policy(); pol.Enabled() {
+		capture.SetSalvage(src, pol)
 	}
 	sink, finish, abort, err := traceSink(*out, of, stderr)
 	if err != nil {

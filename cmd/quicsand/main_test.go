@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -399,5 +400,97 @@ func TestConvertSinkErrors(t *testing.T) {
 	}
 	if err := run([]string{"convert", "-i", filepath.Join(dir, "absent.qsnd"), "-o", filepath.Join(dir, "x.pcap")}, &out, &errOut); err == nil {
 		t.Error("missing input accepted")
+	}
+}
+
+// TestSalvageCLI drives the degraded-input flags end to end: a capture
+// with one damaged mid-file record aborts replay, convert and compare
+// by default, while -salvage replays it to completion with the skip
+// warning on stderr and the salvage block in -stats, converts it, and
+// passes compare's degraded oracle bounds.
+func TestSalvageCLI(t *testing.T) {
+	dir := t.TempDir()
+	qsnd := filepath.Join(dir, "month.qsnd")
+	sim := []string{
+		"-scenario", "handshake-flood-qfam", "-seed", "97",
+		"-scale", "0.002", "-thin", "16384", "-fig", "headline-json",
+	}
+
+	var out, errOut bytes.Buffer
+	if err := run(append([]string{"record", "-o", qsnd, "-workers", "2"}, sim...), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(qsnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []uint64
+	for off := uint64(8); off+30 <= uint64(len(data)); {
+		offs = append(offs, off)
+		off += 30 + uint64(binary.LittleEndian.Uint16(data[off+28:]))
+	}
+	if len(offs) < 8 {
+		t.Fatalf("fixture too small: %d records", len(offs))
+	}
+	data[offs[len(offs)/2]+20] = 0xFF // invalid proto mid-file
+	bad := filepath.Join(dir, "damaged.qsnd")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail-fast keeps the terminal error on every verb.
+	if err := run(append([]string{"replay", "-i", bad}, sim...), &out, &errOut); err == nil {
+		t.Error("fail-fast replay of damaged capture accepted")
+	}
+	if err := run([]string{"convert", "-i", bad, "-o", filepath.Join(dir, "x.pcap")}, &out, &errOut); err == nil {
+		t.Error("fail-fast convert of damaged capture accepted")
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if err := run(append([]string{"replay", "-i", bad, "-salvage", "-stats"}, sim...), &out, &errOut); err != nil {
+		t.Fatalf("salvage replay failed: %v\n%s", err, errOut.String())
+	}
+	for _, want := range []string{"salvage skipped 1 corrupt record", "salvage:"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("salvage replay stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+	if !strings.Contains(out.String(), `"quic_packets"`) {
+		t.Errorf("salvage replay headline missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if err := run([]string{
+		"convert", "-i", bad, "-o", filepath.Join(dir, "damaged.pcap"), "-salvage",
+	}, &out, &errOut); err != nil {
+		t.Fatalf("salvage convert failed: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "salvage skipped 1 corrupt record") {
+		t.Errorf("salvage convert stderr missing the skip warning:\n%s", errOut.String())
+	}
+
+	cmp := []string{
+		"compare", "-scenario", "handshake-flood-qfam", "-i", bad,
+		"-seed", "97", "-scale", "0.002", "-thin", "16384",
+	}
+	if err := run(cmp, &out, &errOut); err == nil {
+		t.Error("fail-fast compare of damaged capture accepted")
+	}
+	out.Reset()
+	errOut.Reset()
+	if err := run(append(cmp, "-salvage"), &out, &errOut); err != nil {
+		t.Fatalf("salvaged compare failed: %v\n%s%s", err, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "verdict: all oracle checks hold") {
+		t.Errorf("salvaged compare verdict missing:\n%s", out.String())
+	}
+
+	// -i with a side-by-side diff is a flag error, not a pipeline run.
+	if err := run([]string{
+		"compare", "-scenario", "paper-2021", "-scenario", "paper-2021", "-i", bad,
+	}, &out, &errOut); err == nil {
+		t.Error("compare -i with two scenarios accepted")
 	}
 }

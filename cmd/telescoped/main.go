@@ -13,9 +13,12 @@
 // final merged snapshot once shutdown begins) together with the
 // standard net/http/pprof handlers; -heartbeat controls the structured
 // progress log (packets/s, shard skew, heap); -manifest FILE writes a
-// machine-readable run record at shutdown. SIGINT/SIGTERM stop the
-// capture gracefully: the pipeline drains, the final telemetry
-// snapshot is flushed, and the process exits cleanly.
+// machine-readable run record at shutdown; -record FILE checkpoints
+// every received datagram to a QSND or pcap capture that `quicsand
+// replay` can re-analyze. SIGINT/SIGTERM stop the capture gracefully:
+// the pipeline drains, the record sink is flushed with its written and
+// dropped counts logged (and folded into the manifest), the final
+// telemetry snapshot is flushed, and the process exits cleanly.
 //
 // Point any QUIC client at it (or run cmd/quicsand's generated trace
 // through it) to watch the classification logic work on live traffic.
@@ -33,9 +36,12 @@ import (
 	"syscall"
 	"time"
 
+	"quicsand/internal/capture"
 	"quicsand/internal/dissect"
 	"quicsand/internal/engine"
+	"quicsand/internal/netmodel"
 	"quicsand/internal/telemetry"
+	"quicsand/internal/telescope"
 	"quicsand/internal/wire"
 )
 
@@ -45,6 +51,7 @@ func main() {
 	metrics := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "progress-log interval (0 disables)")
 	manifest := flag.String("manifest", "", "write a machine-readable run manifest at shutdown")
+	record := flag.String("record", "", "record received datagrams to this capture file (.pcap/.cap = libpcap, else QSND)")
 	flag.Parse()
 
 	opts := serveOpts{
@@ -52,6 +59,7 @@ func main() {
 		metrics:   *metrics,
 		heartbeat: *heartbeat,
 		manifest:  *manifest,
+		record:    *record,
 	}
 	if err := run(*listen, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "telescoped:", err)
@@ -98,6 +106,7 @@ type serveOpts struct {
 	metrics   string // Prometheus+pprof listen address; "" disables
 	heartbeat time.Duration
 	manifest  string // run-manifest path; "" disables
+	record    string // capture-file path; "" disables
 }
 
 // datagram is one received UDP payload with its remote address.
@@ -134,6 +143,24 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 		defer hb.Stop()
 	}
 
+	// Optional capture: the socket reader goroutine feeds the sink
+	// before dispatch, so the recording preserves arrival order and
+	// needs no locking. Capture is fire-and-forget — write failures
+	// (full disk) are sticky in the sink and surface as the drained
+	// Dropped() count at shutdown, never by stalling the read loop.
+	var rec capture.Sink
+	var recFile *os.File
+	var recSkipped uint64
+	if opts.record != "" {
+		f, err := os.Create(opts.record)
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		recFile = f
+		rec = capture.NewSink(f, capture.FormatForPath(opts.record))
+	}
+	dstAddr, dstPort := localIPv4(pc.LocalAddr())
+
 	chans := make([]chan datagram, n)
 	for i := range chans {
 		chans[i] = make(chan datagram, 64)
@@ -153,6 +180,13 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 				return
 			}
 			d := datagram{addr: addr.String(), data: append([]byte(nil), buf[:sz]...)}
+			if rec != nil {
+				if p := recordPacket(addr, dstAddr, dstPort, d.data); p != nil {
+					rec.Capture(p)
+				} else {
+					recSkipped++
+				}
+			}
 			h := uint32(2166136261)
 			for i := 0; i < len(d.addr); i++ {
 				h = (h ^ uint32(d.addr[i])) * 16777619
@@ -199,6 +233,21 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 	}
 	snap.ShardPackets = live.ShardCounts()
 	snap.Engine = st.Engine
+	if rec != nil {
+		// Drain the capture: flush, close, and fold the sink's ledger
+		// into the snapshot so -manifest and /metrics expose how much
+		// of the observed traffic the file actually holds.
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintf(diag, "telescoped: record %s: %v\n", opts.record, err)
+		}
+		if err := recFile.Close(); err != nil {
+			return fmt.Errorf("record %s: %w", opts.record, err)
+		}
+		snap.Trace.Written = rec.Count()
+		snap.Trace.Dropped = rec.Dropped() + recSkipped
+		fmt.Fprintf(diag, "telescoped: record drained: %d records written to %s, %d dropped\n",
+			rec.Count(), opts.record, snap.Trace.Dropped)
+	}
 	if srv != nil {
 		srv.SetFinal(snap)
 	}
@@ -211,6 +260,7 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 			Config: map[string]any{
 				"listen":  pc.LocalAddr().String(),
 				"workers": n,
+				"record":  opts.record,
 			},
 			Workers:       st.Workers,
 			WallNS:        st.Wall.Nanoseconds(),
@@ -230,6 +280,45 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 		fmt.Fprintf(diag, "telescoped: manifest written to %s\n", opts.manifest)
 	}
 	return nil
+}
+
+// localIPv4 resolves the bound socket address into the telescope
+// packet model's destination fields (zero when not IPv4).
+func localIPv4(a net.Addr) (netmodel.Addr, uint16) {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return 0, 0
+	}
+	ip4 := ua.IP.To4()
+	if ip4 == nil {
+		return 0, uint16(ua.Port)
+	}
+	return netmodel.Addr(uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])),
+		uint16(ua.Port)
+}
+
+// recordPacket shapes one received datagram into the telescope store's
+// packet model. Non-IPv4 remotes have no representation in the 32-bit
+// address space and return nil (counted as record drops).
+func recordPacket(remote net.Addr, dst netmodel.Addr, dstPort uint16, data []byte) *telescope.Packet {
+	ua, ok := remote.(*net.UDPAddr)
+	if !ok {
+		return nil
+	}
+	ip4 := ua.IP.To4()
+	if ip4 == nil {
+		return nil
+	}
+	return &telescope.Packet{
+		TS:      telescope.TS(time.Now()),
+		Src:     netmodel.Addr(uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])),
+		Dst:     dst,
+		SrcPort: uint16(ua.Port),
+		DstPort: dstPort,
+		Proto:   telescope.ProtoUDP,
+		Size:    uint16(len(data)),
+		Payload: data,
+	}
 }
 
 // describe classifies one datagram into printable lines; quic reports

@@ -14,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"quicsand/internal/capture"
 	"quicsand/internal/handshake"
+	"quicsand/internal/telescope"
 )
 
 // lockedBuffer serializes writes (shards print concurrently).
@@ -161,6 +163,83 @@ func TestRunSIGTERMGracefulShutdown(t *testing.T) {
 		t.Fatalf("manifest not written: %v", err)
 	}
 	for _, want := range []string{`"command": "telescoped"`, `"telemetry"`, `"shard_packets"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("manifest missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestServeRecordsCapture runs serve with -record: the two probes land
+// in a QSND capture that the replay toolchain can open, the drain log
+// reports the written count, and the manifest's telemetry carries the
+// trace ledger (written and dropped) for the recording.
+func TestServeRecordsCapture(t *testing.T) {
+	dir := t.TempDir()
+	capPath := filepath.Join(dir, "live.qsnd")
+	manifest := filepath.Join(dir, "manifest.json")
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := &lockedBuffer{}
+	diag := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(serveOpts{workers: 2, record: capPath, manifest: manifest}, pc, out, diag)
+	}()
+
+	sendProbes(t, pc.LocalAddr().String())
+	waitFor(t, out, "Initial", "not QUIC")
+
+	pc.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if s := diag.String(); !strings.Contains(s, "record drained: 2 records written") {
+		t.Errorf("drain log missing:\n%s", s)
+	}
+
+	// The capture must be a valid QSND store holding both datagrams.
+	f, err := os.Open(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src, err := capture.NewSource(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var sawQUIC, sawJunk bool
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if len(p.Payload) > 100 {
+			sawQUIC = true
+		}
+		if string(p.Payload) == "definitely not quic" {
+			sawJunk = true
+		}
+		if p.Proto != telescope.ProtoUDP || p.Src == 0 || p.SrcPort == 0 {
+			t.Errorf("record %d lost addressing: %+v", n, p)
+		}
+	}
+	if n != 2 || !sawQUIC || !sawJunk {
+		t.Errorf("capture holds %d records (quic=%v junk=%v), want both probes", n, sawQUIC, sawJunk)
+	}
+
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	for _, want := range []string{`"written": 2`, `"dropped": 0`, `"record"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("manifest missing %s:\n%s", want, data)
 		}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"strings"
 
+	"quicsand/internal/salvage"
 	"quicsand/internal/telescope"
 )
 
@@ -187,6 +188,36 @@ func SourceSkipped(src Source) uint64 {
 		return pr.Skipped
 	}
 	return 0
+}
+
+// SalvagePolicy selects fail-fast vs degraded ingest — see
+// salvage.Policy.
+type SalvagePolicy = salvage.Policy
+
+// SalvageStats is the skipped-record ledger — see salvage.Stats.
+type SalvageStats = salvage.Stats
+
+// SetSalvage installs a salvage policy on a Source produced by
+// NewSource. Sources without a degraded mode ignore it.
+func SetSalvage(src Source, pol SalvagePolicy) {
+	switch s := src.(type) {
+	case *qsndSource:
+		s.r.SetSalvage(pol)
+	case *PcapReader:
+		s.SetSalvage(pol)
+	}
+}
+
+// SourceSalvage reports a Source's skipped-record ledger; all zeros
+// for undamaged streams and for sources without a degraded mode.
+func SourceSalvage(src Source) SalvageStats {
+	switch s := src.(type) {
+	case *qsndSource:
+		return s.r.Salvage()
+	case *PcapReader:
+		return s.Salvage()
+	}
+	return SalvageStats{}
 }
 
 // Copy streams every record from src into dst — the convert path.

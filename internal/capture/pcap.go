@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"quicsand/internal/netmodel"
+	"quicsand/internal/salvage"
 	"quicsand/internal/telescope"
 )
 
@@ -294,19 +295,29 @@ func (pw *PcapWriter) Flush() error {
 // unsupported transports) are skipped and counted, mirroring how the
 // real telescope's capture filter drops out-of-scope traffic.
 //
+// With SetSalvage, record-level corruption stops being terminal: the
+// reader scans forward for the next plausible record header
+// (timestamp-sanity heuristics over the fixed 16-byte framing), skips
+// the damaged span, and accounts it in Salvage(). Global-header
+// corruption stays terminal either way.
+//
 // The returned packet follows the Source contract: it and its payload
 // alias reader-owned buffers valid until the next Next call.
 type PcapReader struct {
-	r     *bufio.Reader
+	sc    salvage.Scanner
 	order binary.ByteOrder
 	nanos bool
 	link  uint32
-	off   uint64
 	buf   []byte
 	pkt   telescope.Packet
 	// rh backs record-header reads (a stack array would escape
 	// through io.ReadFull's interface call, one allocation per frame).
 	rh [16]byte
+	// rec counts framed records so far (decode-skips included);
+	// recStart/suspect describe the record being read, for resync.
+	rec      uint64
+	recStart uint64
+	suspect  []byte
 
 	// Skipped counts records dropped during decapsulation.
 	Skipped uint64
@@ -314,12 +325,14 @@ type PcapReader struct {
 
 // NewPcapReader parses the global header and returns a reader.
 func NewPcapReader(r io.Reader) (*PcapReader, error) {
-	pr := &PcapReader{r: bufio.NewReaderSize(r, 1<<16), buf: make([]byte, 0, 2048)}
+	pr := &PcapReader{
+		sc:  salvage.Scanner{R: bufio.NewReaderSize(r, 1<<16)},
+		buf: make([]byte, 0, 2048),
+	}
 	var gh [24]byte
-	if _, err := io.ReadFull(pr.r, gh[:]); err != nil {
+	if _, err := pr.sc.ReadFull(gh[:]); err != nil {
 		return nil, fmt.Errorf("capture: truncated pcap global header: %w", ErrBadPcap)
 	}
-	pr.off = 24
 	switch {
 	case binary.LittleEndian.Uint32(gh[0:]) == pcapMagicUsec:
 		pr.order = binary.LittleEndian
@@ -344,14 +357,67 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 }
 
 // Offset returns bytes consumed so far.
-func (pr *PcapReader) Offset() uint64 { return pr.off }
+func (pr *PcapReader) Offset() uint64 { return pr.sc.Offset() }
+
+// SetSalvage installs the degraded-ingest policy. The zero policy is
+// the default fail-fast behavior.
+func (pr *PcapReader) SetSalvage(pol salvage.Policy) { pr.sc.Pol = pol }
+
+// Salvage returns the skipped-record ledger accumulated so far. All
+// zeros on an undamaged stream.
+func (pr *PcapReader) Salvage() salvage.Stats { return pr.sc.Stats }
+
+// badf builds an ErrBadPcap annotated with the failing record's index
+// and byte offset.
+func (pr *PcapReader) badf(at uint64, format string, args ...any) error {
+	return fmt.Errorf("capture: %s at record %d, byte offset %d: %w",
+		fmt.Sprintf(format, args...), pr.rec, at, ErrBadPcap)
+}
+
+// boundary is the resync probe for pcap framing: a candidate 16-byte
+// record header is plausible when its seconds field is past 2^30
+// (≈ 2004, rejecting all-zero garbage), the sub-second field fits the
+// stream's resolution, and the length pair is sane (0 < incl ≤ orig ≤
+// maxFrame, covering snaplen-truncated foreign captures).
+func (pr *PcapReader) boundary() salvage.Boundary {
+	maxSub := uint32(1_000_000)
+	if pr.nanos {
+		maxSub = 1_000_000_000
+	}
+	order := pr.order
+	return salvage.Boundary{
+		HdrLen: 16,
+		Plausible: func(hdr []byte) (int, bool) {
+			sec := order.Uint32(hdr[0:])
+			sub := order.Uint32(hdr[4:])
+			incl := order.Uint32(hdr[8:])
+			orig := order.Uint32(hdr[12:])
+			if sec < 1<<30 || sub >= maxSub {
+				return 0, false
+			}
+			if incl == 0 || incl > maxFrame || orig < incl || orig > maxFrame {
+				return 0, false
+			}
+			return 16 + int(incl), true
+		},
+	}
+}
 
 // Next returns the next representable packet, or io.EOF.
 func (pr *PcapReader) Next() (*telescope.Packet, error) {
 	for {
 		p, ok, err := pr.nextFrame()
 		if err != nil {
-			return nil, err
+			// Salvage applies only to record-level ErrBadPcap (the
+			// global header was parsed in NewPcapReader); genuine I/O
+			// errors are not corruption to skip over.
+			if errors.Is(err, io.EOF) || !pr.sc.Pol.SkipCorrupt || !errors.Is(err, ErrBadPcap) {
+				return nil, err
+			}
+			if rerr := pr.sc.Resync(pr.recStart, pr.suspect, pr.boundary()); rerr != nil {
+				return nil, io.EOF // torn tail: everything salvageable was read
+			}
+			continue
 		}
 		if ok {
 			return p, nil
@@ -361,32 +427,42 @@ func (pr *PcapReader) Next() (*telescope.Packet, error) {
 }
 
 // nextFrame reads one record; ok=false means the frame was skipped.
+// On an ErrBadPcap failure it leaves recStart/suspect describing the
+// bytes a resync must rescan.
 func (pr *PcapReader) nextFrame() (*telescope.Packet, bool, error) {
+	pr.recStart = pr.sc.Offset()
 	rh := &pr.rh
-	n, err := io.ReadFull(pr.r, rh[:])
-	pr.off += uint64(n)
+	n, err := pr.sc.ReadFull(rh[:])
 	if err != nil {
 		if n == 0 && errors.Is(err, io.EOF) {
 			return nil, false, io.EOF
 		}
-		return nil, false, fmt.Errorf("capture: truncated record header at byte offset %d: %w", pr.off, ErrBadPcap)
+		pr.suspect = append(pr.suspect[:0], rh[:n]...)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, false, pr.badf(pr.sc.Offset(), "truncated record header (%d of %d bytes)", n, len(rh))
+		}
+		return nil, false, err
 	}
 	sec := pr.order.Uint32(rh[0:])
 	sub := pr.order.Uint32(rh[4:])
 	incl := pr.order.Uint32(rh[8:])
 	if incl > maxFrame {
-		return nil, false, fmt.Errorf("capture: captured length %d at byte offset %d: %w", incl, pr.off-16, ErrBadPcap)
+		pr.suspect = append(pr.suspect[:0], rh[:]...)
+		return nil, false, pr.badf(pr.recStart, "captured length %d", incl)
 	}
 	if cap(pr.buf) < int(incl) {
 		pr.buf = make([]byte, incl)
 	}
 	pr.buf = pr.buf[:incl]
-	n, err = io.ReadFull(pr.r, pr.buf)
-	pr.off += uint64(n)
+	n, err = pr.sc.ReadFull(pr.buf)
 	if err != nil {
-		return nil, false, fmt.Errorf("capture: truncated frame (%d of %d bytes) at byte offset %d: %w",
-			n, incl, pr.off, ErrBadPcap)
+		pr.suspect = append(append(pr.suspect[:0], rh[:]...), pr.buf[:n]...)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, false, pr.badf(pr.sc.Offset(), "truncated frame (%d of %d bytes)", n, incl)
+		}
+		return nil, false, err
 	}
+	pr.rec++
 
 	var ms int64
 	if pr.nanos {

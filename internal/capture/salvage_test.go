@@ -1,0 +1,338 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"quicsand/internal/faultinject"
+	"quicsand/internal/netmodel"
+	"quicsand/internal/salvage"
+	"quicsand/internal/telescope"
+)
+
+// salvagePackets builds n distinct UDP records covering the pcap
+// writer's representable shapes.
+func salvagePackets(n int) []*telescope.Packet {
+	pkts := make([]*telescope.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 6+i%9)
+		for j := range payload {
+			payload[j] = byte(0x40 + i)
+		}
+		pkts = append(pkts, &telescope.Packet{
+			TS:  telescope.Timestamp(1700000000000 + int64(i)*1000),
+			Src: netmodel.Addr(0x0a000000 + i), Dst: 0x2c000001,
+			SrcPort: uint16(2000 + i), DstPort: 443,
+			Proto: telescope.ProtoUDP, Size: uint16(len(payload)), Payload: payload,
+		})
+	}
+	return pkts
+}
+
+// pcapRecordOffsets walks an LE µs pcap our writer emitted and returns
+// every record's start offset.
+func pcapRecordOffsets(t testing.TB, data []byte) []uint64 {
+	t.Helper()
+	var offs []uint64
+	off := uint64(24)
+	for off < uint64(len(data)) {
+		offs = append(offs, off)
+		incl := binary.LittleEndian.Uint32(data[off+8:])
+		off += 16 + uint64(incl)
+	}
+	return offs
+}
+
+// drainPcap reads a pcap byte stream to termination under pol.
+func drainPcap(t testing.TB, data []byte, pol salvage.Policy) ([]*telescope.Packet, error, salvage.Stats) {
+	t.Helper()
+	pr, err := NewPcapReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("global header: %v", err)
+	}
+	pr.SetSalvage(pol)
+	var out []*telescope.Packet
+	for {
+		p, err := pr.Next()
+		if err != nil {
+			return out, err, pr.Salvage()
+		}
+		q := *p
+		q.Payload = append([]byte(nil), p.Payload...)
+		out = append(out, &q)
+	}
+}
+
+func samePcapPacket(a, b *telescope.Packet) bool {
+	return a.TS == b.TS && a.Src == b.Src && a.Dst == b.Dst &&
+		a.SrcPort == b.SrcPort && a.DstPort == b.DstPort &&
+		a.Proto == b.Proto && a.Flags == b.Flags && a.Size == b.Size &&
+		a.Weight == b.Weight && bytes.Equal(a.Payload, b.Payload)
+}
+
+// TestPcapSalvageMidRecordFlip blows up one record's captured-length
+// field mid-file: fail-fast aborts with the offset-annotated error,
+// salvage recovers every frame outside the damaged span.
+func TestPcapSalvageMidRecordFlip(t *testing.T) {
+	pkts := salvagePackets(20)
+	data, err := encodeCapture(pkts, FormatPcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := pcapRecordOffsets(t, data)
+	if len(offs) != len(pkts) {
+		t.Fatalf("walked %d records, wrote %d", len(offs), len(pkts))
+	}
+	k := 12
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[offs[k]+8:], 0xFFFF0000) // incl > maxFrame
+
+	got, ferr, _ := drainPcap(t, bad, salvage.Policy{})
+	if !errors.Is(ferr, ErrBadPcap) || !strings.Contains(ferr.Error(), "byte offset") {
+		t.Fatalf("fail-fast err = %v, want offset-annotated ErrBadPcap", ferr)
+	}
+	if len(got) != k {
+		t.Fatalf("fail-fast read %d frames before aborting, want %d", len(got), k)
+	}
+
+	got, serr, sv := drainPcap(t, bad, salvage.Policy{SkipCorrupt: true})
+	if !errors.Is(serr, io.EOF) {
+		t.Fatalf("salvage terminal err = %v, want io.EOF", serr)
+	}
+	want := append(append([]*telescope.Packet(nil), pkts[:k]...), pkts[k+1:]...)
+	if len(got) != len(want) {
+		t.Fatalf("salvaged %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !samePcapPacket(got[i], want[i]) {
+			t.Errorf("frame %d differs:\n%+v\n%+v", i, got[i], want[i])
+		}
+	}
+	if sv.CorruptRecords != 1 || sv.ResyncScans != 1 || sv.MaxLostRecords == 0 {
+		t.Errorf("ledger = %+v, want one accounted span", sv)
+	}
+}
+
+// TestPcapSalvageGarbageSplice splices foreign bytes between frames:
+// the resync scan skips exactly the splice and every original frame
+// survives.
+func TestPcapSalvageGarbageSplice(t *testing.T) {
+	pkts := salvagePackets(16)
+	data, err := encodeCapture(pkts, FormatPcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := pcapRecordOffsets(t, data)
+	const spliceLen = 53
+	bad := faultinject.Apply(data, faultinject.Fault{
+		Kind: faultinject.Garbage, Offset: offs[7], Len: spliceLen, Seed: 11,
+	})
+
+	got, serr, sv := drainPcap(t, bad, salvage.Policy{SkipCorrupt: true})
+	if !errors.Is(serr, io.EOF) {
+		t.Fatalf("terminal err = %v, want io.EOF", serr)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("salvaged %d frames, want all %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !samePcapPacket(got[i], pkts[i]) {
+			t.Errorf("frame %d differs after splice:\n%+v\n%+v", i, got[i], pkts[i])
+		}
+	}
+	if sv.CorruptRecords != 1 || sv.SalvagedBytes != spliceLen {
+		t.Errorf("ledger = %+v, want 1 corrupt record and %d salvaged bytes", sv, spliceLen)
+	}
+}
+
+// TestPcapSalvageTornTail truncates mid-frame: salvage yields every
+// complete frame then clean EOF; fail-fast keeps the truncation error.
+func TestPcapSalvageTornTail(t *testing.T) {
+	pkts := salvagePackets(10)
+	data, err := encodeCapture(pkts, FormatPcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := pcapRecordOffsets(t, data)
+	torn := data[:offs[len(offs)-1]+21]
+
+	if _, ferr, _ := drainPcap(t, torn, salvage.Policy{}); !errors.Is(ferr, ErrBadPcap) {
+		t.Fatalf("fail-fast err = %v, want ErrBadPcap", ferr)
+	}
+	got, serr, sv := drainPcap(t, torn, salvage.Policy{SkipCorrupt: true})
+	if !errors.Is(serr, io.EOF) {
+		t.Fatalf("terminal err = %v, want io.EOF", serr)
+	}
+	if len(got) != len(pkts)-1 {
+		t.Fatalf("salvaged %d frames, want %d complete ones", len(got), len(pkts)-1)
+	}
+	for i := range got {
+		if !samePcapPacket(got[i], pkts[i]) {
+			t.Errorf("frame %d differs:\n%+v\n%+v", i, got[i], pkts[i])
+		}
+	}
+	// 21 torn bytes over 16-byte headers ledger as floor(21/16)+1 = 2
+	// worst-case lost records — the bound is conservative by design.
+	if sv.CorruptRecords != 1 || sv.MaxLostRecords != 2 {
+		t.Errorf("ledger = %+v, want 1 corrupt record and a loss bound of 2", sv)
+	}
+}
+
+// transientSource wraps a Source, failing Next with Temporary() errors
+// per the schedule before delegating.
+type transientSource struct {
+	src     Source
+	fail    map[uint64]int // record index → remaining transient failures
+	idx     uint64
+	retried uint64
+}
+
+func (ts *transientSource) Next() (*telescope.Packet, error) {
+	if n := ts.fail[ts.idx]; n > 0 {
+		ts.fail[ts.idx] = n - 1
+		ts.retried++
+		return nil, &faultinject.TransientError{Offset: ts.idx}
+	}
+	p, err := ts.src.Next()
+	if err == nil {
+		ts.idx++
+	}
+	return p, err
+}
+
+// TestScatterTransientRetry drives the record-level retry loop across
+// worker counts: injected Temporary() failures are retried per policy
+// and counted, and without a budget the first failure is terminal.
+func TestScatterTransientRetry(t *testing.T) {
+	pkts := salvagePackets(40)
+	data, err := encodeCapture(pkts, FormatQSND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		src0, err := NewSource(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := &transientSource{src: src0, fail: map[uint64]int{3: 2, 17: 1}}
+		sc := NewScatter(ts, workers, true)
+		sc.SetSalvage(SalvagePolicy{MaxRetries: 3, Sleep: func(time.Duration) {}})
+		var n uint64
+		drainScatter(sc, &n)
+		if err := sc.Err(); err != nil {
+			t.Fatalf("workers=%d: scatter err = %v", workers, err)
+		}
+		if sc.Packets() != uint64(len(pkts)) {
+			t.Errorf("workers=%d: scattered %d packets, want %d", workers, sc.Packets(), len(pkts))
+		}
+		if tel := sc.Telemetry(); tel.TransientRetries != 3 {
+			t.Errorf("workers=%d: TransientRetries = %d, want 3", workers, tel.TransientRetries)
+		}
+	}
+
+	// Without a retry budget the transient error is terminal.
+	src0, err := NewSource(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &transientSource{src: src0, fail: map[uint64]int{3: 1}}
+	sc := NewScatter(ts, 1, true)
+	var n uint64
+	drainScatter(sc, &n)
+	var te *faultinject.TransientError
+	if !errors.As(sc.Err(), &te) {
+		t.Fatalf("unbudgeted scatter err = %v, want the injected TransientError", sc.Err())
+	}
+}
+
+// drainScatter runs every feed to completion, counting emissions.
+func drainScatter(sc *Scatter, n *uint64) {
+	feeds := sc.Feeds()
+	done := make(chan struct{}, len(feeds))
+	var counts = make([]uint64, len(feeds))
+	for i, f := range feeds {
+		i, f := i, f
+		go func() {
+			f(func(*telescope.Packet) { counts[i]++ })
+			done <- struct{}{}
+		}()
+	}
+	for range feeds {
+		<-done
+	}
+	for _, c := range counts {
+		*n += c
+	}
+}
+
+// FuzzPcapReader pins the pcap decoder's total behavior on arbitrary
+// bytes: it must terminate, never panic, and fail only with io.EOF or
+// an ErrBadPcap carrying a byte offset; salvage mode must additionally
+// recover at least the fail-fast prefix and end in a clean EOF.
+func FuzzPcapReader(f *testing.F) {
+	pkts := salvagePackets(6)
+	valid, err := encodeCapture(pkts, FormatPcap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn tail
+	f.Add(valid[:24])           // header only
+	f.Add(valid[:11])           // truncated global header
+	f.Add([]byte{})
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.Truncate, Offset: 24 + 16 + 3}))
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.BitFlip, Offset: 24 + 10, XorMask: 0xFF}))
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.Garbage, Offset: 24, Len: 29, Seed: 5}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadPcap) {
+				t.Fatalf("global-header error class: %v", err)
+			}
+			return
+		}
+		failFast := 0
+		for {
+			_, err := pr.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadPcap) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				if errors.Is(err, ErrBadPcap) && !strings.Contains(err.Error(), "byte offset") {
+					t.Fatalf("corruption error without byte offset: %v", err)
+				}
+				break
+			}
+			failFast++
+		}
+		if pr.Offset() > uint64(len(data)) {
+			t.Fatalf("offset %d beyond input %d", pr.Offset(), len(data))
+		}
+
+		spr, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("global header accepted then rejected: %v", err)
+		}
+		spr.SetSalvage(salvage.Policy{SkipCorrupt: true})
+		salvaged := 0
+		for {
+			_, err := spr.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("salvage terminal error: %v", err)
+				}
+				break
+			}
+			salvaged++
+		}
+		if salvaged < failFast {
+			t.Fatalf("salvage recovered %d frames, fail-fast got %d", salvaged, failFast)
+		}
+	})
+}

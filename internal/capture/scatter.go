@@ -7,6 +7,7 @@ import (
 
 	"quicsand/internal/engine"
 	"quicsand/internal/ibr"
+	"quicsand/internal/salvage"
 	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
 )
@@ -55,6 +56,7 @@ type Scatter struct {
 	src     Source
 	n       int
 	recycle bool
+	pol     SalvagePolicy
 
 	in    []chan *batch // reader → per-shard pump
 	chans []chan *batch // pump → shard feed
@@ -137,6 +139,32 @@ func (s *Scatter) Feeds() []engine.Feed[*telescope.Packet] {
 	return feeds
 }
 
+// SetSalvage installs the retry policy for transient source errors.
+// Must be set before the feeds start running. Byte-level salvage lives
+// in the sources themselves (capture.SetSalvage); this layer retries
+// record-level Temporary() failures from Next, assuming the source's
+// position survives a failed call — true for the format readers (a
+// transient read fails before any bytes are consumed) and for the
+// fault injector's record wrappers.
+func (s *Scatter) SetSalvage(pol SalvagePolicy) { s.pol = pol }
+
+// next reads one record, retrying transient failures per policy. Runs
+// only on the reader goroutine (or feedInline's caller), so the retry
+// counter needs no synchronization.
+func (s *Scatter) next() (*telescope.Packet, error) {
+	attempt := 0
+	for {
+		p, err := s.src.Next()
+		if err != nil && attempt < s.pol.MaxRetries && salvage.IsTransient(err) {
+			attempt++
+			s.tel.TransientRetries++
+			s.pol.Wait(attempt)
+			continue
+		}
+		return p, err
+	}
+}
+
 // Err reports the first read error, if any. Valid once the engine run
 // has drained every feed (engine.Run returned).
 func (s *Scatter) Err() error { return s.err }
@@ -157,7 +185,7 @@ func (s *Scatter) Telemetry() telemetry.Ingest {
 // the Source contract.
 func (s *Scatter) feedInline(emit func(*telescope.Packet)) {
 	for {
-		p, err := s.src.Next()
+		p, err := s.next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.err = err
@@ -214,7 +242,7 @@ func (s *Scatter) scatter() {
 		s.in[k] <- b
 	}
 	for {
-		p, err := s.src.Next()
+		p, err := s.next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.err = err

@@ -1,0 +1,249 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestApplyTruncate(t *testing.T) {
+	data := []byte("0123456789")
+	got := Apply(data, Fault{Kind: Truncate, Offset: 4})
+	if string(got) != "0123" {
+		t.Fatalf("got %q", got)
+	}
+	if string(data) != "0123456789" {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplyBitFlip(t *testing.T) {
+	data := []byte{0x00, 0x00, 0x00}
+	got := Apply(data, Fault{Kind: BitFlip, Offset: 1, Len: 2, XorMask: 0xFF})
+	want := []byte{0x00, 0xFF, 0xFF}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x, want %x", got, want)
+	}
+	// Default mask flips exactly one bit.
+	one := Apply([]byte{0x00}, Fault{Kind: BitFlip})
+	if one[0] != 0x01 {
+		t.Fatalf("default mask: got %x", one[0])
+	}
+}
+
+func TestApplyGarbageDeterministic(t *testing.T) {
+	data := []byte("headtail")
+	f := Fault{Kind: Garbage, Offset: 4, Len: 16, Seed: 42}
+	a := Apply(data, f)
+	b := Apply(data, f)
+	if !bytes.Equal(a, b) {
+		t.Fatal("garbage splice not deterministic")
+	}
+	if len(a) != len(data)+16 {
+		t.Fatalf("len = %d, want %d", len(a), len(data)+16)
+	}
+	if string(a[:4]) != "head" || string(a[20:]) != "tail" {
+		t.Fatalf("splice misplaced: %q", a)
+	}
+	c := Apply(data, Fault{Kind: Garbage, Offset: 4, Len: 16, Seed: 43})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical garbage")
+	}
+}
+
+func TestReaderTruncate(t *testing.T) {
+	fr := NewReader(bytes.NewReader([]byte("0123456789")), Fault{Kind: Truncate, Offset: 6})
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "012345" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReaderBitFlip(t *testing.T) {
+	fr := NewReader(bytes.NewReader([]byte{1, 2, 3, 4}), Fault{Kind: BitFlip, Offset: 2, XorMask: 0xF0})
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 0xF3, 4}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestReaderShortRead(t *testing.T) {
+	fr := NewReader(bytes.NewReader([]byte("abcdefgh")), Fault{Kind: ShortRead, Offset: 2, Len: 3})
+	buf := make([]byte, 8)
+	// First read stops right before the short-read span.
+	n, err := fr.Read(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("read 1: n=%d err=%v", n, err)
+	}
+	// Inside the span: one byte per call.
+	for i := 0; i < 3; i++ {
+		n, err = fr.Read(buf)
+		if err != nil || n != 1 {
+			t.Fatalf("short read %d: n=%d err=%v", i, n, err)
+		}
+	}
+	// Past the span: full reads again.
+	n, err = fr.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("read after span: n=%d err=%v", n, err)
+	}
+}
+
+func TestReaderTransient(t *testing.T) {
+	fr := NewReader(bytes.NewReader([]byte("abcd")), Fault{Kind: Transient, Offset: 2, Count: 2})
+	buf := make([]byte, 4)
+	n, err := fr.Read(buf)
+	if err != nil || n != 4 {
+		// bytes.Reader serves everything in one call, so the fault
+		// fires on the very first read instead.
+		var te *TransientError
+		if !errors.As(err, &te) {
+			t.Fatalf("read 1: n=%d err=%v", n, err)
+		}
+		// Second failure, then success.
+		if _, err = fr.Read(buf); !errors.As(err, &te) {
+			t.Fatalf("read 2: %v", err)
+		}
+		if n, err = fr.Read(buf); err != nil || n != 4 {
+			t.Fatalf("read 3: n=%d err=%v", n, err)
+		}
+	}
+	var te *TransientError
+	if !errors.As(&TransientError{}, &te) || !te.Temporary() {
+		t.Fatal("TransientError must be Temporary")
+	}
+}
+
+func TestWriterENOSPC(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, Fault{Kind: WriteFull, Offset: 5})
+	n, err := fw.Write([]byte("0123"))
+	if err != nil || n != 4 {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	n, err = fw.Write([]byte("4567"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write 2: err=%v, want ErrNoSpace", err)
+	}
+	if n != 1 {
+		t.Fatalf("write 2 accepted %d bytes, want the 1 that fit", n)
+	}
+	if sink.String() != "01234" {
+		t.Fatalf("sink = %q", sink.String())
+	}
+	if _, err = fw.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write 3: %v, want sticky ErrNoSpace", err)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan(7, 1000, 5)
+	b := Plan(7, 1000, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Plan not deterministic")
+	}
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	c := Plan(8, 1000, 5)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, f := range a {
+		if f.Offset >= 1000 {
+			t.Fatalf("offset %d out of range", f.Offset)
+		}
+	}
+}
+
+// intSource serves ints 0..n-1 then io.EOF.
+type intSource struct{ next, n int }
+
+func (s *intSource) Next() (int, error) {
+	if s.next >= s.n {
+		return 0, io.EOF
+	}
+	v := s.next
+	s.next++
+	return v, nil
+}
+
+func TestWrapSourceDropAndTransient(t *testing.T) {
+	fs := WrapSource[int](&intSource{n: 6},
+		RecordFault{Index: 2, Drop: 2},
+		RecordFault{Index: 4, Transient: 2},
+	)
+	var got []int
+	transients := 0
+	for {
+		v, err := fs.Next()
+		if err == io.EOF {
+			break
+		}
+		var te *TransientError
+		if errors.As(err, &te) {
+			transients++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, v)
+	}
+	if want := []int{0, 1, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if transients != 2 {
+		t.Fatalf("transients = %d, want 2", transients)
+	}
+}
+
+// memSink is a minimal Sink[int] for wrapper tests.
+type memSink struct {
+	recs    []int
+	flushed bool
+}
+
+func (m *memSink) Capture(v int) { m.recs = append(m.recs, v) }
+func (m *memSink) Write(v int) error {
+	m.recs = append(m.recs, v)
+	return nil
+}
+func (m *memSink) Flush() error    { m.flushed = true; return nil }
+func (m *memSink) Err() error      { return nil }
+func (m *memSink) Count() uint64   { return uint64(len(m.recs)) }
+func (m *memSink) Dropped() uint64 { return 0 }
+
+func TestWrapSinkRefusesRecords(t *testing.T) {
+	m := &memSink{}
+	fs := WrapSink[int](m, RecordFault{Index: 1, Drop: 2})
+	for i := 0; i < 4; i++ {
+		err := fs.Write(i)
+		if (i == 1 || i == 2) != errors.Is(err, ErrNoSpace) {
+			t.Fatalf("write %d: err=%v", i, err)
+		}
+	}
+	if want := []int{0, 3}; !reflect.DeepEqual(m.recs, want) {
+		t.Fatalf("sink got %v, want %v", m.recs, want)
+	}
+	if fs.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", fs.Dropped())
+	}
+	if !errors.Is(fs.Err(), ErrNoSpace) {
+		t.Fatalf("Err = %v", fs.Err())
+	}
+	if err := fs.Flush(); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Flush = %v", err)
+	}
+	if !m.flushed {
+		t.Fatal("wrapped Flush not called")
+	}
+}

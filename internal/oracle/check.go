@@ -59,6 +59,12 @@ type Observed struct {
 	QUICAttacks         []AttackObs
 	CommonAttacks       int
 	CommonInspected     int
+	// LostRecords is the salvage ledger's worst-case record loss
+	// (telemetry SalvageMaxLost): the degraded-run error budget. Zero
+	// — the norm — keeps every check exact; nonzero relaxes lower
+	// bounds by the budget so a salvaged replay validates against what
+	// provably survived (DESIGN.md §14).
+	LostRecords uint64
 }
 
 // Result is one oracle check with its verdict. Exact states whether
@@ -100,6 +106,17 @@ func Check(exp *Expectation, obs *Observed) []Result {
 // detailCap bounds per-item failure rows so a systematic breakage
 // stays readable.
 const detailCap = 8
+
+// relaxRange lowers a prediction's floor by the degraded-run slack;
+// the ceiling stands, because record loss never invents traffic.
+func relaxRange(r Range, slack uint64) Range {
+	if r.Min > slack {
+		r.Min -= slack
+	} else {
+		r.Min = 0
+	}
+	return r
+}
 
 // group accumulates a per-item check family into one summary Result
 // plus capped failure details.
@@ -165,6 +182,35 @@ func Evaluate(exp *Expectation, obs *Observed) []Result {
 		})
 	}
 
+	// Degraded-run error budget (DESIGN.md §14): each of the <= b
+	// records lost inside salvaged spans can remove at most one packet
+	// (weighted records up to ResearchThin telescope packets) from any
+	// counter, so lower bounds relax by the budget while upper bounds
+	// stand — loss never invents traffic. The budget applies marginally
+	// per check: one lost record legitimately explains a one-packet
+	// deficit in several derived counters at once.
+	b := obs.LostRecords
+	wb := b // weighted budget for research-thinned (Figure 2) counters
+	if exp.ResearchThin > 1 {
+		wb = b * uint64(exp.ResearchThin)
+	}
+	relax := relaxRange
+	// exactD degrades an exact check into [want-slack, want] under a
+	// nonzero budget.
+	exactD := func(name string, want, got uint64, slack uint64) {
+		if slack == 0 {
+			exact(name, want, got)
+			return
+		}
+		bounded(name, relax(Range{Min: want, Max: want}, slack), got)
+	}
+	if b > 0 {
+		rs = append(rs, Result{
+			Name: "salvage-budget", Want: "degraded run",
+			Got: fmt.Sprintf("<= %d records lost", b), OK: true,
+		})
+	}
+
 	// Cross-role collisions between scan bots and responders break the
 	// request/response separation every session-level check leans on.
 	botOverlap := false
@@ -174,24 +220,33 @@ func Evaluate(exp *Expectation, obs *Observed) []Result {
 		}
 	}
 
-	// Stream-level counters.
-	bounded("research-packets", exp.ResearchPacketRange(), obs.ResearchPackets)
-	exact("tcp-icmp-packets", exp.CommonPackets, obs.TCPICMP)
-	bounded("udp443-packets", exp.UDP443Packets(), obs.UDP443)
-	bounded("telescope-packets", exp.TelescopePackets(), obs.TelescopeTotal)
+	// Stream-level counters. The telescope/UDP443/TCP-ICMP totals count
+	// raw records (weight-blind), so they relax by b; the Figure 2
+	// research series and session packet sums count effective weights,
+	// so a lost thinned record can cost up to ResearchThin — wb.
+	bounded("research-packets", relax(exp.ResearchPacketRange(), wb), obs.ResearchPackets)
+	exactD("tcp-icmp-packets", exp.CommonPackets, obs.TCPICMP, b)
+	bounded("udp443-packets", relax(exp.UDP443Packets(), b), obs.UDP443)
+	bounded("telescope-packets", relax(exp.TelescopePackets(), b), obs.TelescopeTotal)
 	exact("non-quic", 0, obs.NonQUIC)
-	exact("distinct-quic-sources", uint64(exp.DistinctQUICSources()), uint64(obs.DistinctQUICSources))
+	exactD("distinct-quic-sources", uint64(exp.DistinctQUICSources()), uint64(obs.DistinctQUICSources), b)
 
 	if !botOverlap {
 		exact("mixed-sessions", 0, uint64(obs.MixedSessions))
 
 		// Scan-wave coverage: the request-session source population is
-		// exactly the scheduled bot set.
-		srcs := &group{name: "request-sources", exact: true}
+		// exactly the scheduled bot set. Under a loss budget, up to b
+		// single-visit sources may have vanished entirely; sources the
+		// schedule never held can still not appear.
+		srcs := &group{name: "request-sources", exact: b == 0}
 		srcs.total = len(exp.ScanSources)
+		missing := uint64(0)
 		for a := range exp.ScanSources {
 			if _, ok := obs.RequestSources[a]; !ok {
-				srcs.fail(a.String(), "requests observed", "source missing")
+				missing++
+				if missing > b {
+					srcs.fail(a.String(), "requests observed", "source missing")
+				}
 			}
 		}
 		for a := range obs.RequestSources {
@@ -202,26 +257,28 @@ func Evaluate(exp *Expectation, obs *Observed) []Result {
 		}
 		srcs.flush(&rs)
 
-		bounded("request-packets", exp.RequestPackets(), obs.RequestPackets)
-		bounded("response-packets", exp.ResponsePackets(), obs.ResponsePackets)
-		bounded("request-sessions", Range{
+		bounded("request-packets", relax(exp.RequestPackets(), wb), obs.RequestPackets)
+		bounded("response-packets", relax(exp.ResponsePackets(), b), obs.ResponsePackets)
+		bounded("request-sessions", relax(Range{
 			Min: uint64(len(exp.ScanSources)),
 			Max: exp.RequestPackets().Max,
-		}, uint64(obs.RequestSessions))
-		bounded("response-sessions", Range{
+		}, b), uint64(obs.RequestSessions))
+		bounded("response-sessions", relax(Range{
 			Min: uint64(exp.RespondersExpected()),
 			Max: exp.ResponsePackets().Max,
-		}, uint64(obs.ResponseSessions))
-		exact("responders", uint64(exp.RespondersExpected()), uint64(len(obs.Responders)))
+		}, b), uint64(obs.ResponseSessions))
+		exactD("responders", uint64(exp.RespondersExpected()), uint64(len(obs.Responders)), b)
 
-		evalResponders(exp, obs, &rs)
+		evalResponders(exp, obs, &rs, b)
 	}
 
 	// Table 1 flood classification (bounded by the rate/duration caps).
-	atMost("quic-attacks", exp.QUICAttackCap(), len(obs.QUICAttacks))
-	evalAttacks(exp, obs, &rs)
-	atMost("common-attacks", exp.CommonAttackCap(), obs.CommonAttacks)
-	bounded("common-sessions", exp.CommonSessionBounds(), uint64(obs.CommonInspected))
+	// Attack caps gain +b slack: a lost-record gap can split one flood
+	// into multiple detected attacks.
+	atMost("quic-attacks", exp.QUICAttackCap()+int(b), len(obs.QUICAttacks))
+	evalAttacks(exp, obs, &rs, b)
+	atMost("common-attacks", exp.CommonAttackCap()+int(b), obs.CommonAttacks)
+	bounded("common-sessions", relax(exp.CommonSessionBounds(), b), uint64(obs.CommonInspected))
 
 	// Per-phase attribution where source sets are disjoint.
 	phases := &group{name: "phase-packets"}
@@ -241,8 +298,9 @@ func Evaluate(exp *Expectation, obs *Observed) []Result {
 				sum += obs.RequestSources[a]
 			}
 		}
-		if !p.Packets.Contains(sum) {
-			phases.fail(p.Label, p.Packets.String(), fmt.Sprint(sum))
+		pr := relax(p.Packets, wb)
+		if !pr.Contains(sum) {
+			phases.fail(p.Label, pr.String(), fmt.Sprint(sum))
 		}
 	}
 	if botOverlap {
@@ -254,11 +312,15 @@ func Evaluate(exp *Expectation, obs *Observed) []Result {
 }
 
 // evalResponders runs the per-responder families: membership, exact
-// packet volumes, bracket spans, version subsets, Retry volumes.
-func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
+// packet volumes, bracket spans, version subsets, Retry volumes. A
+// nonzero budget b (salvaged replay) relaxes per-victim packet floors,
+// downgrades span equality to containment (edge records of a bracket
+// may be lost), and tolerates responders whose relaxed floor reaches
+// zero vanishing outright.
+func evalResponders(exp *Expectation, obs *Observed, rs *[]Result, b uint64) {
 	member := &group{name: "responder-known", exact: true}
-	packets := &group{name: "victim-packets", exact: true}
-	spans := &group{name: "victim-span", exact: true}
+	packets := &group{name: "victim-packets", exact: b == 0}
+	spans := &group{name: "victim-span", exact: b == 0}
 	versions := &group{name: "responder-versions", exact: true}
 	retry := &group{name: "responder-retry"}
 	sanitized := &group{name: "sanitized-victims", exact: true}
@@ -278,14 +340,22 @@ func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
 		switch {
 		case v != nil && !v.Sanitized:
 			packets.total++
-			if !v.PacketRange.Contains(r.Packets) {
-				packets.fail(a.String(), v.PacketRange.String(), fmt.Sprint(r.Packets))
+			if pr := relaxRange(v.PacketRange, b); !pr.Contains(r.Packets) {
+				packets.fail(a.String(), pr.String(), fmt.Sprint(r.Packets))
 			}
 			if !v.Degraded {
 				spans.total++
-				if r.Start != v.First || r.End != v.Last {
+				if b == 0 {
+					if r.Start != v.First || r.End != v.Last {
+						spans.fail(a.String(),
+							fmt.Sprintf("[%d, %d]", v.First, v.Last),
+							fmt.Sprintf("[%d, %d]", r.Start, r.End))
+					}
+				} else if r.Start < v.First || r.End > v.Last {
+					// Lost records can shrink the observed bracket but
+					// never widen it past the schedule.
 					spans.fail(a.String(),
-						fmt.Sprintf("[%d, %d]", v.First, v.Last),
+						fmt.Sprintf("within [%d, %d]", v.First, v.Last),
 						fmt.Sprintf("[%d, %d]", r.Start, r.End))
 				}
 			}
@@ -303,8 +373,8 @@ func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
 			}
 		case me != nil:
 			packets.total++
-			if !me.Packets.Contains(r.Packets) {
-				packets.fail(a.String(), me.Packets.String(), fmt.Sprint(r.Packets))
+			if pr := relaxRange(me.Packets, b); !pr.Contains(r.Packets) {
+				packets.fail(a.String(), pr.String(), fmt.Sprint(r.Packets))
 			}
 			misconf.total++
 			if r.Start < me.WindowStart {
@@ -334,7 +404,12 @@ func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
 		}
 		if obs.Responders[a] == nil {
 			packets.total++
-			packets.fail(a.String(), v.PacketRange.String(), "no responder")
+			// Under a loss budget, a responder whose relaxed floor
+			// reaches zero may have vanished entirely with the damaged
+			// span.
+			if pr := relaxRange(v.PacketRange, b); pr.Min > 0 {
+				packets.fail(a.String(), pr.String(), "no responder")
+			}
 		}
 	}
 	for a, me := range exp.Misconf {
@@ -343,7 +418,9 @@ func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
 		}
 		if obs.Responders[a] == nil {
 			packets.total++
-			packets.fail(a.String(), me.Packets.String(), "no responder")
+			if pr := relaxRange(me.Packets, b); pr.Min > 0 {
+				packets.fail(a.String(), pr.String(), "no responder")
+			}
 		}
 	}
 
@@ -357,8 +434,11 @@ func evalResponders(exp *Expectation, obs *Observed, rs *[]Result) {
 }
 
 // evalAttacks validates every detected attack against its victim's
-// schedule-derived anatomy caps.
-func evalAttacks(exp *Expectation, obs *Observed, rs *[]Result) {
+// schedule-derived anatomy caps. The per-victim attack-count limit
+// gains +b slack under a loss budget (a gap can split one flood into
+// several detections); the anatomy upper bounds stand, since loss
+// never inflates a single attack.
+func evalAttacks(exp *Expectation, obs *Observed, rs *[]Result, b uint64) {
 	g := &group{name: "attack-anatomy"}
 	perVictim := make(map[netmodel.Addr]int)
 	for i := range obs.QUICAttacks {
@@ -404,6 +484,7 @@ func evalAttacks(exp *Expectation, obs *Observed, rs *[]Result) {
 		} else if me := exp.Misconf[a]; me != nil {
 			limit = me.AttackCap
 		}
+		limit += int(b)
 		if n > limit {
 			caps.fail(a.String(), fmt.Sprintf("<= %d attacks", limit), fmt.Sprint(n))
 		}

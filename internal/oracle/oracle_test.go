@@ -25,6 +25,19 @@ func TestRange(t *testing.T) {
 	}
 }
 
+func TestRelaxRange(t *testing.T) {
+	r := Range{Min: 10, Max: 20}
+	if got := relaxRange(r, 3); got.Min != 7 || got.Max != 20 {
+		t.Errorf("relaxRange(%+v, 3) = %+v, want floor 7 and an untouched ceiling", r, got)
+	}
+	if got := relaxRange(r, 15); got.Min != 0 || got.Max != 20 {
+		t.Errorf("relaxRange(%+v, 15) = %+v, want the floor clamped at 0", r, got)
+	}
+	if got := relaxRange(r, 0); got != r {
+		t.Errorf("relaxRange(%+v, 0) = %+v, want identity", r, got)
+	}
+}
+
 func TestAttackSessionMinPackets(t *testing.T) {
 	// Paper thresholds: > 25 packets AND > 0.5 max pps ⇒ some minute
 	// holds ≥ 31 packets, which dominates.

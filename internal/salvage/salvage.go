@@ -1,0 +1,258 @@
+// Package salvage is the degraded-ingest substrate: the policy,
+// accounting, and byte-level resynchronization machinery that lets the
+// capture readers (telescope.Reader, capture.PcapReader) survive
+// damaged inputs — torn tails from crashed recorders, bit-flips from
+// disk, short reads and transient EAGAIN-class errors from network
+// filesystems — instead of aborting on the first bad byte.
+//
+// The package deliberately knows nothing about record formats: readers
+// drive a Scanner for their byte I/O and hand it a format-specific
+// Boundary probe when a record fails to parse. The Scanner then scans
+// forward for the next position where a plausible record starts and is
+// confirmed by a plausible successor (or a clean end of stream), counts
+// the skipped span, and resumes decoding there. Every skipped byte and
+// record flows into Stats, which the telemetry layer exposes and the
+// oracle consumes as the degraded-run error budget (DESIGN.md §14).
+package salvage
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Policy selects how a reader reacts to damaged or failing input. The
+// zero value is fail-fast: the first corruption or exhausted read is a
+// terminal error, exactly the historical behavior.
+type Policy struct {
+	// SkipCorrupt enables resync: corrupt records are skipped and
+	// counted instead of killing the stream. File-header corruption
+	// (wrong magic, unsupported version) stays terminal — a damaged
+	// preamble means the whole file is suspect, not a span of it.
+	SkipCorrupt bool
+	// MaxRetries bounds re-reads after a transient (Temporary())
+	// error; 0 disables retrying.
+	MaxRetries int
+	// Backoff is the first retry's delay, doubled per attempt.
+	// 0 means 1ms.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep between retries (test hook).
+	Sleep func(time.Duration)
+}
+
+// Enabled reports whether the policy departs from fail-fast at all.
+func (p Policy) Enabled() bool { return p.SkipCorrupt || p.MaxRetries > 0 }
+
+// Wait sleeps the exponential backoff for the given 1-based attempt.
+func (p Policy) Wait(attempt int) {
+	d := p.Backoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if attempt > 20 {
+		attempt = 20 // clamp the shift, not the wait
+	}
+	d <<= uint(attempt - 1)
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Stats is the skipped-record ledger of one salvaged stream. All
+// fields are zero on an undamaged input, so enabling salvage on clean
+// files changes nothing observable.
+type Stats struct {
+	// CorruptRecords counts records that failed to decode and were
+	// skipped (one per resync, including torn tails).
+	CorruptRecords uint64 `json:"corrupt_records"`
+	// ResyncScans counts forward scans for a plausible record boundary.
+	ResyncScans uint64 `json:"resync_scans"`
+	// SalvagedBytes counts the bytes of damaged span skipped over.
+	SalvagedBytes uint64 `json:"salvaged_bytes"`
+	// TransientRetries counts reads retried after a Temporary() error.
+	TransientRetries uint64 `json:"transient_retries"`
+	// MaxLostRecords is the provable ceiling on records destroyed
+	// inside the skipped spans (span/minRecordSize+1, summed) — the
+	// oracle's degraded-run error budget.
+	MaxLostRecords uint64 `json:"max_lost_records"`
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o Stats) {
+	s.CorruptRecords += o.CorruptRecords
+	s.ResyncScans += o.ResyncScans
+	s.SalvagedBytes += o.SalvagedBytes
+	s.TransientRetries += o.TransientRetries
+	s.MaxLostRecords += o.MaxLostRecords
+}
+
+// Transient marks an error as retryable, in the net.Error tradition:
+// EAGAIN-class failures from network filesystems and the fault
+// injector implement it. Readers never import the fault layer — the
+// interface is the entire contract.
+type Transient interface{ Temporary() bool }
+
+// IsTransient reports whether err (or anything it wraps) declares
+// itself temporary.
+func IsTransient(err error) bool {
+	var t Transient
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// Boundary is a format's record-framing probe for resync scans.
+type Boundary struct {
+	// HdrLen is the fixed record-header size — also the minimum
+	// record size, which bounds how many records a skipped span can
+	// have destroyed.
+	HdrLen int
+	// Plausible inspects HdrLen candidate bytes and, if they could
+	// start a record, returns the full record length (header + body).
+	Plausible func(hdr []byte) (recLen int, ok bool)
+}
+
+// resyncChunk is the scan window granularity: how much is read ahead
+// per fill and how far the window slides before discarding scanned
+// prefix, keeping memory bounded on arbitrarily long damaged spans.
+const resyncChunk = 64 << 10
+
+// Scanner drives a reader's byte consumption with offset accounting,
+// transient-retry, and a pending buffer that resync scans push
+// unconsumed lookahead back into. Readers embed one and route every
+// read through ReadFull; with a zero Policy the added work is a nil
+// check per call.
+type Scanner struct {
+	// R is the underlying stream (typically a bufio.Reader).
+	R io.Reader
+	// Pol is the active salvage policy.
+	Pol Policy
+	// Stats is the skipped-record ledger.
+	Stats Stats
+
+	off     uint64
+	pending []byte
+}
+
+// Offset returns the logical stream position of the next byte to be
+// consumed — after a terminal error, the start of the undecodable
+// region.
+func (s *Scanner) Offset() uint64 { return s.off }
+
+// read performs one raw read: pending lookahead first, then the
+// underlying stream with transient-retry per policy.
+func (s *Scanner) read(b []byte) (int, error) {
+	if len(s.pending) > 0 {
+		n := copy(b, s.pending)
+		s.pending = s.pending[n:]
+		return n, nil
+	}
+	retries := 0
+	for {
+		n, err := s.R.Read(b)
+		if err != nil && n == 0 && retries < s.Pol.MaxRetries && IsTransient(err) {
+			retries++
+			s.Stats.TransientRetries++
+			s.Pol.Wait(retries)
+			continue
+		}
+		return n, err
+	}
+}
+
+// ReadFull fills b entirely, advancing the offset by the bytes
+// consumed. The error contract mirrors io.ReadFull: io.EOF only when
+// nothing was read, io.ErrUnexpectedEOF after a partial fill; other
+// underlying errors pass through unchanged.
+func (s *Scanner) ReadFull(b []byte) (int, error) {
+	n := 0
+	var err error
+	for n < len(b) && err == nil {
+		var m int
+		m, err = s.read(b[n:])
+		n += m
+	}
+	s.off += uint64(n)
+	if n >= len(b) {
+		return n, nil
+	}
+	if errors.Is(err, io.EOF) && n > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Resync recovers from a corrupt record detected at recStart. seed
+// holds the suspect bytes already consumed from recStart on (the
+// failed record's header, plus any partial body). The scan looks for
+// the next offset where b.Plausible accepts a header AND the record it
+// frames is followed by another plausible header or the end of the
+// stream — double confirmation keeps random garbage from masquerading
+// as a boundary. On success the accepted boundary's bytes are pushed
+// into the pending buffer, the skipped span is accounted in Stats, and
+// nil is returned; io.EOF means the stream ended without another
+// boundary (torn tail — the span to EOF is accounted the same way).
+func (s *Scanner) Resync(recStart uint64, seed []byte, b Boundary) error {
+	s.Stats.CorruptRecords++
+	s.Stats.ResyncScans++
+	buf := append([]byte(nil), seed...)
+	var slid uint64 // bytes discarded as the scan window moved
+	eof := false
+	// need grows buf to n bytes; false means the stream ended first.
+	need := func(n int) bool {
+		for !eof && len(buf) < n {
+			grow := n - len(buf)
+			if grow < resyncChunk {
+				grow = resyncChunk
+			}
+			at := len(buf)
+			buf = append(buf, make([]byte, grow)...)
+			m, err := s.read(buf[at : at+grow])
+			buf = buf[:at+m]
+			if err != nil {
+				// Any terminal read error ends the scan like EOF; a
+				// damaged span is already being skipped, and whatever
+				// was readable is all there is to salvage.
+				eof = true
+			}
+		}
+		return len(buf) >= n
+	}
+	accept := func(skipped uint64, rest []byte) {
+		s.Stats.SalvagedBytes += skipped
+		s.Stats.MaxLostRecords += skipped/uint64(b.HdrLen) + 1
+		s.off = recStart + skipped
+		s.pending = append(s.pending[:0], rest...)
+	}
+	// The corrupt record's own start is never a candidate: skipping at
+	// least one byte guarantees progress.
+	for i := 1; ; i++ {
+		if !need(i + b.HdrLen) {
+			// Torn tail: no boundary before the end of the stream.
+			skipped := slid + uint64(len(buf))
+			accept(skipped, nil)
+			return io.EOF
+		}
+		if n, ok := b.Plausible(buf[i : i+b.HdrLen]); ok {
+			end := i + n
+			confirmed := false
+			if need(end + b.HdrLen) {
+				_, confirmed = b.Plausible(buf[end : end+b.HdrLen])
+			} else {
+				// The record fits and the stream ends at (or shortly
+				// after) it; trailing junk shorter than a header will
+				// surface as its own torn-tail span.
+				confirmed = len(buf) >= end
+			}
+			if confirmed {
+				accept(slid+uint64(i), buf[i:])
+				return nil
+			}
+		}
+		if i >= resyncChunk {
+			slid += uint64(i)
+			buf = append(buf[:0], buf[i:]...)
+			i = 0
+		}
+	}
+}

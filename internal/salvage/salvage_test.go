@@ -1,0 +1,291 @@
+package salvage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// fakeRec builds a toy record format for Scanner tests: an 8-byte
+// header (u32 magic 0xFEEDFACE | u32 bodyLen) followed by the body.
+const fakeMagic = 0xFEEDFACE
+
+func fakeRec(body []byte) []byte {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], fakeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	return append(hdr, body...)
+}
+
+func fakeBoundary() Boundary {
+	return Boundary{
+		HdrLen: 8,
+		Plausible: func(hdr []byte) (int, bool) {
+			if binary.LittleEndian.Uint32(hdr[0:4]) != fakeMagic {
+				return 0, false
+			}
+			n := binary.LittleEndian.Uint32(hdr[4:8])
+			if n > 1<<16 {
+				return 0, false
+			}
+			return 8 + int(n), true
+		},
+	}
+}
+
+// transientErr implements Temporary for retry tests.
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "transient: resource temporarily unavailable" }
+func (transientErr) Temporary() bool { return true }
+
+// flakyReader fails with a transient error the first `fail` calls,
+// then serves from the wrapped reader.
+type flakyReader struct {
+	r    io.Reader
+	fail int
+}
+
+func (f *flakyReader) Read(b []byte) (int, error) {
+	if f.fail > 0 {
+		f.fail--
+		return 0, transientErr{}
+	}
+	return f.r.Read(b)
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(transientErr{}) {
+		t.Fatal("transientErr not recognized")
+	}
+	if IsTransient(errors.New("x")) {
+		t.Fatal("plain error recognized as transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil recognized as transient")
+	}
+	wrapped := errors.Join(errors.New("outer"), transientErr{})
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient not recognized")
+	}
+}
+
+func TestReadFullRetriesTransient(t *testing.T) {
+	var slept []time.Duration
+	s := &Scanner{
+		R: &flakyReader{r: bytes.NewReader([]byte("abcdef")), fail: 3},
+		Pol: Policy{
+			MaxRetries: 5,
+			Backoff:    time.Millisecond,
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		},
+	}
+	buf := make([]byte, 6)
+	if _, err := s.ReadFull(buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if string(buf) != "abcdef" {
+		t.Fatalf("got %q", buf)
+	}
+	if s.Stats.TransientRetries != 3 {
+		t.Fatalf("TransientRetries = %d, want 3", s.Stats.TransientRetries)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	if s.Offset() != 6 {
+		t.Fatalf("offset = %d, want 6", s.Offset())
+	}
+}
+
+func TestReadFullExhaustsRetries(t *testing.T) {
+	s := &Scanner{
+		R:   &flakyReader{r: bytes.NewReader(nil), fail: 100},
+		Pol: Policy{MaxRetries: 2, Sleep: func(time.Duration) {}},
+	}
+	_, err := s.ReadFull(make([]byte, 4))
+	if !IsTransient(err) {
+		t.Fatalf("want the transient error surfaced after retries, got %v", err)
+	}
+	if s.Stats.TransientRetries != 2 {
+		t.Fatalf("TransientRetries = %d, want 2", s.Stats.TransientRetries)
+	}
+}
+
+func TestReadFullNoRetryByDefault(t *testing.T) {
+	s := &Scanner{R: &flakyReader{r: bytes.NewReader([]byte("ab")), fail: 1}}
+	_, err := s.ReadFull(make([]byte, 2))
+	if !IsTransient(err) {
+		t.Fatalf("zero policy must fail fast on transient errors, got %v", err)
+	}
+}
+
+func TestReadFullEOFContract(t *testing.T) {
+	s := &Scanner{R: bytes.NewReader(nil)}
+	if _, err := s.ReadFull(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+	s = &Scanner{R: bytes.NewReader([]byte("ab"))}
+	if _, err := s.ReadFull(make([]byte, 4)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial fill: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if s.Offset() != 2 {
+		t.Fatalf("offset = %d, want 2", s.Offset())
+	}
+}
+
+// readRecords drains the stream through the fake format, resyncing on
+// corruption the way a real reader does.
+func readRecords(t *testing.T, s *Scanner, b Boundary) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		start := s.Offset()
+		hdr := make([]byte, 8)
+		if _, err := s.ReadFull(hdr); err != nil {
+			if err == io.EOF {
+				return out
+			}
+			// Partial header: torn tail.
+			if err == io.ErrUnexpectedEOF {
+				if rerr := s.Resync(start, nil, b); rerr == io.EOF {
+					return out
+				}
+				continue
+			}
+			t.Fatalf("header read: %v", err)
+		}
+		n, ok := b.Plausible(hdr)
+		if !ok {
+			if rerr := s.Resync(start, hdr, b); rerr == io.EOF {
+				return out
+			}
+			continue
+		}
+		body := make([]byte, n-8)
+		if m, err := s.ReadFull(body); err != nil {
+			seed := append(append([]byte(nil), hdr...), body[:m]...)
+			if rerr := s.Resync(start, seed, b); rerr == io.EOF {
+				return out
+			}
+			continue
+		}
+		out = append(out, body)
+	}
+}
+
+func TestResyncSkipsGarbageSplice(t *testing.T) {
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma-longer")}
+	var clean bytes.Buffer
+	for _, r := range recs {
+		clean.Write(fakeRec(r))
+	}
+	// Splice 37 bytes of garbage between record 0 and 1.
+	garbage := bytes.Repeat([]byte{0xAA, 0x55, 0x00}, 13)[:37]
+	r0 := len(fakeRec(recs[0]))
+	damaged := append(append(append([]byte(nil), clean.Bytes()[:r0]...), garbage...), clean.Bytes()[r0:]...)
+
+	s := &Scanner{R: bytes.NewReader(damaged), Pol: Policy{SkipCorrupt: true}}
+	got := readRecords(t, s, fakeBoundary())
+	if len(got) != 3 {
+		t.Fatalf("salvaged %d records, want 3", len(got))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(got[i], r) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], r)
+		}
+	}
+	st := s.Stats
+	if st.CorruptRecords != 1 || st.ResyncScans != 1 {
+		t.Fatalf("counters = %+v, want 1 corrupt / 1 resync", st)
+	}
+	if st.SalvagedBytes != uint64(len(garbage)) {
+		t.Fatalf("SalvagedBytes = %d, want %d", st.SalvagedBytes, len(garbage))
+	}
+	wantLost := uint64(len(garbage))/8 + 1
+	if st.MaxLostRecords != wantLost {
+		t.Fatalf("MaxLostRecords = %d, want %d", st.MaxLostRecords, wantLost)
+	}
+	if s.Offset() != uint64(len(damaged)) {
+		t.Fatalf("final offset = %d, want %d", s.Offset(), len(damaged))
+	}
+}
+
+func TestResyncTornTail(t *testing.T) {
+	full := append(fakeRec([]byte("one")), fakeRec([]byte("two"))...)
+	// Tear mid-way through record two's body.
+	torn := full[:len(full)-2]
+	s := &Scanner{R: bytes.NewReader(torn), Pol: Policy{SkipCorrupt: true}}
+	got := readRecords(t, s, fakeBoundary())
+	if len(got) != 1 || string(got[0]) != "one" {
+		t.Fatalf("salvaged %v, want [one]", got)
+	}
+	if s.Stats.CorruptRecords != 1 || s.Stats.MaxLostRecords == 0 {
+		t.Fatalf("counters = %+v", s.Stats)
+	}
+	if s.Offset() != uint64(len(torn)) {
+		t.Fatalf("offset = %d, want %d (end of stream)", s.Offset(), len(torn))
+	}
+}
+
+func TestResyncLongSpanSlidesWindow(t *testing.T) {
+	// A damaged span several windows long must still converge and
+	// account every skipped byte exactly once.
+	span := bytes.Repeat([]byte{0x13, 0x37}, (3*resyncChunk)/2) // 3 windows of junk
+	data := append(append(fakeRec([]byte("pre")), span...), fakeRec([]byte("post"))...)
+	s := &Scanner{R: bytes.NewReader(data), Pol: Policy{SkipCorrupt: true}}
+	got := readRecords(t, s, fakeBoundary())
+	if len(got) != 2 || string(got[0]) != "pre" || string(got[1]) != "post" {
+		t.Fatalf("salvaged %d records: %q", len(got), got)
+	}
+	if s.Stats.SalvagedBytes != uint64(len(span)) {
+		t.Fatalf("SalvagedBytes = %d, want %d", s.Stats.SalvagedBytes, len(span))
+	}
+	if s.Offset() != uint64(len(data)) {
+		t.Fatalf("offset = %d, want %d", s.Offset(), len(data))
+	}
+}
+
+func TestResyncRejectsFalseBoundary(t *testing.T) {
+	// Garbage containing a plausible header whose framed record is NOT
+	// followed by another plausible header must not be accepted as a
+	// boundary: double confirmation skips it.
+	fake := make([]byte, 8)
+	binary.LittleEndian.PutUint32(fake[0:4], fakeMagic)
+	binary.LittleEndian.PutUint32(fake[4:8], 5) // claims 5-byte body
+	junk := append(append(bytes.Repeat([]byte{0xEE}, 11), fake...), bytes.Repeat([]byte{0xEE}, 9)...)
+	data := append(append(fakeRec([]byte("first")), junk...), fakeRec([]byte("second"))...)
+	s := &Scanner{R: bytes.NewReader(data), Pol: Policy{SkipCorrupt: true}}
+	got := readRecords(t, s, fakeBoundary())
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("salvaged %q, want [first second]", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{CorruptRecords: 1, ResyncScans: 2, SalvagedBytes: 3, TransientRetries: 4, MaxLostRecords: 5}
+	b := Stats{CorruptRecords: 10, ResyncScans: 20, SalvagedBytes: 30, TransientRetries: 40, MaxLostRecords: 50}
+	a.Add(b)
+	want := Stats{CorruptRecords: 11, ResyncScans: 22, SalvagedBytes: 33, TransientRetries: 44, MaxLostRecords: 55}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	if !(Policy{SkipCorrupt: true}).Enabled() || !(Policy{MaxRetries: 1}).Enabled() {
+		t.Fatal("non-zero policies must be enabled")
+	}
+}

@@ -38,6 +38,10 @@ func (s *Snapshot) Text() string {
 				in.Batches, in.BatchFill.Mean(), in.BatchReuses, in.BatchAllocs)
 		}
 		b.WriteByte('\n')
+		if in.CorruptRecords > 0 || in.ResyncScans > 0 || in.TransientRetries > 0 {
+			fmt.Fprintf(&b, "  salvage:  %d corrupt records skipped over %d resyncs, %d bytes salvaged past, <= %d records lost, %d transient retries\n",
+				in.CorruptRecords, in.ResyncScans, in.SalvagedBytes, in.SalvageMaxLost, in.TransientRetries)
+		}
 	}
 	if e := &s.Engine; e.TapBatches > 0 {
 		fmt.Fprintf(&b, "  tap:      %d batches (mean fill %.1f), bufs %d reused / %d allocated, queue high-water %d\n",
@@ -125,6 +129,11 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	promCounter(w, p("ingest_batch_reuses_total"), "Scatter batches recycled from shards.", in.BatchReuses)
 	promCounter(w, p("ingest_batch_allocs_total"), "Scatter batches freshly allocated.", in.BatchAllocs)
 	promHist(w, p("ingest_batch_fill"), "Scatter batch fill (packets per batch).", &in.BatchFill)
+	promCounter(w, p("ingest_corrupt_records_total"), "Corrupt records skipped by salvage mode.", in.CorruptRecords)
+	promCounter(w, p("ingest_resync_scans_total"), "Forward scans for a plausible record boundary.", in.ResyncScans)
+	promCounter(w, p("ingest_salvaged_bytes_total"), "Damaged bytes skipped past by salvage resyncs.", in.SalvagedBytes)
+	promCounter(w, p("ingest_salvage_max_lost_total"), "Worst-case records destroyed inside skipped spans.", in.SalvageMaxLost)
+	promCounter(w, p("ingest_transient_retries_total"), "Source reads retried after transient errors.", in.TransientRetries)
 
 	e := &s.Engine
 	promCounter(w, p("engine_tap_batches_total"), "Tap batches sent to the merge.", e.TapBatches)

@@ -182,6 +182,15 @@ type Ingest struct {
 	// DecodeDrops counts records the decapsulation could not represent
 	// (pcap: non-IPv4, fragments, unsupported transports).
 	DecodeDrops uint64 `json:"decode_drops"`
+	// Salvage-mode degradation ledger (DESIGN.md §14): all zero on
+	// undamaged inputs, stream-derived given a fixed fault pattern —
+	// except TransientRetries, which depends on I/O timing and is
+	// runtime-class.
+	CorruptRecords   uint64 `json:"corrupt_records,omitempty"`
+	ResyncScans      uint64 `json:"resync_scans,omitempty"`
+	SalvagedBytes    uint64 `json:"salvaged_bytes,omitempty"`
+	SalvageMaxLost   uint64 `json:"salvage_max_lost,omitempty"`
+	TransientRetries uint64 `json:"transient_retries,omitempty"`
 	// Scatter batching (runtime).
 	Batches     uint64 `json:"batches"`
 	BatchFill   Hist   `json:"batch_fill"`
@@ -196,6 +205,11 @@ func (i *Ingest) Merge(o *Ingest) {
 	}
 	i.Records += o.Records
 	i.DecodeDrops += o.DecodeDrops
+	i.CorruptRecords += o.CorruptRecords
+	i.ResyncScans += o.ResyncScans
+	i.SalvagedBytes += o.SalvagedBytes
+	i.SalvageMaxLost += o.SalvageMaxLost
+	i.TransientRetries += o.TransientRetries
 	i.Batches += o.Batches
 	i.BatchFill.Merge(&o.BatchFill)
 	i.BatchReuses += o.BatchReuses
@@ -329,6 +343,14 @@ type Stream struct {
 	IngestRecords uint64 `json:"ingest_records"`
 	DecodeDrops   uint64 `json:"decode_drops"`
 
+	// Salvage degradation is stream-derived for a fixed fault pattern
+	// (the single reader goroutine skips the same spans every run);
+	// TransientRetries is excluded — retry counts depend on I/O timing.
+	CorruptRecords uint64 `json:"corrupt_records"`
+	ResyncScans    uint64 `json:"resync_scans"`
+	SalvagedBytes  uint64 `json:"salvaged_bytes"`
+	SalvageMaxLost uint64 `json:"salvage_max_lost"`
+
 	TraceWritten uint64 `json:"trace_written"`
 	TraceDropped uint64 `json:"trace_dropped"`
 }
@@ -349,6 +371,10 @@ func (s *Snapshot) Stream() Stream {
 		PayloadMisses:    s.Generate.PayloadMisses,
 		IngestRecords:    s.Ingest.Records,
 		DecodeDrops:      s.Ingest.DecodeDrops,
+		CorruptRecords:   s.Ingest.CorruptRecords,
+		ResyncScans:      s.Ingest.ResyncScans,
+		SalvagedBytes:    s.Ingest.SalvagedBytes,
+		SalvageMaxLost:   s.Ingest.SalvageMaxLost,
 		TraceWritten:     s.Trace.Written,
 		TraceDropped:     s.Trace.Dropped,
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"quicsand/internal/netmodel"
+	"quicsand/internal/salvage"
 )
 
 // Binary trace store: the native checkpoint format (pcap import/export
@@ -49,6 +50,7 @@ type Writer struct {
 	w       *bufio.Writer
 	wrote   bool
 	n       uint64
+	off     uint64 // bytes emitted so far (error annotation)
 	dropped uint64
 	err     error
 	// scratch backs the record header so the hot path never re-allocates
@@ -85,6 +87,7 @@ func (tw *Writer) writeHeader() error {
 	if _, err := tw.w.Write(fh); err != nil {
 		return err
 	}
+	tw.off += uint64(len(fh))
 	tw.wrote = true
 	return nil
 }
@@ -94,11 +97,12 @@ func (tw *Writer) write(p *Packet) error {
 		return err
 	}
 	if len(p.Payload) > 0xffff {
-		return fmt.Errorf("telescope: payload %d bytes: %w", len(p.Payload), ErrBadTrace)
+		return fmt.Errorf("telescope: payload %d bytes at record %d, byte offset %d: %w",
+			len(p.Payload), tw.n, tw.off, ErrBadTrace)
 	}
 	if len(p.Payload) > int(p.Size) {
-		return fmt.Errorf("telescope: payload %d bytes exceeds datagram size %d: %w",
-			len(p.Payload), p.Size, ErrBadTrace)
+		return fmt.Errorf("telescope: payload %d bytes exceeds datagram size %d at record %d, byte offset %d: %w",
+			len(p.Payload), p.Size, tw.n, tw.off, ErrBadTrace)
 	}
 	hdr := &tw.scratch
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(p.TS))
@@ -114,9 +118,11 @@ func (tw *Writer) write(p *Packet) error {
 	if _, err := tw.w.Write(hdr[:]); err != nil {
 		return err
 	}
+	tw.off += uint64(len(hdr))
 	if _, err := tw.w.Write(p.Payload); err != nil {
 		return err
 	}
+	tw.off += uint64(len(p.Payload))
 	return nil
 }
 
@@ -160,12 +166,24 @@ func (tw *Writer) Capture(p *Packet) {
 // Reader deserializes packets from a stream. Corruption — a foreign
 // magic, an unsupported version, a record whose payload length exceeds
 // its datagram size, or a truncated tail — surfaces as an error
-// wrapping ErrBadTrace that names the byte offset; io.EOF is returned
-// only at a clean record boundary.
+// wrapping ErrBadTrace that names the record index and byte offset;
+// io.EOF is returned only at a clean record boundary.
+//
+// With SetSalvage, record-level corruption stops being terminal: the
+// reader scans forward for the next plausible record boundary (QSND v2
+// framing heuristics: a timestamp inside the plausible epoch window, a
+// known protocol, a payload length that fits its datagram), skips the
+// damaged span, and accounts every skipped byte and the worst-case
+// record loss in Salvage(). File-header corruption stays terminal
+// either way.
 type Reader struct {
-	r      *bufio.Reader
+	sc     salvage.Scanner
 	header bool
-	off    uint64 // bytes consumed so far
+	rec    uint64 // records decoded so far = index of the next record
+	// recStart/suspect describe the record being decoded, for resync:
+	// where it began and which of its bytes were already consumed.
+	recStart uint64
+	suspect  []byte
 	// scratch backs the record header reads (see Writer.scratch);
 	// payload is the reused ReadInto payload buffer.
 	scratch [recHdrLen + 2]byte
@@ -174,32 +192,70 @@ type Reader struct {
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{sc: salvage.Scanner{R: bufio.NewReaderSize(r, 1<<16)}}
 }
+
+// SetSalvage installs the degraded-ingest policy. The zero policy is
+// the default fail-fast behavior.
+func (tr *Reader) SetSalvage(pol salvage.Policy) { tr.sc.Pol = pol }
+
+// Salvage returns the skipped-record ledger accumulated so far. All
+// zeros on an undamaged stream.
+func (tr *Reader) Salvage() salvage.Stats { return tr.sc.Stats }
 
 // Offset returns the number of bytes consumed so far — after an error,
 // the start of the undecodable region.
-func (tr *Reader) Offset() uint64 { return tr.off }
+func (tr *Reader) Offset() uint64 { return tr.sc.Offset() }
 
-// corruptf builds an offset-annotated ErrBadTrace.
+// corruptf builds an ErrBadTrace annotated with the failing record's
+// index and byte offset.
 func (tr *Reader) corruptf(at uint64, format string, args ...any) error {
-	return fmt.Errorf("telescope: %s at byte offset %d: %w",
-		fmt.Sprintf(format, args...), at, ErrBadTrace)
+	return fmt.Errorf("telescope: %s at record %d, byte offset %d: %w",
+		fmt.Sprintf(format, args...), tr.rec, at, ErrBadTrace)
 }
 
-// readFull reads exactly len(b) bytes, advancing the offset. atStart
-// marks a clean record boundary where a zero-byte read is plain EOF;
-// any partial read is a truncated tail.
-func (tr *Reader) readFull(b []byte, atStart bool, what string) error {
-	n, err := io.ReadFull(tr.r, b)
-	tr.off += uint64(n)
+// readFull reads exactly len(b) bytes, advancing the offset, and
+// reports how many arrived. atStart marks a clean record boundary
+// where a zero-byte read is plain EOF; a partial read is a truncated
+// tail (ErrBadTrace). Non-EOF I/O errors — e.g. transient failures
+// that survived the retry budget — pass through unwrapped so salvage
+// never mistakes a dying disk for trace corruption.
+func (tr *Reader) readFull(b []byte, atStart bool, what string) (int, error) {
+	n, err := tr.sc.ReadFull(b)
 	if err == nil {
-		return nil
+		return n, nil
 	}
-	if atStart && n == 0 && errors.Is(err, io.EOF) {
-		return io.EOF
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		if atStart && n == 0 {
+			return n, io.EOF
+		}
+		return n, tr.corruptf(tr.sc.Offset(), "truncated %s (%d of %d bytes)", what, n, len(b))
 	}
-	return tr.corruptf(tr.off, "truncated %s (%d of %d bytes)", what, n, len(b))
+	return n, err
+}
+
+// qsndBoundary is the resync probe for QSND v2 framing: a candidate
+// record header is plausible when its timestamp falls inside a sane
+// epoch window (2^40..2^42 ms ≈ 2004–2109, which also rejects
+// all-zero garbage), its protocol is known, and its payload length
+// fits the claimed datagram size.
+var qsndBoundary = salvage.Boundary{
+	HdrLen: recHdrLen + 2,
+	Plausible: func(hdr []byte) (int, bool) {
+		ts := binary.LittleEndian.Uint64(hdr[0:])
+		if ts < 1<<40 || ts > 1<<42 {
+			return 0, false
+		}
+		if hdr[20] > byte(ProtoICMP) {
+			return 0, false
+		}
+		size := binary.LittleEndian.Uint16(hdr[22:])
+		plen := binary.LittleEndian.Uint16(hdr[28:])
+		if plen > size {
+			return 0, false
+		}
+		return recHdrLen + 2 + int(plen), true
+	},
 }
 
 // ReadInto decodes the next record into p — the allocation-free path
@@ -208,9 +264,31 @@ func (tr *Reader) readFull(b []byte, atStart bool, what string) error {
 // ReadInto/Read call; retainers must copy. On io.EOF or corruption p
 // is left in an undefined state.
 func (tr *Reader) ReadInto(p *Packet) error {
+	for {
+		err := tr.readRecord(p)
+		if err == nil {
+			tr.rec++
+			return nil
+		}
+		// Salvage applies only to record-level ErrBadTrace after a
+		// valid file header: a damaged preamble condemns the file, and
+		// genuine I/O errors are not corruption to skip over.
+		if errors.Is(err, io.EOF) || !tr.sc.Pol.SkipCorrupt ||
+			!tr.header || !errors.Is(err, ErrBadTrace) {
+			return err
+		}
+		if rerr := tr.sc.Resync(tr.recStart, tr.suspect, qsndBoundary); rerr != nil {
+			return io.EOF // torn tail: everything salvageable was read
+		}
+	}
+}
+
+// readRecord decodes one record, tracking the suspect bytes a resync
+// would need to rescan on failure.
+func (tr *Reader) readRecord(p *Packet) error {
 	if !tr.header {
 		fh := tr.scratch[:8]
-		if err := tr.readFull(fh, true, "file header"); err != nil {
+		if _, err := tr.readFull(fh, true, "file header"); err != nil {
 			return err
 		}
 		if magic := binary.LittleEndian.Uint32(fh[0:]); magic != storeMagic {
@@ -221,9 +299,11 @@ func (tr *Reader) ReadInto(p *Packet) error {
 		}
 		tr.header = true
 	}
-	recStart := tr.off
+	recStart := tr.sc.Offset()
+	tr.recStart = recStart
 	hdr := &tr.scratch
-	if err := tr.readFull(hdr[:], true, "record header"); err != nil {
+	if n, err := tr.readFull(hdr[:], true, "record header"); err != nil {
+		tr.suspect = append(tr.suspect[:0], hdr[:n]...)
 		return err
 	}
 	*p = Packet{
@@ -238,10 +318,12 @@ func (tr *Reader) ReadInto(p *Packet) error {
 		Weight:  binary.LittleEndian.Uint32(hdr[24:]),
 	}
 	if p.Proto > ProtoICMP {
+		tr.suspect = append(tr.suspect[:0], hdr[:]...)
 		return tr.corruptf(recStart, "unknown protocol %d", byte(p.Proto))
 	}
 	n := int(binary.LittleEndian.Uint16(hdr[28:]))
 	if n > int(p.Size) {
+		tr.suspect = append(tr.suspect[:0], hdr[:]...)
 		return tr.corruptf(recStart, "payload length %d exceeds datagram size %d", n, p.Size)
 	}
 	if n == 0 {
@@ -254,7 +336,11 @@ func (tr *Reader) ReadInto(p *Packet) error {
 	}
 	tr.payload = tr.payload[:n]
 	p.Payload = tr.payload
-	return tr.readFull(p.Payload, false, "payload")
+	if m, err := tr.readFull(p.Payload, false, "payload"); err != nil {
+		tr.suspect = append(append(tr.suspect[:0], hdr[:]...), p.Payload[:m]...)
+		return err
+	}
+	return nil
 }
 
 // Read returns the next packet, freshly allocated (safe to retain), or

@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"quicsand/internal/faultinject"
 	"quicsand/internal/netmodel"
+	"quicsand/internal/salvage"
 )
 
 // validTrace builds a small well-formed trace for corpus seeding.
@@ -58,6 +60,11 @@ func FuzzQSNDReader(f *testing.F) {
 	over := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint16(over[8+28:], 7) // payloadLen > size on record 0
 	f.Add(over)
+	// Fault-injected damage shapes the salvage reader must also survive:
+	// a torn tail, a mid-record bit flip, and a garbage splice.
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.Truncate, Offset: uint64(len(valid)) - 5}))
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.BitFlip, Offset: 8 + 30 + 20, XorMask: 0xFF}))
+	f.Add(faultinject.Apply(valid, faultinject.Fault{Kind: faultinject.Garbage, Offset: 8 + 30, Len: 41, Seed: 3}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -80,6 +87,25 @@ func FuzzQSNDReader(f *testing.F) {
 		}
 		if r.Offset() > uint64(len(data)) {
 			t.Fatalf("offset %d beyond input %d", r.Offset(), len(data))
+		}
+		// Salvage mode must also terminate on the same bytes, recover at
+		// least the fail-fast prefix, and end only in a clean EOF or a
+		// terminal file-header error.
+		sr := NewReader(bytes.NewReader(data))
+		sr.SetSalvage(salvage.Policy{SkipCorrupt: true})
+		salvaged := 0
+		for {
+			_, err := sr.Read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("salvage terminal error class: %v", err)
+				}
+				break
+			}
+			salvaged++
+		}
+		if salvaged < len(decoded) {
+			t.Fatalf("salvage recovered %d records, fail-fast got %d", salvaged, len(decoded))
 		}
 		// Accepted records re-encode canonically.
 		var buf bytes.Buffer

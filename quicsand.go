@@ -78,6 +78,14 @@ type Config struct {
 	// DESIGN.md §11). Replay must pass the recorded run's scenario for
 	// the ground-truth joins to line up, exactly like Seed and Scale.
 	Scenario *scenario.Scenario
+	// Salvage selects Replay's reaction to damaged or failing capture
+	// input (DESIGN.md §14). The zero policy is fail-fast: the first
+	// corrupt record or exhausted read aborts the replay, the historical
+	// behavior. SkipCorrupt resyncs past damaged spans and accounts them
+	// in Telemetry.Ingest; MaxRetries adds bounded exponential-backoff
+	// retries for transient (Temporary()) source errors. Ignored by
+	// live runs — generators do not fail.
+	Salvage capture.SalvagePolicy
 }
 
 // Analysis is the result of one pipeline run: every figure's data,
@@ -448,6 +456,12 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 	// ownership contract as generator slabs: recycling is legal exactly
 	// when no trace tap buffers packet pointers past the sink call.
 	sc := capture.NewScatter(src, workers, cfg.Trace == nil)
+	if cfg.Salvage.Enabled() {
+		// Byte-level salvage (resync, short-read retry) lives in the
+		// source; the scatter adds record-level transient retry on top.
+		capture.SetSalvage(src, cfg.Salvage)
+		sc.SetSalvage(cfg.Salvage)
+	}
 
 	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, sc.Feeds(),
 		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, traceTap(cfg))
@@ -461,6 +475,13 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 	a.Telemetry.Ingest = sc.Telemetry()
 	a.Telemetry.Ingest.Format = capture.SourceFormat(src).String()
 	a.Telemetry.Ingest.DecodeDrops = capture.SourceSkipped(src)
+	if sv := capture.SourceSalvage(src); sv != (capture.SalvageStats{}) {
+		a.Telemetry.Ingest.CorruptRecords = sv.CorruptRecords
+		a.Telemetry.Ingest.ResyncScans = sv.ResyncScans
+		a.Telemetry.Ingest.SalvagedBytes = sv.SalvagedBytes
+		a.Telemetry.Ingest.SalvageMaxLost = sv.MaxLostRecords
+		a.Telemetry.Ingest.TransientRetries += sv.TransientRetries
+	}
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(
@@ -505,6 +526,10 @@ func (a *Analysis) OracleObserved() *oracle.Observed {
 		Responders:          make(map[netmodel.Addr]*oracle.ResponderObs),
 		CommonAttacks:       len(a.CommonDetector.Attacks),
 		CommonInspected:     a.CommonDetector.Inspected,
+		// LostRecords is the salvage ledger's worst-case loss: the
+		// degraded-run error budget oracle.Evaluate relaxes exact
+		// counters by. Zero on clean runs — exact validation applies.
+		LostRecords: a.Telemetry.Ingest.SalvageMaxLost,
 	}
 	for _, s := range a.RequestSessions {
 		if s.Kind() == sessions.KindMixed {

@@ -1,0 +1,301 @@
+package quicsand
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"quicsand/internal/capture"
+	"quicsand/internal/oracle"
+	"quicsand/internal/scenario"
+	"quicsand/internal/telescope"
+)
+
+// salvageFixture records one scenario month and returns the config,
+// expectation, QSND checkpoint and its pcap export.
+func salvageFixture(t *testing.T) (Config, *oracle.Expectation, []byte, []byte) {
+	t.Helper()
+	sc, err := scenario.Builtin("handshake-flood-qfam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 97, Scale: 0.002, ResearchThin: 1 << 14, Workers: 2, Scenario: sc}
+	exp, err := Expect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	w := telescope.NewWriter(&trace)
+	recCfg := cfg
+	recCfg.Trace = w
+	if _, err := Run(recCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	qsnd := trace.Bytes()
+
+	var pcapBuf bytes.Buffer
+	src, err := capture.NewSource(bytes.NewReader(qsnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := capture.NewSink(&pcapBuf, capture.FormatPcap)
+	if _, err := capture.Copy(sink, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, exp, qsnd, pcapBuf.Bytes()
+}
+
+// qsndOffsets walks a QSND store's record start offsets.
+func qsndOffsets(data []byte) []uint64 {
+	var offs []uint64
+	off := uint64(8)
+	for off+30 <= uint64(len(data)) {
+		offs = append(offs, off)
+		plen := binary.LittleEndian.Uint16(data[off+28:])
+		off += 30 + uint64(plen)
+	}
+	return offs
+}
+
+// pcapOffsets walks an LE µs pcap's record start offsets.
+func pcapOffsets(data []byte) []uint64 {
+	var offs []uint64
+	off := uint64(24)
+	for off+16 <= uint64(len(data)) {
+		offs = append(offs, off)
+		incl := binary.LittleEndian.Uint32(data[off+8:])
+		off += 16 + uint64(incl)
+	}
+	return offs
+}
+
+// damageMidRecord destroys exactly one mid-file record in place:
+// invalidating the QSND proto byte or blowing the pcap captured
+// length, so the fixed-size framing is what the reader trips over.
+func damageMidRecord(data []byte, format capture.Format) (bad []byte, k int) {
+	bad = append([]byte(nil), data...)
+	if format == capture.FormatQSND {
+		offs := qsndOffsets(data)
+		k = len(offs) / 2
+		bad[offs[k]+20] = 0xFF
+		return bad, k
+	}
+	offs := pcapOffsets(data)
+	k = len(offs) / 2
+	binary.LittleEndian.PutUint32(bad[offs[k]+8:], 0xFFF00000)
+	return bad, k
+}
+
+// replayBytes opens data as a capture source and replays it.
+func replayBytes(cfg Config, data []byte) (*Analysis, error) {
+	src, err := capture.NewSource(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return Replay(cfg, src)
+}
+
+// TestReplaySalvagedDegradedOracle is the PR's acceptance path for
+// both container formats: a capture with injected mid-file corruption
+// fails fast by default with the original terminal error; in salvage
+// mode the replay completes for every worker count with a
+// worker-invariant analysis, re-checkpoints exactly the clean records
+// minus the damaged span, reports the span through -stats text, the
+// Prometheus exposition and the manifest counters, and validates
+// against the oracle's degraded bounds.
+func TestReplaySalvagedDegradedOracle(t *testing.T) {
+	cfg, exp, qsnd, pcap := salvageFixture(t)
+
+	// The ground truth the salvaged replays must reproduce: every clean
+	// record except the damaged one, in stored order.
+	cleanSrc, err := capture.NewSource(bytes.NewReader(qsnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean []*telescope.Packet
+	for {
+		p, err := cleanSrc.Next()
+		if err != nil {
+			break
+		}
+		q := *p
+		q.Payload = append([]byte(nil), p.Payload...)
+		clean = append(clean, &q)
+	}
+	if len(clean) < 20 {
+		t.Fatalf("fixture too small: %d records", len(clean))
+	}
+
+	for _, in := range []struct {
+		name   string
+		format capture.Format
+		data   []byte
+	}{{"qsnd", capture.FormatQSND, qsnd}, {"pcap", capture.FormatPcap, pcap}} {
+		t.Run(in.name, func(t *testing.T) {
+			bad, k := damageMidRecord(in.data, in.format)
+
+			// Fail-fast (the zero policy) keeps the historical contract.
+			if _, err := replayBytes(cfg, bad); err == nil {
+				t.Fatal("fail-fast replay of damaged capture succeeded")
+			} else if !errors.Is(err, telescope.ErrBadTrace) && !errors.Is(err, capture.ErrBadPcap) {
+				t.Fatalf("fail-fast err = %v, want the format's corruption error", err)
+			}
+
+			// The expected re-checkpoint: clean records minus record k.
+			var wantTrace bytes.Buffer
+			ww := telescope.NewWriter(&wantTrace)
+			for i, p := range clean {
+				if i == k {
+					continue
+				}
+				if err := ww.Write(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ww.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			var renderAll string
+			for _, workers := range []int{1, 2, 8} {
+				scfg := cfg
+				scfg.Workers = workers
+				scfg.Salvage = capture.SalvagePolicy{SkipCorrupt: true}
+
+				var recheck bytes.Buffer
+				w := telescope.NewWriter(&recheck)
+				scfg.Trace = w
+				a, err := replayBytes(scfg, bad)
+				if err != nil {
+					t.Fatalf("workers=%d: salvage replay failed: %v", workers, err)
+				}
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Every record outside the damaged span survives
+				// bit-identically, none are invented.
+				if !bytes.Equal(recheck.Bytes(), wantTrace.Bytes()) {
+					t.Errorf("workers=%d: salvaged re-checkpoint differs from clean-minus-damaged (%d vs %d bytes)",
+						workers, recheck.Len(), wantTrace.Len())
+				}
+
+				// The skipped span is reported on every surface.
+				in := a.Telemetry.Ingest
+				if in.CorruptRecords != 1 || in.ResyncScans != 1 || in.SalvageMaxLost == 0 {
+					t.Errorf("workers=%d: ingest ledger = %+v, want one accounted span", workers, in)
+				}
+				if txt := a.Telemetry.Text(); !strings.Contains(txt, "salvage:") {
+					t.Errorf("workers=%d: -stats text lacks the salvage line:\n%s", workers, txt)
+				}
+				var prom bytes.Buffer
+				a.Telemetry.WritePrometheus(&prom, "quicsand")
+				for _, metric := range []string{
+					"quicsand_ingest_corrupt_records_total 1",
+					"quicsand_ingest_resync_scans_total 1",
+					"quicsand_ingest_salvaged_bytes_total",
+					"quicsand_ingest_salvage_max_lost_total",
+				} {
+					if !strings.Contains(prom.String(), metric) {
+						t.Errorf("workers=%d: exposition lacks %s", workers, metric)
+					}
+				}
+				if mjson, err := json.MarshalIndent(a.Manifest("test"), "", "  "); err != nil || !strings.Contains(string(mjson), `"corrupt_records": 1`) {
+					t.Errorf("workers=%d: manifest lacks the salvage ledger (err=%v)", workers, err)
+				}
+
+				// The oracle validates the degraded run: lower bounds
+				// relaxed by the loss budget, zero violations.
+				obs := a.OracleObserved()
+				if obs.LostRecords == 0 {
+					t.Fatalf("workers=%d: observed no loss budget", workers)
+				}
+				if vs := oracle.Check(exp, obs); len(vs) != 0 {
+					t.Errorf("workers=%d: degraded oracle violations:\n%s",
+						workers, oracle.Report(exp, oracle.Evaluate(exp, obs)))
+				}
+
+				// Salvage must not break replay's worker invariance.
+				if renderAll == "" {
+					renderAll = a.RenderAll()
+				} else if a.RenderAll() != renderAll {
+					t.Errorf("workers=%d: salvaged analysis diverged across worker counts", workers)
+				}
+
+				// The degraded bounds keep their teeth: the budget only
+				// lowers floors, so an inflated counter still violates.
+				inflated := a.OracleObserved()
+				inflated.ResearchPackets += 1 << 20
+				if len(oracle.Check(exp, inflated)) == 0 {
+					t.Errorf("workers=%d: inflated observation passed the degraded oracle", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayTruncatedTail pins the torn-tail contract for both
+// formats: fail-fast surfaces the corruption error, salvage mode
+// replays every complete record and ends cleanly.
+func TestReplayTruncatedTail(t *testing.T) {
+	cfg, _, qsnd, pcap := salvageFixture(t)
+	for _, in := range []struct {
+		name string
+		data []byte
+		offs []uint64
+	}{{"qsnd", qsnd, qsndOffsets(qsnd)}, {"pcap", pcap, pcapOffsets(pcap)}} {
+		t.Run(in.name, func(t *testing.T) {
+			last := in.offs[len(in.offs)-1]
+			torn := in.data[:last+9] // tear inside the final record header
+
+			if _, err := replayBytes(cfg, torn); err == nil {
+				t.Fatal("fail-fast replay of torn capture succeeded")
+			}
+
+			scfg := cfg
+			scfg.Salvage = capture.SalvagePolicy{SkipCorrupt: true}
+			a, err := replayBytes(scfg, torn)
+			if err != nil {
+				t.Fatalf("salvage replay of torn tail failed: %v", err)
+			}
+			want := uint64(len(in.offs) - 1)
+			if a.Telemetry.Ingest.Records != want {
+				t.Errorf("salvaged %d records, want the %d complete ones", a.Telemetry.Ingest.Records, want)
+			}
+			if in := a.Telemetry.Ingest; in.CorruptRecords != 1 || in.SalvageMaxLost == 0 {
+				t.Errorf("torn tail not accounted: %+v", in)
+			}
+		})
+	}
+}
+
+// TestReplaySalvageOffByDefault guards the zero-config contract: a
+// clean replay reports no salvage activity anywhere.
+func TestReplaySalvageOffByDefault(t *testing.T) {
+	cfg, _, qsnd, _ := salvageFixture(t)
+	a, err := replayBytes(cfg, qsnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := a.Telemetry.Ingest
+	if in.CorruptRecords != 0 || in.ResyncScans != 0 || in.SalvagedBytes != 0 ||
+		in.SalvageMaxLost != 0 || in.TransientRetries != 0 {
+		t.Errorf("clean replay carries salvage counters: %+v", in)
+	}
+	if txt := a.Telemetry.Text(); strings.Contains(txt, "salvage:") {
+		t.Errorf("clean -stats text mentions salvage:\n%s", txt)
+	}
+	if obs := a.OracleObserved(); obs.LostRecords != 0 {
+		t.Errorf("clean replay claims a loss budget of %d", obs.LostRecords)
+	}
+}
