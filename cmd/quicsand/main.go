@@ -23,7 +23,15 @@
 //
 //	[-seed N] [-scale F] [-thin N] [-skip-research] [-workers N]
 //	[-scenario NAME|FILE] [-fig SECTION] [-stats] [-manifest FILE]
-//	[-cpuprofile FILE] [-memprofile FILE]
+//	[-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -trace-out records the run on the flight recorder (DESIGN.md §15)
+// and exports the merged stage/shard timeline as Chrome trace-event
+// JSON, loadable in Perfetto (ui.perfetto.dev); -stats additionally
+// summarizes it as a per-stage time-sliced busy table, and -manifest
+// references the trace file. `replay -heartbeat DUR` logs the same
+// structured progress line telescoped emits, for long stored-month
+// replays.
 //
 // -scenario selects the workload: a built-in scenario name
 // (`-scenario list` prints the registry), or a declarative spec file
@@ -58,7 +66,9 @@ import (
 
 	"quicsand"
 	"quicsand/internal/capture"
+	"quicsand/internal/engine"
 	"quicsand/internal/scenario"
+	"quicsand/internal/telemetry"
 )
 
 func main() {
@@ -98,12 +108,26 @@ type simOpts struct {
 	cpuProfile   *string
 	memProfile   *string
 	scenarioSel  *string
+	traceOut     *string
 }
 
 func addSimFlags(fs *flag.FlagSet) *simOpts {
 	o := addBaseSimFlags(fs)
 	o.scenarioSel = fs.String("scenario", "", "workload: built-in scenario name, spec file (.json/.toml), or 'list'")
+	// Registered here rather than in the base set: a flight recorder
+	// records exactly one run, and compare (which reuses the base set)
+	// runs two analyses per invocation.
+	o.traceOut = fs.String("trace-out", "", "write the run's flight-recorder timeline as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	return o
+}
+
+// attachRecorder arms the flight recorder when -trace-out or -stats
+// asks for the timeline. Call once per pipeline run — a recorder
+// records exactly one run.
+func (o *simOpts) attachRecorder(cfg *quicsand.Config) {
+	if (o.traceOut != nil && *o.traceOut != "") || *o.stats {
+		cfg.FlightRecorder = telemetry.NewRecorder(telemetry.RecorderConfig{})
+	}
 }
 
 // addBaseSimFlags registers every shared simulation flag except
@@ -389,6 +413,7 @@ func traceSink(path string, format capture.Format, stderr io.Writer) (sink captu
 // stats and the selected figure. On a failed run the trace is aborted,
 // never finished.
 func simulateAndRender(opts *simOpts, cfg quicsand.Config, command string, finish func() error, abort func(), fig string, stdout, stderr io.Writer) error {
+	opts.attachRecorder(&cfg)
 	var a *quicsand.Analysis
 	err := opts.profiled(func() (err error) {
 		a, err = quicsand.Run(cfg)
@@ -412,16 +437,49 @@ func simulateAndRender(opts *simOpts, cfg quicsand.Config, command string, finis
 }
 
 // report handles the shared observability outputs: -stats prints the
-// full stats report to stderr, -manifest writes the run manifest.
+// full stats report to stderr, -trace-out exports the flight-recorder
+// timeline, -manifest writes the run manifest (referencing the trace).
 func (o *simOpts) report(a *quicsand.Analysis, command string, stderr io.Writer) error {
 	if *o.stats {
 		fmt.Fprint(stderr, a.StatsReport())
 	}
+	if o.traceOut != nil && *o.traceOut != "" {
+		if err := writeTrace(a.Flight, *o.traceOut, stderr); err != nil {
+			return err
+		}
+	}
 	if *o.manifest != "" {
-		if err := a.Manifest(command).WriteFile(*o.manifest); err != nil {
+		m := a.Manifest(command)
+		if o.traceOut != nil {
+			m.TraceFile = *o.traceOut
+		}
+		if err := m.WriteFile(*o.manifest); err != nil {
 			return fmt.Errorf("manifest: %w", err)
 		}
 	}
+	return nil
+}
+
+// writeTrace exports a flight-recorder timeline as Chrome trace-event
+// JSON. A nil timeline means the recorder was never armed — a wiring
+// bug, not a user error, so it surfaces loudly.
+func writeTrace(t *telemetry.Timeline, path string, stderr io.Writer) error {
+	if t == nil {
+		return errors.New("trace-out: run recorded no flight timeline")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace-out %s: %w", path, err)
+	}
+	fmt.Fprintf(stderr, "trace-out: %d spans across %d events written to %s\n",
+		t.SpanCount(), len(t.Events), path)
 	return nil
 }
 
@@ -495,6 +553,7 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	sal := addSalvageFlags(fs)
 	in := fs.String("i", "", "capture file to replay (required)")
 	fig := fs.String("fig", "headline", "section to print: all, headline, headline-json, 2..13, section6")
+	heartbeat := fs.Duration("heartbeat", 0, "progress-log interval on stderr (0 disables)")
 	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
 		return err
 	}
@@ -506,6 +565,18 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg.Salvage = sal.policy()
+	opts.attachRecorder(&cfg)
+	var hb *telemetry.Heartbeat
+	if *heartbeat > 0 {
+		// Same structured progress line telescoped logs: long replays of
+		// month-scale captures get liveness on stderr.
+		live := telemetry.NewLive(engine.Config{Workers: cfg.Workers}.ResolveWorkers())
+		cfg.Live = live
+		hb = telemetry.StartHeartbeat(live, nil, *heartbeat, func(format string, args ...any) {
+			fmt.Fprintf(stderr, "quicsand: replay: "+format+"\n", args...)
+		})
+		defer hb.Stop()
+	}
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
@@ -521,6 +592,12 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 		a, err = quicsand.Replay(cfg, src)
 		return err
 	})
+	if hb != nil {
+		// Progress ends with the pipeline; stopping here (Stop waits for
+		// the ticker goroutine) leaves the report writes below as the
+		// only stderr writer.
+		hb.Stop()
+	}
 	if err != nil {
 		return fmt.Errorf("%s: %w", *in, err)
 	}

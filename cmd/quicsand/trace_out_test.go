@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeTrace is the subset of the Chrome trace-event schema the CLI
+// tests validate.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Name string         `json:"name"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func loadTrace(t *testing.T, path string) chromeTrace {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// spanStages counts "X" events per stage name.
+func (c chromeTrace) spanStages() map[string]int {
+	out := map[string]int{}
+	for _, e := range c.TraceEvents {
+		if e.Ph == "X" {
+			out[e.Name]++
+		}
+	}
+	return out
+}
+
+// TestTraceOutSimulate drives -trace-out through the top-level command
+// and checks the exported JSON, the -stats table, and the manifest's
+// trace reference plus build provenance.
+func TestTraceOutSimulate(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "flight.json")
+	manifest := filepath.Join(dir, "run.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-seed", "3", "-scale", "0.002", "-thin", "1048576",
+		"-workers", "2", "-fig", "headline", "-stats",
+		"-trace-out", trace, "-manifest", manifest,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := loadTrace(t, trace)
+	stages := doc.spanStages()
+	for _, want := range []string{"plan", "generate", "analyze", "dissect", "sessions", "reduce"} {
+		if stages[want] == 0 {
+			t.Errorf("trace has no %q spans: %v", want, stages)
+		}
+	}
+	if stages["scatter"] != 0 || stages["ingest"] != 0 {
+		t.Errorf("live trace carries replay stages: %v", stages)
+	}
+	if !strings.Contains(errOut.String(), "stage-busy % per") {
+		t.Errorf("-stats missing time-sliced table:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "trace-out:") {
+		t.Errorf("trace-out summary line missing:\n%s", errOut.String())
+	}
+
+	var m struct {
+		TraceFile string `json:"trace_file"`
+		Build     struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.TraceFile != trace {
+		t.Errorf("manifest trace_file = %q, want %q", m.TraceFile, trace)
+	}
+	if m.Build.GoVersion == "" {
+		t.Error("manifest missing build provenance")
+	}
+}
+
+// TestTraceOutReplayAndHeartbeat records a capture, replays it with
+// -trace-out and a fast -heartbeat, and checks the replay-side stage
+// vocabulary plus the progress log.
+func TestTraceOutReplayAndHeartbeat(t *testing.T) {
+	dir := t.TempDir()
+	cap := filepath.Join(dir, "month.qsnd")
+	var out, errOut bytes.Buffer
+	err := run([]string{"record", "-seed", "3", "-scale", "0.002", "-thin", "1048576",
+		"-workers", "2", "-o", cap}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(dir, "replay-flight.json")
+	out.Reset()
+	errOut.Reset()
+	err = run([]string{"replay", "-seed", "3", "-scale", "0.002", "-thin", "1048576",
+		"-workers", "2", "-i", cap, "-trace-out", trace,
+		"-heartbeat", "1ms", "-fig", "headline"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stages := loadTrace(t, trace).spanStages()
+	for _, want := range []string{"plan", "scatter", "ingest", "analyze", "dissect", "sessions", "reduce"} {
+		if stages[want] == 0 {
+			t.Errorf("replay trace has no %q spans: %v", want, stages)
+		}
+	}
+	if stages["generate"] != 0 {
+		t.Errorf("replay trace carries generate spans: %v", stages)
+	}
+	if !strings.Contains(errOut.String(), "replay: progress packets=") {
+		t.Errorf("-heartbeat progress line missing:\n%s", errOut.String())
+	}
+}
+
+// TestTraceOutBadPath surfaces an unwritable trace path as an error
+// after the (successful) run instead of swallowing it.
+func TestTraceOutBadPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-seed", "3", "-scale", "0.002", "-skip-research",
+		"-fig", "", "-trace-out", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")},
+		&out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "trace-out") {
+		t.Fatalf("unwritable -trace-out not surfaced: %v", err)
+	}
+}

@@ -12,7 +12,10 @@
 // /metrics (live per-shard counters plus heartbeat gauges, and the
 // final merged snapshot once shutdown begins) together with the
 // standard net/http/pprof handlers; -heartbeat controls the structured
-// progress log (packets/s, shard skew, heap); -manifest FILE writes a
+// progress log (packets/s, shard skew, heap); -trace-out FILE arms the
+// flight recorder (DESIGN.md §15) and writes the stage/shard timeline
+// as Perfetto-loadable Chrome trace JSON at shutdown (referenced from
+// the manifest); -manifest FILE writes a
 // machine-readable run record at shutdown; -record FILE checkpoints
 // every received datagram to a QSND or pcap capture that `quicsand
 // replay` can re-analyze. SIGINT/SIGTERM stop the capture gracefully:
@@ -52,6 +55,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "progress-log interval (0 disables)")
 	manifest := flag.String("manifest", "", "write a machine-readable run manifest at shutdown")
 	record := flag.String("record", "", "record received datagrams to this capture file (.pcap/.cap = libpcap, else QSND)")
+	traceOut := flag.String("trace-out", "", "write the run's flight-recorder timeline as Chrome trace-event JSON at shutdown")
 	flag.Parse()
 
 	opts := serveOpts{
@@ -60,6 +64,7 @@ func main() {
 		heartbeat: *heartbeat,
 		manifest:  *manifest,
 		record:    *record,
+		traceOut:  *traceOut,
 	}
 	if err := run(*listen, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "telescoped:", err)
@@ -107,6 +112,7 @@ type serveOpts struct {
 	heartbeat time.Duration
 	manifest  string // run-manifest path; "" disables
 	record    string // capture-file path; "" disables
+	traceOut  string // flight-recorder trace path; "" disables
 }
 
 // datagram is one received UDP payload with its remote address.
@@ -125,6 +131,10 @@ type datagram struct {
 func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 	n := engine.Config{Workers: opts.workers}.ResolveWorkers()
 	live := telemetry.NewLive(n)
+	var flight *telemetry.Recorder
+	if opts.traceOut != "" {
+		flight = telemetry.NewRecorder(telemetry.RecorderConfig{})
+	}
 
 	var srv *telemetry.Server
 	if opts.metrics != "" {
@@ -136,8 +146,9 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 		srv = s
 		fmt.Fprintf(diag, "telescoped: metrics on http://%s/metrics (pprof on /debug/pprof)\n", s.Addr())
 	}
+	var hb *telemetry.Heartbeat
 	if opts.heartbeat > 0 {
-		hb := telemetry.StartHeartbeat(live, srv, opts.heartbeat, func(format string, args ...any) {
+		hb = telemetry.StartHeartbeat(live, srv, opts.heartbeat, func(format string, args ...any) {
 			fmt.Fprintf(diag, "telescoped: "+format+"\n", args...)
 		})
 		defer hb.Stop()
@@ -210,7 +221,11 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 		dissectors[i] = dissect.NewDissector()
 	}
 	var mu sync.Mutex
-	st := engine.Run(engine.Config{Workers: opts.workers}, feeds, func(shard int, d datagram) bool {
+	st := engine.Run(engine.Config{
+		Workers: opts.workers,
+		// Feed-side worker time is waiting on the socket fan-out.
+		Recorder: flight, FeedStage: telemetry.StageIngest,
+	}, feeds, func(shard int, d datagram) bool {
 		bank := live.Shard(shard)
 		bank.Packets.Add(1)
 		bank.Bytes.Add(uint64(len(d.data)))
@@ -223,6 +238,13 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 		mu.Unlock()
 		return false
 	}, nil)
+
+	// Progress ends when the pipeline drains; stopping the heartbeat
+	// here (Stop waits for its goroutine) leaves the shutdown writes
+	// below as the only diag writer.
+	if hb != nil {
+		hb.Stop()
+	}
 
 	// Final snapshot: merge the per-shard dissector banks, publish to
 	// the endpoint (scrapable until the process exits), and flush the
@@ -254,6 +276,23 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 	fmt.Fprint(out, st)
 	fmt.Fprint(out, snap.Text())
 
+	if flight != nil {
+		tl := flight.Timeline(st.Wall)
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out %s: %w", opts.traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace-out %s: %w", opts.traceOut, err)
+		}
+		fmt.Fprint(out, tl.StageTable(10))
+		fmt.Fprintf(diag, "telescoped: trace written to %s (%d spans)\n", opts.traceOut, tl.SpanCount())
+	}
+
 	if opts.manifest != "" {
 		m := &telemetry.Manifest{
 			Command: "telescoped",
@@ -267,6 +306,7 @@ func serve(opts serveOpts, pc net.PacketConn, out, diag io.Writer) error {
 			PacketsPerSec: st.Throughput(),
 			ShardPackets:  snap.ShardPackets,
 			ShardSkew:     snap.Skew(),
+			TraceFile:     opts.traceOut,
 			Telemetry:     snap,
 		}
 		for _, s := range st.Stages {

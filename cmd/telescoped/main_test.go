@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -358,5 +359,70 @@ func TestServeNoGoroutineLeak(t *testing.T) {
 				baseline, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServeTraceOut runs serve with the flight recorder armed: the
+// probes flow through the instrumented engine, and shutdown writes a
+// parseable Chrome trace, prints the stage table, and references the
+// trace from the manifest.
+func TestServeTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "flight.json")
+	manifest := filepath.Join(dir, "manifest.json")
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := &lockedBuffer{}
+	diag := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(serveOpts{workers: 2, traceOut: tracePath, manifest: manifest}, pc, out, diag)
+	}()
+
+	sendProbes(t, pc.LocalAddr().String())
+	waitFor(t, out, "Initial", "not QUIC")
+
+	pc.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	stages := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			stages[e.Name]++
+		}
+	}
+	// telescoped's feed side is the socket fan-out (ingest); analyze
+	// spans cover the dissect work on both probes.
+	if stages["analyze"] == 0 || stages["ingest"] == 0 {
+		t.Errorf("trace missing engine stages: %v", stages)
+	}
+	if s := out.String(); !strings.Contains(s, "flight recorder:") {
+		t.Errorf("stage table missing from final output:\n%s", s)
+	}
+	if s := diag.String(); !strings.Contains(s, "trace written to "+tracePath) {
+		t.Errorf("trace diag line missing:\n%s", s)
+	}
+	if m, err := os.ReadFile(manifest); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(string(m), `"trace_file": "`+tracePath+`"`) {
+		t.Errorf("manifest missing trace_file:\n%s", m)
 	}
 }

@@ -1,8 +1,10 @@
 package capture
 
 import (
+	"context"
 	"errors"
 	"io"
+	"runtime/pprof"
 	"sync"
 
 	"quicsand/internal/engine"
@@ -69,6 +71,57 @@ type Scatter struct {
 	// only by the reader (or feedInline) and read after engine.Run
 	// returns — channel close/join orders the accesses.
 	tel telemetry.Ingest
+
+	// Flight-recorder state (DESIGN.md §15), owned by the same goroutine
+	// as tel: every sliceItems records the reader closes one ingest span
+	// on its ring and samples the cumulative record count, the slice's
+	// mean batch fill, and the recycle-hit total. nil ring disables all
+	// of it at one branch per record.
+	ring       *telemetry.Ring
+	sliceItems uint64
+	ingStart   int64
+	ingItems   uint64
+	lastFillN  uint64
+	lastFillS  uint64
+}
+
+// SetRecorder attaches the run's flight recorder; the scatter records
+// onto the recorder's reader ring. Call after rec.Prepare and before
+// the feeds start running.
+func (s *Scatter) SetRecorder(rec *telemetry.Recorder) {
+	s.ring = rec.ReaderRing()
+	s.sliceItems = uint64(rec.SliceItems())
+	s.ingStart = s.ring.Now()
+}
+
+// recordIngest accounts one scattered record on the reader ring,
+// flushing the open ingest slice every sliceItems records.
+func (s *Scatter) recordIngest() {
+	if s.ring == nil {
+		return
+	}
+	if s.ingItems++; s.ingItems >= s.sliceItems {
+		now := s.ring.Now()
+		s.ring.Span(telemetry.StageIngest, s.ingStart, now-s.ingStart, s.ingItems)
+		s.ring.Sample(telemetry.CounterRecords, now, s.packets)
+		s.ring.Sample(telemetry.CounterRecycleHits, now, s.tel.BatchReuses)
+		if n := s.tel.BatchFill.Count - s.lastFillN; n > 0 {
+			s.ring.Sample(telemetry.CounterBatchFill, now, (s.tel.BatchFill.Sum-s.lastFillS)/n)
+			s.lastFillN, s.lastFillS = s.tel.BatchFill.Count, s.tel.BatchFill.Sum
+		}
+		s.ingStart, s.ingItems = now, 0
+	}
+}
+
+// flushIngest closes any partial ingest slice at end of stream.
+func (s *Scatter) flushIngest() {
+	if s.ring == nil || s.ingItems == 0 {
+		return
+	}
+	now := s.ring.Now()
+	s.ring.Span(telemetry.StageIngest, s.ingStart, now-s.ingStart, s.ingItems)
+	s.ring.Sample(telemetry.CounterRecords, now, s.packets)
+	s.ingItems = 0
 }
 
 // NewScatter prepares a scatter of src over n shards.
@@ -190,15 +243,21 @@ func (s *Scatter) feedInline(emit func(*telescope.Packet)) {
 			if !errors.Is(err, io.EOF) {
 				s.err = err
 			}
+			s.flushIngest()
 			return
 		}
 		s.packets++
+		s.recordIngest()
 		emit(p)
 	}
 }
 
 func (s *Scatter) feed(i int, emit func(*telescope.Packet)) {
-	s.once.Do(func() { go s.scatter() })
+	s.once.Do(func() {
+		go pprof.Do(context.Background(),
+			pprof.Labels("shard", "reader", "stage", "ingest"),
+			func(context.Context) { s.scatter() })
+	})
 	for b := range s.chans[i] {
 		for j := range b.pkts {
 			emit(&b.pkts[j])
@@ -269,11 +328,13 @@ func (s *Scatter) scatter() {
 			}
 		}
 		s.packets++
+		s.recordIngest()
 		if len(b.pkts) == scatterBatch {
 			sendBatch(k, b)
 			building[k] = nil
 		}
 	}
+	s.flushIngest()
 	for k, b := range building {
 		if b != nil && len(b.pkts) > 0 {
 			sendBatch(k, b)

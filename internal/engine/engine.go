@@ -14,8 +14,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +41,28 @@ type Config struct {
 	// Together with BatchSize it bounds how far a fast shard can run
 	// ahead of the tap merge — the pipeline's backpressure window.
 	TapDepth int
+	// Recorder, when non-nil, is the run's flight recorder (DESIGN.md
+	// §15): every SliceItems items each worker closes an analyze span
+	// (time inside process) and a feed span (time outside it) on its
+	// shard ring, samples its tap queue depth, and the tap merge slices
+	// its own span stream on the driver ring. nil — the default — makes
+	// every instrumented site a single predictable nil check.
+	Recorder *telemetry.Recorder
+	// FeedStage labels the worker's feed-side span track: what the
+	// shard is doing when it is not inside process. Live runs generate
+	// (telemetry.StageGenerate — the zero Stage maps here), replays
+	// drain scatter queues (StageScatter), telescoped waits on its
+	// socket (StageIngest).
+	FeedStage telemetry.Stage
+}
+
+// feedStage resolves the feed-side track label; the zero value
+// (StagePlan, which no feed can be) selects StageGenerate.
+func (c Config) feedStage() telemetry.Stage {
+	if c.FeedStage == telemetry.StagePlan {
+		return telemetry.StageGenerate
+	}
+	return c.FeedStage
 }
 
 // ResolveWorkers returns the effective shard count.
@@ -200,24 +225,56 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 	st := NewStats(n)
 	st.ShardItems = make([]uint64, n)
 	st.ShardBusy = make([]time.Duration, n)
+	rec := cfg.Recorder
+	rec.Prepare(n) // idempotent; nil-safe
+	sliceLimit := uint64(rec.SliceItems())
+	feedStage := cfg.feedStage()
 	t0 := time.Now()
 
 	if n == 1 {
 		// Sequential path: no goroutines, no channels. The tap sink's
 		// own wall time is metered separately so the "tap" stage
 		// reports what the sink actually cost instead of double
-		// counting the whole analyze pass.
+		// counting the whole analyze pass. With a recorder the same
+		// clock reads additionally close per-slice spans on shard 0's
+		// ring (analyze = process, merge = tap sink, feed = the rest).
 		var tapped uint64
 		var tapWall time.Duration
-		feeds[0](func(item T) {
-			st.ShardItems[0]++
-			if process(0, item) && tap != nil {
-				tapped++
-				s := time.Now()
-				tap.Sink(item)
-				tapWall += time.Since(s)
-			}
+		ring := rec.ShardRing(0)
+		var sl spanSlice
+		sl.start = ring.Now()
+		pprof.Do(context.Background(), pprof.Labels("shard", "0", "stage", "analyze"), func(context.Context) {
+			feeds[0](func(item T) {
+				st.ShardItems[0]++
+				if ring == nil {
+					if process(0, item) && tap != nil {
+						tapped++
+						s := time.Now()
+						tap.Sink(item)
+						tapWall += time.Since(s)
+					}
+					return
+				}
+				p0 := ring.Now()
+				keep := process(0, item)
+				p1 := ring.Now()
+				sl.procNS += p1 - p0
+				if keep && tap != nil {
+					tapped++
+					tap.Sink(item)
+					p2 := ring.Now()
+					sl.tapNS += p2 - p1
+					sl.tapped++
+					tapWall += time.Duration(p2 - p1)
+				}
+				if sl.items++; sl.items >= sliceLimit {
+					sl.flush(ring, feedStage, tap != nil, ring.Now())
+				}
+			})
 		})
+		if ring != nil && sl.items > 0 {
+			sl.flush(ring, feedStage, tap != nil, ring.Now())
+		}
 		st.ShardBusy[0] = time.Since(t0)
 		st.AddStage("analyze", st.ShardItems[0], st.ShardBusy[0]-tapWall)
 		if tap != nil {
@@ -249,56 +306,80 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			tel := &workerTel[i]
-			start := time.Now()
-			var buf []T
-			nextBuf := func() []T {
-				// Reuse a batch the merge side has drained; allocate
-				// only while the recycling loop is still priming.
-				select {
-				case b := <-freeChans[i]:
-					tel.BufReuses++
-					return b
-				default:
-					tel.BufAllocs++
-					return make([]T, 0, batch)
-				}
-			}
-			sendBatch := func() {
-				tel.TapBatches++
-				tel.TapBatchFill.Observe(uint64(len(buf)))
-				if q := uint64(len(tapChans[i])); q > tel.QueueHighWater {
-					tel.QueueHighWater = q
-				}
-				tapChans[i] <- buf
-				buf = nil
-			}
-			feeds[i](func(item T) {
-				st.ShardItems[i]++
-				keep := process(i, item)
-				if tapChans != nil && keep {
-					if buf == nil {
-						buf = nextBuf()
+			pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i), "stage", "analyze"), func(context.Context) {
+				tel := &workerTel[i]
+				start := time.Now()
+				ring := rec.ShardRing(i)
+				var sl spanSlice
+				sl.start = ring.Now()
+				var buf []T
+				nextBuf := func() []T {
+					// Reuse a batch the merge side has drained; allocate
+					// only while the recycling loop is still priming.
+					select {
+					case b := <-freeChans[i]:
+						tel.BufReuses++
+						return b
+					default:
+						tel.BufAllocs++
+						return make([]T, 0, batch)
 					}
-					buf = append(buf, item)
-					if len(buf) >= batch {
+				}
+				sendBatch := func() {
+					tel.TapBatches++
+					tel.TapBatchFill.Observe(uint64(len(buf)))
+					if q := uint64(len(tapChans[i])); q > tel.QueueHighWater {
+						tel.QueueHighWater = q
+					}
+					tapChans[i] <- buf
+					buf = nil
+				}
+				feeds[i](func(item T) {
+					st.ShardItems[i]++
+					var keep bool
+					if ring == nil {
+						keep = process(i, item)
+					} else {
+						p0 := ring.Now()
+						keep = process(i, item)
+						sl.procNS += ring.Now() - p0
+						if sl.items++; sl.items >= sliceLimit {
+							now := ring.Now()
+							sl.flush(ring, feedStage, false, now)
+							if tapChans != nil {
+								ring.Sample(telemetry.CounterQueueDepth, now, uint64(len(tapChans[i])))
+							}
+						}
+					}
+					if tapChans != nil && keep {
+						if buf == nil {
+							buf = nextBuf()
+						}
+						buf = append(buf, item)
+						if len(buf) >= batch {
+							sendBatch()
+						}
+					}
+				})
+				if ring != nil && sl.items > 0 {
+					sl.flush(ring, feedStage, false, ring.Now())
+				}
+				if tapChans != nil {
+					if len(buf) > 0 {
 						sendBatch()
 					}
+					close(tapChans[i])
 				}
+				st.ShardBusy[i] = time.Since(start)
 			})
-			if tapChans != nil {
-				if len(buf) > 0 {
-					sendBatch()
-				}
-				close(tapChans[i])
-			}
-			st.ShardBusy[i] = time.Since(start)
 		}(i)
 	}
 
 	var tapped uint64
 	if tap != nil {
-		tapped = mergeTap(tapChans, freeChans, tap)
+		pprof.Do(context.Background(), pprof.Labels("shard", "merge", "stage", "merge"), func(context.Context) {
+			tapped = mergeTap(tapChans, freeChans, tap, rec.DriverRing(), sliceLimit)
+		})
 	}
 	wg.Wait()
 	for i := range workerTel {
@@ -314,6 +395,31 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 	return st
 }
 
+// spanSlice accumulates one in-progress recorder slice on a worker:
+// wall window start, time spent inside process, and (sequential path
+// only) time inside the tap sink. flush closes the slice's spans and
+// re-anchors it at now.
+type spanSlice struct {
+	start  int64
+	procNS int64
+	tapNS  int64
+	items  uint64
+	tapped uint64
+}
+
+func (s *spanSlice) flush(ring *telemetry.Ring, feedStage telemetry.Stage, withTap bool, now int64) {
+	ring.Span(telemetry.StageAnalyze, s.start, s.procNS, s.items)
+	feedNS := (now - s.start) - s.procNS - s.tapNS
+	if feedNS < 0 {
+		feedNS = 0
+	}
+	ring.Span(feedStage, s.start, feedNS, s.items)
+	if withTap {
+		ring.Span(telemetry.StageMerge, s.start, s.tapNS, s.tapped)
+	}
+	*s = spanSlice{start: now}
+}
+
 // mergeTap performs the streaming k-way merge of the per-shard tap
 // streams. Each stream arrives batched and already ordered by
 // tap.Less; a loser tree over the stream heads emits the least head in
@@ -322,7 +428,10 @@ func Run[T any](cfg Config, feeds []Feed[T], process func(shard int, item T) boo
 // which backpressures nothing — the channel already holds data or the
 // shard is ahead) as it drains. Drained batch buffers are recycled to
 // their shard through free. Memory is bounded by shards × batch items.
-func mergeTap[T any](chans, free []chan []T, tap *Tap[T]) uint64 {
+// With a recorder, every sliceLimit emitted items close one merge span
+// on the driver ring (span wall includes waiting on shard channels —
+// the merge track shows occupancy, not pure CPU).
+func mergeTap[T any](chans, free []chan []T, tap *Tap[T], ring *telemetry.Ring, sliceLimit uint64) uint64 {
 	n := len(chans)
 	heads := make([][]T, n) // current batch per shard; nil when closed
 	pos := make([]int, n)
@@ -334,6 +443,24 @@ func mergeTap[T any](chans, free []chan []T, tap *Tap[T]) uint64 {
 		}
 	}
 	var emitted uint64
+	sliceStart := ring.Now()
+	var sliceItems uint64
+	record := func() {
+		if ring == nil {
+			return
+		}
+		if sliceItems++; sliceItems >= sliceLimit {
+			now := ring.Now()
+			ring.Span(telemetry.StageMerge, sliceStart, now-sliceStart, sliceItems)
+			sliceStart, sliceItems = now, 0
+		}
+	}
+	defer func() {
+		if ring != nil && sliceItems > 0 {
+			now := ring.Now()
+			ring.Span(telemetry.StageMerge, sliceStart, now-sliceStart, sliceItems)
+		}
+	}()
 
 	// advance consumes the current head of stream w, recycling and
 	// refilling its batch as needed. Reports whether the stream closed.
@@ -361,6 +488,7 @@ func mergeTap[T any](chans, free []chan []T, tap *Tap[T]) uint64 {
 		for live > 0 {
 			tap.Sink(heads[0][pos[0]])
 			emitted++
+			record()
 			advance(0)
 		}
 		return emitted
@@ -395,6 +523,7 @@ func mergeTap[T any](chans, free []chan []T, tap *Tap[T]) uint64 {
 		w := tree.Winner()
 		tap.Sink(heads[w][pos[w]])
 		emitted++
+		record()
 		advance(w)
 		tree.Fix(w)
 	}

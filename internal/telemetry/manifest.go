@@ -3,7 +3,42 @@ package telemetry
 import (
 	"encoding/json"
 	"os"
+	"runtime"
+	"runtime/debug"
 )
+
+// Build identifies the binary that produced a manifest, so BENCH_*.json
+// snapshots and run records are attributable to a commit.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	// Revision/Time/Dirty come from the Go toolchain's embedded VCS
+	// stamp (absent for plain `go test` binaries and -buildvcs=false).
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Dirty    bool   `json:"vcs_dirty,omitempty"`
+	Module   string `json:"module,omitempty"`
+}
+
+// Provenance reads the running binary's build information.
+func Provenance() Build {
+	b := Build{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
 
 // StageTiming is one pipeline stage's contribution to a manifest.
 type StageTiming struct {
@@ -19,6 +54,7 @@ type StageTiming struct {
 // produce equal manifests.
 type Manifest struct {
 	Command       string        `json:"command"`
+	Build         Build         `json:"build"`
 	Config        any           `json:"config,omitempty"`
 	Workers       int           `json:"workers"`
 	WallNS        int64         `json:"wall_ns"`
@@ -26,11 +62,18 @@ type Manifest struct {
 	Stages        []StageTiming `json:"stages,omitempty"`
 	ShardPackets  []uint64      `json:"shard_packets,omitempty"`
 	ShardSkew     float64       `json:"shard_skew"`
-	Telemetry     *Snapshot     `json:"telemetry,omitempty"`
+	// TraceFile names the flight-recorder trace exported alongside this
+	// run (`-trace-out`), empty when tracing was off.
+	TraceFile string    `json:"trace_file,omitempty"`
+	Telemetry *Snapshot `json:"telemetry,omitempty"`
 }
 
-// WriteFile writes the manifest as indented JSON.
+// WriteFile writes the manifest as indented JSON, stamping build
+// provenance if the caller has not already.
 func (m *Manifest) WriteFile(path string) error {
+	if m.Build.GoVersion == "" {
+		m.Build = Provenance()
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err

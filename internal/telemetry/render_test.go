@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTextEmptySnapshot pins the degenerate rendering: a snapshot that
+// saw no traffic at all prints only its header line — no stray
+// sections, no divide-by-zero means.
+func TestTextEmptySnapshot(t *testing.T) {
+	s := &Snapshot{}
+	out := s.Text()
+	if want := "telemetry (0 workers)\n"; out != want {
+		t.Fatalf("empty snapshot rendered %q, want %q", out, want)
+	}
+}
+
+// TestTextSalvageLine checks the salvage line appears exactly when a
+// degraded ingest recorded damage, and stays absent for clean replays
+// even with nonzero ingest traffic.
+func TestTextSalvageLine(t *testing.T) {
+	clean := &Snapshot{Workers: 2}
+	clean.Ingest.Records = 100
+	clean.Ingest.Format = "qsnd"
+	if out := clean.Text(); strings.Contains(out, "salvage:") {
+		t.Fatalf("clean ingest rendered a salvage line:\n%s", out)
+	}
+
+	damaged := &Snapshot{Workers: 2}
+	damaged.Ingest.Records = 100
+	damaged.Ingest.Format = "qsnd"
+	damaged.Ingest.CorruptRecords = 3
+	damaged.Ingest.ResyncScans = 2
+	damaged.Ingest.SalvagedBytes = 512
+	damaged.Ingest.SalvageMaxLost = 5
+	out := damaged.Text()
+	if !strings.Contains(out, "salvage:  3 corrupt records skipped over 2 resyncs") {
+		t.Fatalf("salvage line missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "<= 5 records lost") {
+		t.Fatalf("max-lost bound missing:\n%s", out)
+	}
+
+	// Transient retries alone (no corruption) must still surface.
+	retries := &Snapshot{Workers: 1}
+	retries.Ingest.Records = 10
+	retries.Ingest.Format = "pcap"
+	retries.Ingest.TransientRetries = 4
+	if out := retries.Text(); !strings.Contains(out, "salvage:") {
+		t.Fatalf("retry-only salvage line missing:\n%s", out)
+	}
+}
+
+// TestTextBatchDetail checks the ingest batch sub-clause renders only
+// when the scatter actually batched (multi-shard replays), so the
+// single-shard inline path keeps a clean line.
+func TestTextBatchDetail(t *testing.T) {
+	inline := &Snapshot{Workers: 1}
+	inline.Ingest.Records = 50
+	inline.Ingest.Format = "qsnd"
+	if out := inline.Text(); strings.Contains(out, "batches") {
+		t.Fatalf("inline ingest rendered batch detail:\n%s", out)
+	}
+
+	batched := &Snapshot{Workers: 2}
+	batched.Ingest.Records = 50
+	batched.Ingest.Format = "qsnd"
+	batched.Ingest.Batches = 2
+	batched.Ingest.BatchFill.Observe(25)
+	batched.Ingest.BatchFill.Observe(25)
+	if out := batched.Text(); !strings.Contains(out, "2 batches (mean fill 25.0") {
+		t.Fatalf("batch detail missing:\n%s", out)
+	}
+}
+
+// TestStageTableZeroWall pins the zero-wall-clock guard in the stats
+// view from the caller's side: events recorded but no elapsed time
+// (a sub-millisecond run rounded to zero) must not divide by zero.
+func TestStageTableZeroWall(t *testing.T) {
+	tl := &Timeline{
+		Workers: 1,
+		WallNS:  0,
+		Events: []TimelineEvent{{Label: "shard 0",
+			Event: Event{Kind: kindSpan, Stage: StageAnalyze, TS: 0, Dur: 10}}},
+	}
+	out := tl.StageTable(10)
+	if !strings.Contains(out, "no time-sliced view") {
+		t.Fatalf("zero-wall guard missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 events") {
+		t.Fatalf("event count header missing:\n%s", out)
+	}
+
+	// cols < 1 falls back to the default width instead of panicking.
+	ok := &Timeline{Workers: 1, WallNS: 1000,
+		Events: []TimelineEvent{{Label: "shard 0",
+			Event: Event{Kind: kindSpan, Stage: StageAnalyze, TS: 0, Dur: 10}}}}
+	if out := ok.StageTable(0); !strings.Contains(out, "10 intervals") {
+		t.Fatalf("cols fallback missing:\n%s", out)
+	}
+}
+
+// TestPrometheusSalvageCounters checks the five salvage ingest_*
+// counters render (present with zero values on clean runs — scrapers
+// need stable series).
+func TestPrometheusSalvageCounters(t *testing.T) {
+	var b strings.Builder
+	(&Snapshot{}).WritePrometheus(&b, "q")
+	doc := b.String()
+	for _, name := range []string{
+		"q_ingest_corrupt_records_total 0",
+		"q_ingest_resync_scans_total 0",
+		"q_ingest_salvaged_bytes_total 0",
+		"q_ingest_salvage_max_lost_total 0",
+		"q_ingest_transient_retries_total 0",
+	} {
+		if !strings.Contains(doc, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+}

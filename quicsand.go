@@ -86,6 +86,20 @@ type Config struct {
 	// retries for transient (Temporary()) source errors. Ignored by
 	// live runs — generators do not fail.
 	Salvage capture.SalvagePolicy
+	// FlightRecorder, when non-nil, records the run's stage/shard
+	// timeline (DESIGN.md §15): per-slice spans for every pipeline stage
+	// plus queue-depth/rate samples, merged into Analysis.Flight after
+	// the run. A recorder records exactly one run — build a fresh
+	// telemetry.NewRecorder per Run/Replay call. nil (the default) keeps
+	// every instrumented site a single nil check; analysis results are
+	// identical either way.
+	FlightRecorder *telemetry.Recorder
+	// Live, when non-nil, receives per-shard atomic progress counters
+	// while the pipeline runs, for concurrent heartbeat/endpoint
+	// sampling (`quicsand replay -heartbeat`, mirroring telescoped).
+	// Must be sized for the resolved worker count. nil — the default —
+	// keeps the hot path free of atomics.
+	Live *telemetry.Live
 }
 
 // Analysis is the result of one pipeline run: every figure's data,
@@ -133,6 +147,12 @@ type Analysis struct {
 	// projection is bit-identical across worker counts and live/replay;
 	// the rest (cache, recycling, balance) describes this execution.
 	Telemetry *telemetry.Snapshot
+
+	// Flight is the merged flight-recorder timeline, set only when
+	// Config.FlightRecorder was non-nil. Span structure (per-stage event
+	// counts at a fixed worker count) is deterministic; timestamps and
+	// durations describe this execution (DESIGN.md §15).
+	Flight *telemetry.Timeline
 }
 
 // sourceClassifier builds the Figure 2 labeller ("TUM-Scans",
@@ -182,6 +202,83 @@ type pipelineShard struct {
 	dis          *dissect.Dissector
 	sessions     []*sessions.Session
 	nonQUIC      uint64
+
+	// Flight-recorder state (DESIGN.md §15): the shard's ring plus the
+	// open slice's dissect/sessions sub-stage accumulators. nil ring —
+	// the default — reduces every instrumented site to one branch.
+	ring *telemetry.Ring
+	fl   shardFlight
+	// live is the shard's atomic progress bank (Config.Live), nil when
+	// no concurrent observer is attached.
+	live *telemetry.LiveShard
+}
+
+// shardFlight accumulates one recorder slice's sub-stage shares: how
+// much of the shard's analyze time the dissector and the sessionizers
+// consumed, aggregated per slice (per-packet spans would overflow any
+// ring on month-scale runs).
+type shardFlight struct {
+	slice  uint64
+	start  int64
+	items  uint64
+	total  uint64 // cumulative packets, across slices
+	disNS  int64
+	disN   uint64
+	sessNS int64
+	sessN  uint64
+}
+
+// setRecorder attaches the shard's ring. Call before the run starts.
+func (sh *pipelineShard) setRecorder(ring *telemetry.Ring, sliceItems int) {
+	sh.ring = ring
+	sh.fl.slice = uint64(sliceItems)
+	sh.fl.start = ring.Now()
+}
+
+// flightSlice closes the open slice: one aggregated dissect span, one
+// aggregated sessions span (anchored at the slice start), and one
+// cumulative packet-count sample — the counter track whose slope is
+// the shard's per-interval packet rate in Perfetto.
+func (sh *pipelineShard) flightSlice(now int64) {
+	f := &sh.fl
+	sh.ring.Span(telemetry.StageDissect, f.start, f.disNS, f.disN)
+	sh.ring.Span(telemetry.StageSessions, f.start, f.sessNS, f.sessN)
+	f.total += f.items
+	sh.ring.Sample(telemetry.CounterRecords, now, f.total)
+	*f = shardFlight{slice: f.slice, start: now, total: f.total}
+}
+
+// flightClose flushes a partial final slice after the stream drains;
+// runs on the reducing goroutine, after the worker join ordered the
+// ring writes.
+func (sh *pipelineShard) flightClose() {
+	if sh.ring != nil && sh.fl.items > 0 {
+		sh.flightSlice(sh.ring.Now())
+	}
+}
+
+// dissectPkt meters one dissection when the recorder is on.
+func (sh *pipelineShard) dissectPkt(payload []byte) (*dissect.Result, error) {
+	if sh.ring == nil {
+		return sh.dis.Dissect(payload)
+	}
+	t0 := sh.ring.Now()
+	r, err := sh.dis.Dissect(payload)
+	sh.fl.disNS += sh.ring.Now() - t0
+	sh.fl.disN++
+	return r, err
+}
+
+// observe meters one sessionizer offer when the recorder is on.
+func (sh *pipelineShard) observe(sz *sessions.Sessionizer, p *telescope.Packet, res *dissect.Result) {
+	if sh.ring == nil {
+		sz.Observe(p, res)
+		return
+	}
+	t0 := sh.ring.Now()
+	sz.Observe(p, res)
+	sh.fl.sessNS += sh.ring.Now() - t0
+	sh.fl.sessN++
 }
 
 func newPipelineShard(in *netmodel.Internet, tum, rwth netmodel.Prefix) *pipelineShard {
@@ -206,6 +303,17 @@ func newPipelineShard(in *netmodel.Internet, tum, rwth netmodel.Prefix) *pipelin
 // process runs one packet through the shard's analysis chain and
 // reports whether the telescope captured it (the trace-tap predicate).
 func (sh *pipelineShard) process(p *telescope.Packet) bool {
+	if sh.ring != nil {
+		// Slice boundaries derive from the shard's packet count, so the
+		// per-stage span structure is deterministic (DESIGN.md §15).
+		if sh.fl.items++; sh.fl.items >= sh.fl.slice {
+			sh.flightSlice(sh.ring.Now())
+		}
+	}
+	if sh.live != nil {
+		sh.live.Packets.Add(1)
+		sh.live.Bytes.Add(uint64(p.Size))
+	}
 	if !sh.tel.Offer(p) {
 		return false
 	}
@@ -217,23 +325,26 @@ func (sh *pipelineShard) process(p *telescope.Packet) bool {
 	}
 	switch p.Proto {
 	case telescope.ProtoTCP, telescope.ProtoICMP:
-		sh.commonSz.Observe(p, nil)
+		sh.observe(sh.commonSz, p, nil)
 	case telescope.ProtoUDP:
 		if !p.IsQUICCandidate() {
 			return true
 		}
 		var res *dissect.Result
 		if p.Payload != nil {
-			r, err := sh.dis.Dissect(p.Payload)
+			r, err := sh.dissectPkt(p.Payload)
 			if err != nil {
 				sh.nonQUIC++
+				if sh.live != nil {
+					sh.live.NonQUIC.Add(1)
+				}
 				return true
 			}
 			res = r
 		}
 		sh.hourlyType.Capture(p)
 		sh.sweep.RecordSource(p.Src)
-		sh.quicSz.Observe(p, res)
+		sh.observe(sh.quicSz, p, res)
 	}
 	return true
 }
@@ -317,6 +428,7 @@ func (a *Analysis) reduce(shards []*pipelineShard, tum, rwth netmodel.Prefix) {
 	a.CommonDetector.DropExcluded = true
 	for _, sh := range shards {
 		sh.flush()
+		sh.flightClose()
 		a.Telescope.Merge(sh.tel)
 		a.HourlySource.Merge(sh.hourlySource)
 		a.HourlyType.Merge(sh.hourlyType)
@@ -386,15 +498,26 @@ func collectTelemetry(cfg Config, shards []*pipelineShard, pstats *engine.Stats)
 func Run(cfg Config) (*Analysis, error) {
 	schedStart := time.Now()
 	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
+	rec := cfg.FlightRecorder
+	rec.Prepare(workers)
+	drv := rec.DriverRing()
 
 	a := &Analysis{Config: cfg}
+	plan0 := drv.Now()
 	gen, tum, rwth, err := prepare(cfg, a)
 	if err != nil {
 		return nil, err
 	}
+	drv.Span(telemetry.StagePlan, plan0, drv.Now()-plan0, uint64(len(gen.Sources())))
 	schedWall := time.Since(schedStart)
 
 	shards := newShards(a, tum, rwth, workers)
+	for i, sh := range shards {
+		sh.setRecorder(rec.ShardRing(i), rec.SliceItems())
+		if cfg.Live != nil {
+			sh.live = cfg.Live.Shard(i)
+		}
+	}
 	feeds := make([]engine.Feed[*telescope.Packet], workers)
 	// Packet-slab recycling is legal only when nothing retains packet
 	// pointers past the sink call; the trace tap buffers packets across
@@ -404,17 +527,21 @@ func Run(cfg Config) (*Analysis, error) {
 		feeds[i] = m.Run
 	}
 
-	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, feeds,
+	pstats := engine.Run(
+		engine.Config{Workers: cfg.Workers, Recorder: rec, FeedStage: telemetry.StageGenerate},
+		feeds,
 		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, traceTap(cfg))
 	a.Truth = gen.Truth
 
 	reduceStart := time.Now()
+	red0 := drv.Now()
 	a.reduce(shards, tum, rwth)
 	a.Telemetry = collectTelemetry(cfg, shards, pstats)
 	for _, m := range mergers {
 		g := m.Telemetry()
 		a.Telemetry.Generate.Merge(&g)
 	}
+	drv.Span(telemetry.StageReduce, red0, drv.Now()-red0, uint64(len(a.QUICSessions)))
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(
@@ -422,6 +549,7 @@ func Run(cfg Config) (*Analysis, error) {
 		pstats.Stages...)
 	pstats.Wall = time.Since(schedStart)
 	a.Pipeline = pstats
+	a.Flight = rec.Timeline(pstats.Wall)
 	return a, nil
 }
 
@@ -442,20 +570,32 @@ func Run(cfg Config) (*Analysis, error) {
 func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 	schedStart := time.Now()
 	workers := engine.Config{Workers: cfg.Workers}.ResolveWorkers()
+	rec := cfg.FlightRecorder
+	rec.Prepare(workers)
+	drv := rec.DriverRing()
 
 	a := &Analysis{Config: cfg}
+	plan0 := drv.Now()
 	gen, tum, rwth, err := prepare(cfg, a)
 	if err != nil {
 		return nil, err
 	}
+	drv.Span(telemetry.StagePlan, plan0, drv.Now()-plan0, uint64(len(gen.Sources())))
 	a.Truth = gen.Truth // scheduling alone fixes the ground truth
 	schedWall := time.Since(schedStart)
 
 	shards := newShards(a, tum, rwth, workers)
+	for i, sh := range shards {
+		sh.setRecorder(rec.ShardRing(i), rec.SliceItems())
+		if cfg.Live != nil {
+			sh.live = cfg.Live.Shard(i)
+		}
+	}
 	// Replayed packets live in scatter-owned slabs under the same §9
 	// ownership contract as generator slabs: recycling is legal exactly
 	// when no trace tap buffers packet pointers past the sink call.
 	sc := capture.NewScatter(src, workers, cfg.Trace == nil)
+	sc.SetRecorder(rec)
 	if cfg.Salvage.Enabled() {
 		// Byte-level salvage (resync, short-read retry) lives in the
 		// source; the scatter adds record-level transient retry on top.
@@ -463,13 +603,16 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 		sc.SetSalvage(cfg.Salvage)
 	}
 
-	pstats := engine.Run(engine.Config{Workers: cfg.Workers}, sc.Feeds(),
+	pstats := engine.Run(
+		engine.Config{Workers: cfg.Workers, Recorder: rec, FeedStage: telemetry.StageScatter},
+		sc.Feeds(),
 		func(i int, p *telescope.Packet) bool { return shards[i].process(p) }, traceTap(cfg))
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("quicsand: replay: %w", err)
 	}
 
 	reduceStart := time.Now()
+	red0 := drv.Now()
 	a.reduce(shards, tum, rwth)
 	a.Telemetry = collectTelemetry(cfg, shards, pstats)
 	a.Telemetry.Ingest = sc.Telemetry()
@@ -482,6 +625,7 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 		a.Telemetry.Ingest.SalvageMaxLost = sv.MaxLostRecords
 		a.Telemetry.Ingest.TransientRetries += sv.TransientRetries
 	}
+	drv.Span(telemetry.StageReduce, red0, drv.Now()-red0, uint64(len(a.QUICSessions)))
 
 	pstats.AddStage("reduce", uint64(len(a.QUICSessions)), time.Since(reduceStart))
 	pstats.Stages = append(
@@ -489,6 +633,7 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 		pstats.Stages...)
 	pstats.Wall = time.Since(schedStart)
 	a.Pipeline = pstats
+	a.Flight = rec.Timeline(pstats.Wall)
 	return a, nil
 }
 

@@ -2,7 +2,7 @@
 # bench_snapshot.sh — run the tracked perf benchmarks and write them as
 # JSON so the repo accumulates a perf trajectory PR over PR.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_PR7.json)
+# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_PR8.json)
 #
 # The JSON is a flat list of records:
 #   {"bench": name, "ns_per_op": float, "bytes_per_op": int,
@@ -11,7 +11,7 @@
 # in EXPERIMENTS.md; the CI invocation only guards against bit rot.
 set -eu
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 bench_re='Pipeline|Dissect|Replay|Scenario|Table1Floods'
 benchtime="${BENCHTIME:-1x}"
 

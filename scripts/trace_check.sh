@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# trace_check.sh — structural validation of a flight-recorder trace
+# (the CI trace-smoke gate). Asserts the file is well-formed Chrome
+# trace-event JSON (DESIGN.md §15) and that the pipeline actually
+# recorded work: metadata, span and counter phases all present, and
+# every required stage carries at least one span.
+#
+# Usage: scripts/trace_check.sh FILE [required-stage ...]
+#
+# Without explicit stages the live-pipeline vocabulary is required
+# (plan, generate, analyze, dissect, sessions, reduce). For a replay
+# trace pass: plan scatter ingest analyze dissect sessions reduce.
+# TRACE_REQUIRE_COUNTERS=0 drops the counter-phase requirement — for
+# traces of runs too small to close a slice (e.g. a short telescoped
+# session), which record spans but no counter samples.
+set -eu
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 FILE [required-stage ...]" >&2
+    exit 2
+fi
+file="$1"
+shift
+stages="${*:-plan generate analyze dissect sessions reduce}"
+
+python3 - "$file" $stages <<'EOF'
+import json, os, sys
+
+path, required = sys.argv[1], sys.argv[2:]
+want_phases = ("M", "X", "C")
+if os.environ.get("TRACE_REQUIRE_COUNTERS") == "0":
+    want_phases = ("M", "X")
+with open(path) as f:
+    doc = json.load(f)
+
+events = doc.get("traceEvents")
+assert isinstance(events, list) and events, "traceEvents missing or empty"
+
+phases = {}
+spans = {}
+for e in events:
+    ph = e["ph"]
+    phases[ph] = phases.get(ph, 0) + 1
+    if ph == "M":
+        assert e.get("name") in ("process_name", "thread_name", "thread_sort_index"), e
+    elif ph == "X":
+        assert e["ts"] >= 0 and e["dur"] >= 0, f"negative time: {e}"
+        assert "items" in e.get("args", {}), f"span without items: {e}"
+        spans[e["name"]] = spans.get(e["name"], 0) + 1
+    elif ph == "C":
+        assert "value" in e.get("args", {}), f"counter without value: {e}"
+
+for ph in want_phases:
+    assert phases.get(ph, 0) > 0, f"no {ph!r} events: {phases}"
+missing = [s for s in required if spans.get(s, 0) == 0]
+assert not missing, f"stages without spans: {missing} (have {spans})"
+
+total = sum(spans.values())
+print(f"trace_check: {path}: {len(events)} events, "
+      f"{total} spans across {len(spans)} stages, {phases.get('C', 0)} counter samples")
+EOF

@@ -30,6 +30,9 @@ func (a *Analysis) StatsReport() string {
 		}
 		b.WriteString(t.Text())
 	}
+	if a.Flight != nil {
+		b.WriteString(a.Flight.StageTable(10))
+	}
 	return b.String()
 }
 
