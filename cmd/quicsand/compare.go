@@ -160,13 +160,14 @@ func compareOne(opts *simOpts, sc *scenario.Scenario, input string, pol capture.
 			return err
 		}
 		defer f.Close()
-		src, err := capture.NewSource(f)
+		src, err := capture.OpenFile(f)
 		if err != nil {
 			return fmt.Errorf("%s: %w", input, err)
 		}
+		defer closeSource(src)
 		a, err = quicsand.Replay(cfg, src)
 		if err == nil {
-			reportSkipped(src, input, stderr)
+			reportSkipped(src, a.Telemetry.Ingest.DecodeDrops, input, stderr)
 		}
 		return err
 	})

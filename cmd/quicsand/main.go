@@ -582,10 +582,14 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	src, err := capture.NewSource(f)
+	// OpenFile memory-maps QSND checkpoints (zero-copy ingest) and
+	// streams everything else; the source owns the mapping until the
+	// analysis below is fully rendered.
+	src, err := capture.OpenFile(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", *in, err)
 	}
+	defer closeSource(src)
 
 	var a *quicsand.Analysis
 	err = opts.profiled(func() (err error) {
@@ -601,21 +605,32 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", *in, err)
 	}
-	reportSkipped(src, *in, stderr)
+	// The drop total comes from the analysis, not the source: with
+	// decode-after-scatter part of the pcap drops are counted on the
+	// shards, and only the merged telemetry has the whole number.
+	reportSkipped(src, a.Telemetry.Ingest.DecodeDrops, *in, stderr)
 	if err := opts.report(a, "quicsand replay", stderr); err != nil {
 		return err
 	}
 	return renderFigure(a, *fig, stdout)
 }
 
-// reportSkipped warns when pcap decapsulation dropped frames the
-// telescope packet model cannot represent (non-IPv4, fragments, other
+// closeSource releases source-owned resources (the QSND mmap) once the
+// analysis no longer aliases them.
+func closeSource(src capture.Source) {
+	if c, ok := src.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// reportSkipped warns when decapsulation dropped frames the telescope
+// packet model cannot represent (non-IPv4, fragments, other
 // transports), and when salvage mode skipped damaged spans — otherwise
 // a degraded capture would silently analyze a fraction of its records.
-func reportSkipped(src capture.Source, path string, stderr io.Writer) {
-	if pr, ok := src.(*capture.PcapReader); ok && pr.Skipped > 0 {
+func reportSkipped(src capture.Source, skipped uint64, path string, stderr io.Writer) {
+	if skipped > 0 {
 		fmt.Fprintf(stderr, "warning: %s: skipped %d unrepresentable frames (non-IPv4, fragments, or unsupported transports)\n",
-			path, pr.Skipped)
+			path, skipped)
 	}
 	if sv := capture.SourceSalvage(src); sv != (capture.SalvageStats{}) {
 		fmt.Fprintf(stderr, "warning: %s: salvage skipped %d corrupt records over %d resyncs (%d bytes, <= %d records lost, %d transient retries)\n",
@@ -662,6 +677,6 @@ func runConvert(args []string, stderr io.Writer) error {
 		abort() // never leave a partial capture behind
 		return fmt.Errorf("convert %s → %s: %w", *in, *out, err)
 	}
-	reportSkipped(src, *in, stderr)
+	reportSkipped(src, capture.SourceSkipped(src), *in, stderr)
 	return finish()
 }

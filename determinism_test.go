@@ -3,6 +3,9 @@ package quicsand
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -163,14 +166,33 @@ func TestReplayBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The mmap variant replays the same checkpoint through the
+	// capture.OpenFile zero-copy path (stable spans, offset framing).
+	qsndPath := filepath.Join(t.TempDir(), "trace.qsnd")
+	if err := os.WriteFile(qsndPath, qsnd, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pcapData := pcapBuf.Bytes()
 	for _, workers := range []int{1, 2, 8} {
 		for _, in := range []struct {
 			name string
-			data []byte
-		}{{"qsnd", qsnd}, {"pcap", pcapBuf.Bytes()}} {
+			open func() (capture.Source, error)
+		}{
+			{"qsnd", func() (capture.Source, error) { return capture.NewSource(bytes.NewReader(qsnd)) }},
+			{"pcap", func() (capture.Source, error) { return capture.NewSource(bytes.NewReader(pcapData)) }},
+			{"mmap", func() (capture.Source, error) {
+				f, err := os.Open(qsndPath)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close() // the mapping outlives the descriptor
+				return capture.OpenFile(f)
+			}},
+		} {
 			cfg := base
 			cfg.Workers = workers
-			src, err := capture.NewSource(bytes.NewReader(in.data))
+			src, err := in.open()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -178,7 +200,12 @@ func TestReplayBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			expectSameAnalysis(t, in.name+"/workers="+string(rune('0'+workers)), direct, replayed)
+			expectSameAnalysis(t, fmt.Sprintf("%s/workers=%d", in.name, workers), direct, replayed)
+			if c, ok := src.(io.Closer); ok {
+				if err := c.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
 		}
 	}
 

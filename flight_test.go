@@ -97,6 +97,14 @@ func TestFlightStructuralDeterminism(t *testing.T) {
 	if rq["scatter"] == 0 || rq["ingest"] == 0 || rq["generate"] != 0 {
 		t.Errorf("replay feed stages wrong: %v", rq)
 	}
+	// Decode-after-scatter runs on the shards only during multi-worker
+	// replay: live runs never decode, replays must record the stage.
+	if want["decode"] != 0 {
+		t.Errorf("live run recorded %d decode spans, want none", want["decode"])
+	}
+	if rq["decode"] == 0 {
+		t.Errorf("multi-worker replay recorded no decode spans: %v", rq)
+	}
 	if rq["scatter"] != want["generate"] {
 		t.Errorf("scatter spans %d != live generate spans %d (same slicing)", rq["scatter"], want["generate"])
 	}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"strings"
 
+	"quicsand/internal/netmodel"
 	"quicsand/internal/salvage"
 	"quicsand/internal/telescope"
 )
@@ -47,6 +48,48 @@ type Source interface {
 	// stream. Any other error means the stream is corrupt or unreadable
 	// at the reported point; no further packets follow.
 	Next() (*telescope.Packet, error)
+}
+
+// SpanDecoder turns a framed record span into a packet. Decoders are
+// immutable values safe for concurrent use from every shard worker —
+// the whole point of the framing/decode split (DESIGN.md §16): the
+// single reader goroutine only frames records, and the per-record
+// parse work runs sharded. false reports a record outside the packet
+// model (pcap decapsulation drops); decode of a framed span never
+// fails otherwise, because the framer already validated the bytes.
+// p.Payload aliases the span: the span's owner sets the lifetime.
+type SpanDecoder interface {
+	DecodeSpan(span []byte, p *telescope.Packet) bool
+}
+
+// SpanSource is the framing-side interface of the decode-after-scatter
+// path. Sources that implement it let the scatter split ingest in two:
+// FrameNext on the reader goroutine parses just enough of the next
+// record to size its span and route it (source address), TakeSpan
+// completes the raw bytes into the destination shard's arena, and the
+// shard decodes batches of spans with the SpanDecoder. The scatter
+// probes for this interface and falls back to Next when absent (e.g.
+// fault-injection wrappers, which must stay on the sequential path so
+// injected faults keep their record-accurate semantics).
+type SpanSource interface {
+	Source
+	// FrameNext frames the next record, returning the span length and
+	// the source address for shard routing; io.EOF at a clean end of
+	// stream. Salvage policy applies exactly as in Next.
+	FrameNext() (int, netmodel.Addr, error)
+	// TakeSpan completes the framed record into dst (len(dst) is the
+	// length FrameNext returned) and returns the span to hand to the
+	// shard — dst itself, or a stable subslice of source-owned memory
+	// when SpanStable (dst is ignored then and may be nil). A
+	// salvage.ErrRecordLost return means the framed record was lost to
+	// a mid-payload resync (drop it, keep framing); io.EOF a torn tail.
+	TakeSpan(dst []byte) ([]byte, error)
+	// SpanStable reports whether returned spans outlive the next
+	// FrameNext without copying — true for memory-backed sources,
+	// where the caller must then not recycle span memory.
+	SpanStable() bool
+	// SpanDecoder returns the source's concurrent-safe decoder.
+	SpanDecoder() SpanDecoder
 }
 
 // Sink is a trace export target: a telescope capture sink with the
@@ -168,11 +211,33 @@ func (s *qsndSource) Next() (*telescope.Packet, error) {
 	return &s.p, nil
 }
 
+// qsndDecoder is the QSND span decoder: telescope.DecodeRecord behind
+// the SpanDecoder interface. Every framed QSND span is a complete,
+// validated record, so decode never drops.
+type qsndDecoder struct{}
+
+func (qsndDecoder) DecodeSpan(span []byte, p *telescope.Packet) bool {
+	telescope.DecodeRecord(span, p)
+	return true
+}
+
+// SpanSource implementation: framing delegates to the telescope
+// reader, which streams each payload directly into the shard's arena.
+func (s *qsndSource) FrameNext() (int, netmodel.Addr, error) { return s.r.FrameNext() }
+func (s *qsndSource) TakeSpan(dst []byte) ([]byte, error)    { return s.r.TakeSpan(dst) }
+func (s *qsndSource) SpanStable() bool                       { return false }
+func (s *qsndSource) SpanDecoder() SpanDecoder               { return qsndDecoder{} }
+
+// SpanSource implementation for the pcap reader: spans are framed into
+// the reader's reused buffer, so they must be copied out (not stable).
+func (pr *PcapReader) SpanStable() bool         { return false }
+func (pr *PcapReader) SpanDecoder() SpanDecoder { return pr.pcapDecoder }
+
 // SourceFormat reports which container a Source produced by NewSource
 // is reading.
 func SourceFormat(src Source) Format {
 	switch src.(type) {
-	case *qsndSource:
+	case *qsndSource, *qsndBufSource:
 		return FormatQSND
 	case *PcapReader:
 		return FormatPcap
@@ -203,6 +268,8 @@ func SetSalvage(src Source, pol SalvagePolicy) {
 	switch s := src.(type) {
 	case *qsndSource:
 		s.r.SetSalvage(pol)
+	case *qsndBufSource:
+		s.b.SetSalvage(pol)
 	case *PcapReader:
 		s.SetSalvage(pol)
 	}
@@ -214,6 +281,8 @@ func SourceSalvage(src Source) SalvageStats {
 	switch s := src.(type) {
 	case *qsndSource:
 		return s.r.Salvage()
+	case *qsndBufSource:
+		return s.b.Salvage()
 	case *PcapReader:
 		return s.Salvage()
 	}

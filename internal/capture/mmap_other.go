@@ -1,0 +1,13 @@
+//go:build !unix
+
+package capture
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable off unix; OpenFile falls back to streaming.
+func mapFile(*os.File, int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("capture: mmap unsupported on this platform")
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package capture
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release
+// function unmaps; the mapping outlives f's descriptor, so the file
+// may be closed immediately after a successful map.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -304,12 +304,10 @@ func (pw *PcapWriter) Flush() error {
 // The returned packet follows the Source contract: it and its payload
 // alias reader-owned buffers valid until the next Next call.
 type PcapReader struct {
-	sc    salvage.Scanner
-	order binary.ByteOrder
-	nanos bool
-	link  uint32
-	buf   []byte
-	pkt   telescope.Packet
+	sc salvage.Scanner
+	pcapDecoder
+	buf []byte
+	pkt telescope.Packet
 	// rh backs record-header reads (a stack array would escape
 	// through io.ReadFull's interface call, one allocation per frame).
 	rh [16]byte
@@ -475,12 +473,133 @@ func (pr *PcapReader) nextFrame() (*telescope.Packet, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	return pr.parseIPv4(pr.buf, ipStart, telescope.Timestamp(ms))
+	if !pr.parseIPv4(&pr.pkt, pr.buf, ipStart, telescope.Timestamp(ms)) {
+		return nil, false, nil
+	}
+	return &pr.pkt, true, nil
+}
+
+// FrameNext reads and frames the next routable record, returning its
+// span length (the 16-byte record header plus the frame) and the
+// IPv4 source address for shard routing; complete the record with
+// TakeSpan before the next FrameNext. Frames the decapsulation cannot
+// route (non-IP link payloads, non-IPv4, headerless runts) are counted
+// in Skipped and skipped here, exactly as in Next; the deeper
+// packet-model rejections surface later as DecodeSpan drops, so
+// reader-side Skipped plus shard-side drops equals the sequential
+// path's Skipped. Corruption is salvaged per policy as in Next.
+func (pr *PcapReader) FrameNext() (int, netmodel.Addr, error) {
+	for {
+		spanLen, src, routable, err := pr.frameSpan()
+		if err != nil {
+			if errors.Is(err, io.EOF) || !pr.sc.Pol.SkipCorrupt || !errors.Is(err, ErrBadPcap) {
+				return 0, 0, err
+			}
+			if rerr := pr.sc.Resync(pr.recStart, pr.suspect, pr.boundary()); rerr != nil {
+				return 0, 0, io.EOF // torn tail: everything salvageable was read
+			}
+			continue
+		}
+		if !routable {
+			pr.Skipped++
+			continue
+		}
+		return spanLen, src, nil
+	}
+}
+
+// frameSpan is nextFrame's framing half: it reads one record — header
+// and frame — into pr.buf as a single contiguous span and probes just
+// far enough (link decap, IPv4 version and header reach) to extract
+// the routing address, leaving the full decode to the shards.
+// Error text, offsets and suspect-byte tracking match nextFrame.
+func (pr *PcapReader) frameSpan() (int, netmodel.Addr, bool, error) {
+	pr.recStart = pr.sc.Offset()
+	rh := &pr.rh
+	n, err := pr.sc.ReadFull(rh[:])
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return 0, 0, false, io.EOF
+		}
+		pr.suspect = append(pr.suspect[:0], rh[:n]...)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, pr.badf(pr.sc.Offset(), "truncated record header (%d of %d bytes)", n, len(rh))
+		}
+		return 0, 0, false, err
+	}
+	incl := pr.order.Uint32(rh[8:])
+	if incl > maxFrame {
+		pr.suspect = append(pr.suspect[:0], rh[:]...)
+		return 0, 0, false, pr.badf(pr.recStart, "captured length %d", incl)
+	}
+	spanLen := 16 + int(incl)
+	if cap(pr.buf) < spanLen {
+		pr.buf = make([]byte, spanLen)
+	}
+	pr.buf = pr.buf[:spanLen]
+	copy(pr.buf, rh[:])
+	n, err = pr.sc.ReadFull(pr.buf[16:])
+	if err != nil {
+		pr.suspect = append(append(pr.suspect[:0], rh[:]...), pr.buf[16:16+n]...)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, pr.badf(pr.sc.Offset(), "truncated frame (%d of %d bytes)", n, incl)
+		}
+		return 0, 0, false, err
+	}
+	pr.rec++
+	f := pr.buf[16:]
+	ipStart, ok := pr.decap(f)
+	if !ok || len(f)-ipStart < 20 || f[ipStart]>>4 != 4 {
+		return 0, 0, false, nil
+	}
+	src := netmodel.Addr(binary.BigEndian.Uint32(f[ipStart+12:]))
+	return spanLen, src, true, nil
+}
+
+// TakeSpan copies the record framed by the last FrameNext into dst
+// (len(dst) must be the returned span length). The frame is already
+// fully read, so unlike the QSND streamed reader this cannot fail.
+func (pr *PcapReader) TakeSpan(dst []byte) ([]byte, error) {
+	copy(dst, pr.buf)
+	return dst, nil
+}
+
+// pcapDecoder is the pure record-decode half of the pcap reader: the
+// stream parameters fixed by the global header plus the stateless
+// frame → packet decode. It is value-typed and immutable after
+// NewPcapReader, so shard workers can decode framed spans concurrently
+// (DecodeSpan) while the reader goroutine keeps framing.
+type pcapDecoder struct {
+	order binary.ByteOrder
+	nanos bool
+	link  uint32
+}
+
+// DecodeSpan decodes one framed record span — the 16-byte record
+// header plus its link-layer frame, as handed out by
+// FrameNext/TakeSpan — into p. false means the frame is outside the
+// telescope's packet model (the sequential path's Skipped class).
+// p.Payload aliases the span. Safe for concurrent use.
+func (d pcapDecoder) DecodeSpan(span []byte, p *telescope.Packet) bool {
+	sec := d.order.Uint32(span[0:])
+	sub := d.order.Uint32(span[4:])
+	var ms int64
+	if d.nanos {
+		ms = int64(sec)*1000 + int64(sub)/1_000_000
+	} else {
+		ms = int64(sec)*1000 + int64(sub)/1000
+	}
+	f := span[16:]
+	ipStart, ok := d.decap(f)
+	if !ok {
+		return false
+	}
+	return d.parseIPv4(p, f, ipStart, telescope.Timestamp(ms))
 }
 
 // decap strips the link-layer header, returning the IP header offset.
-func (pr *PcapReader) decap(f []byte) (int, bool) {
-	switch pr.link {
+func (d pcapDecoder) decap(f []byte) (int, bool) {
+	switch d.link {
 	case LinkRawIP:
 		return 0, len(f) > 0
 	case LinkEthernet:
@@ -503,23 +622,23 @@ func (pr *PcapReader) decap(f []byte) (int, bool) {
 	return 0, false
 }
 
-// parseIPv4 decodes the network and transport layers into the reused
-// packet; ok=false skips frames outside the telescope's packet model.
-func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (*telescope.Packet, bool, error) {
+// parseIPv4 decodes the network and transport layers into p; ok=false
+// skips frames outside the telescope's packet model.
+func (d pcapDecoder) parseIPv4(p *telescope.Packet, f []byte, ipStart int, ts telescope.Timestamp) bool {
 	ip := f[ipStart:]
 	if len(ip) < 20 || ip[0]>>4 != 4 {
-		return nil, false, nil
+		return false
 	}
 	ihl := int(ip[0]&0x0f) * 4
 	if ihl < 20 || len(ip) < ihl {
-		return nil, false, nil
+		return false
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:]))
 	if totalLen < ihl {
-		return nil, false, nil
+		return false
 	}
 	if binary.BigEndian.Uint16(ip[6:])&0x1fff != 0 {
-		return nil, false, nil // later fragment: no transport header
+		return false // later fragment: no transport header
 	}
 	ipEnd := totalLen
 	if ipEnd > len(ip) {
@@ -527,7 +646,6 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 	}
 	tp := ip[ihl:ipEnd]
 
-	p := &pr.pkt
 	*p = telescope.Packet{
 		TS:  ts,
 		Src: netmodel.Addr(binary.BigEndian.Uint32(ip[12:])),
@@ -537,7 +655,7 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 	switch ip[9] {
 	case 17: // UDP
 		if len(tp) < 8 {
-			return nil, false, nil
+			return false
 		}
 		p.Proto = telescope.ProtoUDP
 		p.SrcPort = binary.BigEndian.Uint16(tp[0:])
@@ -554,7 +672,7 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 		}
 	case 6: // TCP
 		if len(tp) < 14 {
-			return nil, false, nil
+			return false
 		}
 		p.Proto = telescope.ProtoTCP
 		p.SrcPort = binary.BigEndian.Uint16(tp[0:])
@@ -566,7 +684,7 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 		}
 	case 1: // ICMP
 		if len(tp) < 1 {
-			return nil, false, nil
+			return false
 		}
 		p.Proto = telescope.ProtoICMP
 		p.Flags = tp[0]
@@ -580,7 +698,7 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 			}
 		}
 	default:
-		return nil, false, nil
+		return false
 	}
 
 	// Telescope metadata trailer: strictly past the IP datagram, at the
@@ -598,7 +716,7 @@ func (pr *PcapReader) parseIPv4(f []byte, ipStart int, ts telescope.Timestamp) (
 		// payloadLen ≤ size (e.g. a UDP length field lying short).
 		p.Size = clampU16(len(p.Payload))
 	}
-	return p, true, nil
+	return true
 }
 
 func clampU16(n int) uint16 {

@@ -9,6 +9,7 @@ import (
 
 	"quicsand/internal/engine"
 	"quicsand/internal/ibr"
+	"quicsand/internal/netmodel"
 	"quicsand/internal/salvage"
 	"quicsand/internal/telemetry"
 	"quicsand/internal/telescope"
@@ -30,9 +31,29 @@ const (
 
 // batch is one scatter unit: pkts is the slab the shard worker
 // processes, arena backs the payload bytes the slab entries alias.
+// On the decode-after-scatter path spans carries the raw record spans
+// instead and pkts starts empty — the shard decodes spans into pkts
+// itself (arena then backs the span bytes, unless the source hands out
+// stable spans).
 type batch struct {
 	pkts  []telescope.Packet
+	spans [][]byte
 	arena []byte
+}
+
+// shardDecode is one shard's decode-side state: counters for the
+// records it decoded and dropped, plus the open flight-recorder slice.
+// Single-writer (the shard's feed goroutine); read after engine.Run
+// joins, exactly like Scatter.tel.
+type shardDecode struct {
+	decoded uint64
+	drops   uint64
+
+	ring  *telemetry.Ring
+	slice uint64
+	start int64
+	busy  int64
+	items uint64
 }
 
 // Scatter fans one stored packet stream out to per-shard engine feeds,
@@ -59,6 +80,16 @@ type Scatter struct {
 	n       int
 	recycle bool
 	pol     SalvagePolicy
+
+	// Decode-after-scatter (DESIGN.md §16): when the source frames
+	// spans, the reader goroutine stops decoding records and only
+	// routes raw spans; each shard parses its own batches (dec is
+	// concurrent-safe). stable spans alias source-owned memory (mmap)
+	// and skip the arena copy entirely.
+	span     SpanSource
+	dec      SpanDecoder
+	stable   bool
+	shardDec []shardDecode
 
 	in    []chan *batch // reader → per-shard pump
 	chans []chan *batch // pump → shard feed
@@ -92,6 +123,10 @@ func (s *Scatter) SetRecorder(rec *telemetry.Recorder) {
 	s.ring = rec.ReaderRing()
 	s.sliceItems = uint64(rec.SliceItems())
 	s.ingStart = s.ring.Now()
+	for i := range s.shardDec {
+		s.shardDec[i].ring = rec.ShardRing(i)
+		s.shardDec[i].slice = s.sliceItems
+	}
 }
 
 // recordIngest accounts one scattered record on the reader ring,
@@ -124,10 +159,20 @@ func (s *Scatter) flushIngest() {
 	s.ingItems = 0
 }
 
-// NewScatter prepares a scatter of src over n shards.
+// NewScatter prepares a scatter of src over n shards. Sources that
+// frame spans (SpanSource) get the decode-after-scatter path when
+// sharded; wrapped sources without the interface — notably the fault
+// injector's — keep the sequential decode so injected faults retain
+// their record-accurate semantics.
 func NewScatter(src Source, n int, recycle bool) *Scatter {
 	s := &Scatter{src: src, n: n, recycle: recycle}
 	if n > 1 {
+		if sp, ok := src.(SpanSource); ok {
+			s.span = sp
+			s.dec = sp.SpanDecoder()
+			s.stable = sp.SpanStable()
+			s.shardDec = make([]shardDecode, n)
+		}
 		s.in = make([]chan *batch, n)
 		s.chans = make([]chan *batch, n)
 		s.free = make([]chan *batch, n)
@@ -218,6 +263,22 @@ func (s *Scatter) next() (*telescope.Packet, error) {
 	}
 }
 
+// frameNext is next's framing twin: one record framed, transient
+// failures retried per policy.
+func (s *Scatter) frameNext() (int, netmodel.Addr, error) {
+	attempt := 0
+	for {
+		spanLen, src, err := s.span.FrameNext()
+		if err != nil && attempt < s.pol.MaxRetries && salvage.IsTransient(err) {
+			attempt++
+			s.tel.TransientRetries++
+			s.pol.Wait(attempt)
+			continue
+		}
+		return spanLen, src, err
+	}
+}
+
 // Err reports the first read error, if any. Valid once the engine run
 // has drained every feed (engine.Run returned).
 func (s *Scatter) Err() error { return s.err }
@@ -226,10 +287,26 @@ func (s *Scatter) Err() error { return s.err }
 func (s *Scatter) Packets() uint64 { return s.packets }
 
 // Telemetry returns the ingest counters for the completed run. Valid
-// like Err.
+// like Err. On the span path Records counts the records the shards
+// decoded and DecodeDrops the spans they rejected — summed over
+// shards, these equal the sequential decoder's numbers, keeping the
+// Stream() projection worker-invariant (the reader-side skips are
+// added by Replay via SourceSkipped, as on every path).
 func (s *Scatter) Telemetry() telemetry.Ingest {
 	t := s.tel
 	t.Records = s.packets
+	if s.span != nil {
+		var decoded, drops uint64
+		for i := range s.shardDec {
+			decoded += s.shardDec[i].decoded
+			drops += s.shardDec[i].drops
+		}
+		t.Records = decoded
+		t.DecodeDrops += drops
+		t.DecodePath = "shard"
+	} else {
+		t.DecodePath = "inline"
+	}
 	return t
 }
 
@@ -259,11 +336,15 @@ func (s *Scatter) feed(i int, emit func(*telescope.Packet)) {
 			func(context.Context) { s.scatter() })
 	})
 	for b := range s.chans[i] {
+		if len(b.spans) > 0 {
+			s.decodeBatch(i, b)
+		}
 		for j := range b.pkts {
 			emit(&b.pkts[j])
 		}
 		if s.recycle {
 			b.pkts = b.pkts[:0]
+			b.spans = b.spans[:0]
 			b.arena = b.arena[:0]
 			select {
 			case s.free[i] <- b:
@@ -271,6 +352,83 @@ func (s *Scatter) feed(i int, emit func(*telescope.Packet)) {
 			}
 		}
 	}
+	if s.span != nil {
+		s.flushDecode(i)
+	}
+}
+
+// decodeBatch parses one batch of framed spans into its packet slab,
+// on the shard's own goroutine — the decode-after-scatter half. pkts
+// has capacity for a full batch, so the appends never reallocate and
+// the emitted pointers stay inside the slab. Per-slice decode spans
+// land on the shard's flight-recorder ring: batch composition is a
+// pure function of the stream and the shard count, so span structure
+// stays deterministic for a fixed worker count.
+func (s *Scatter) decodeBatch(i int, b *batch) {
+	sd := &s.shardDec[i]
+	var t0 int64
+	if sd.ring != nil {
+		if sd.items == 0 {
+			sd.start = sd.ring.Now()
+		}
+		t0 = sd.ring.Now()
+	}
+	for _, sp := range b.spans {
+		n := len(b.pkts)
+		b.pkts = append(b.pkts, telescope.Packet{})
+		if s.dec.DecodeSpan(sp, &b.pkts[n]) {
+			sd.decoded++
+		} else {
+			b.pkts = b.pkts[:n]
+			sd.drops++
+		}
+	}
+	if sd.ring != nil {
+		sd.busy += sd.ring.Now() - t0
+		if sd.items += uint64(len(b.spans)); sd.items >= sd.slice {
+			sd.ring.Span(telemetry.StageDecode, sd.start, sd.busy, sd.items)
+			sd.start, sd.busy, sd.items = 0, 0, 0
+		}
+	}
+}
+
+// flushDecode closes the shard's partial decode slice at end of feed.
+func (s *Scatter) flushDecode(i int) {
+	sd := &s.shardDec[i]
+	if sd.ring == nil || sd.items == 0 {
+		return
+	}
+	sd.ring.Span(telemetry.StageDecode, sd.start, sd.busy, sd.items)
+	sd.busy, sd.items = 0, 0
+}
+
+// nextBatch recycles a drained batch for shard k, or allocates one.
+// Stable-span sources never touch the arena, so its allocation is
+// skipped for them.
+func (s *Scatter) nextBatch(k int) *batch {
+	select {
+	case b := <-s.free[k]:
+		s.tel.BatchReuses++
+		return b
+	default:
+		s.tel.BatchAllocs++
+		b := &batch{pkts: make([]telescope.Packet, 0, scatterBatch)}
+		if !s.stable {
+			b.arena = make([]byte, 0, scatterArenaCap)
+		}
+		return b
+	}
+}
+
+// sendBatch hands a complete batch to shard k's pump.
+func (s *Scatter) sendBatch(k int, b *batch) {
+	s.tel.Batches++
+	fill := uint64(len(b.pkts))
+	if len(b.spans) > 0 {
+		fill = uint64(len(b.spans))
+	}
+	s.tel.BatchFill.Observe(fill)
+	s.in[k] <- b
 }
 
 // scatter is the reader goroutine: it drains the source and deals
@@ -281,25 +439,21 @@ func (s *Scatter) scatter() {
 	for i := range s.chans {
 		go pump(s.in[i], s.chans[i])
 	}
+	if s.span != nil {
+		s.scatterSpans()
+	} else {
+		s.scatterPackets()
+	}
+	s.flushIngest()
+	for _, ch := range s.in {
+		close(ch)
+	}
+}
+
+// scatterPackets is the sequential-decode reader loop: the source
+// decodes every record and the reader copies packets into shard slabs.
+func (s *Scatter) scatterPackets() {
 	building := make([]*batch, s.n)
-	nextBatch := func(k int) *batch {
-		select {
-		case b := <-s.free[k]:
-			s.tel.BatchReuses++
-			return b
-		default:
-			s.tel.BatchAllocs++
-			return &batch{
-				pkts:  make([]telescope.Packet, 0, scatterBatch),
-				arena: make([]byte, 0, scatterArenaCap),
-			}
-		}
-	}
-	sendBatch := func(k int, b *batch) {
-		s.tel.Batches++
-		s.tel.BatchFill.Observe(uint64(len(b.pkts)))
-		s.in[k] <- b
-	}
 	for {
 		p, err := s.next()
 		if err != nil {
@@ -311,7 +465,7 @@ func (s *Scatter) scatter() {
 		k := ibr.ShardOf(p.Src, s.n)
 		b := building[k]
 		if b == nil {
-			b = nextBatch(k)
+			b = s.nextBatch(k)
 			building[k] = b
 		}
 		b.pkts = append(b.pkts, *p)
@@ -330,17 +484,81 @@ func (s *Scatter) scatter() {
 		s.packets++
 		s.recordIngest()
 		if len(b.pkts) == scatterBatch {
-			sendBatch(k, b)
+			s.sendBatch(k, b)
 			building[k] = nil
 		}
 	}
-	s.flushIngest()
 	for k, b := range building {
 		if b != nil && len(b.pkts) > 0 {
-			sendBatch(k, b)
+			s.sendBatch(k, b)
 		}
 	}
-	for _, ch := range s.in {
-		close(ch)
+}
+
+// scatterSpans is the decode-after-scatter reader loop: the source
+// only frames records; raw spans land in the routed shard's arena (or
+// alias source-owned memory when stable) and the shard decodes them.
+// The streamed QSND reader writes each payload straight from its
+// buffered stream into the arena, so this path also removes one copy
+// per record relative to sequential decode.
+func (s *Scatter) scatterSpans() {
+	building := make([]*batch, s.n)
+	for {
+		spanLen, src, err := s.frameNext()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.err = err
+			}
+			break
+		}
+		k := ibr.ShardOf(src, s.n)
+		b := building[k]
+		if b == nil {
+			b = s.nextBatch(k)
+			building[k] = b
+		}
+		var span []byte
+		if s.stable {
+			span, err = s.span.TakeSpan(nil)
+		} else {
+			// Arena capacity is checked before extending, preserving the
+			// never-regrow rule for earlier spans' aliases; on a TakeSpan
+			// failure the extension rolls back — nothing aliases it yet.
+			arenaOff := -1
+			target := []byte(nil)
+			if cap(b.arena)-len(b.arena) >= spanLen {
+				arenaOff = len(b.arena)
+				b.arena = b.arena[:arenaOff+spanLen]
+				target = b.arena[arenaOff : arenaOff+spanLen : arenaOff+spanLen]
+			} else {
+				target = make([]byte, spanLen)
+			}
+			span, err = s.span.TakeSpan(target)
+			if err != nil && arenaOff >= 0 {
+				b.arena = b.arena[:arenaOff]
+			}
+		}
+		if err != nil {
+			if errors.Is(err, salvage.ErrRecordLost) {
+				continue // mid-payload resync consumed the record; keep framing
+			}
+			if !errors.Is(err, io.EOF) {
+				s.err = err
+			}
+			break
+		}
+		b.spans = append(b.spans, span)
+		s.tel.SpanBytes += uint64(spanLen)
+		s.packets++
+		s.recordIngest()
+		if len(b.spans) == scatterBatch {
+			s.sendBatch(k, b)
+			building[k] = nil
+		}
+	}
+	for k, b := range building {
+		if b != nil && len(b.spans) > 0 {
+			s.sendBatch(k, b)
+		}
 	}
 }

@@ -88,6 +88,14 @@ func (s *Stats) Add(o Stats) {
 	s.MaxLostRecords += o.MaxLostRecords
 }
 
+// ErrRecordLost reports that a record framed before the damage was
+// detected cannot be recovered: the resync scan found the next
+// boundary inside what the caller had already treated as record bytes.
+// Span-framing readers (telescope.Buffer, Reader.TakeSpan) return it
+// so the scatter can drop the half-framed record and keep going; the
+// skipped span is already accounted in Stats when it surfaces.
+var ErrRecordLost = errors.New("salvage: framed record lost to resync")
+
 // Transient marks an error as retryable, in the net.Error tradition:
 // EAGAIN-class failures from network filesystems and the fault
 // injector implement it. Readers never import the fault layer — the
@@ -180,6 +188,47 @@ func (s *Scanner) ReadFull(b []byte) (int, error) {
 		err = io.ErrUnexpectedEOF
 	}
 	return n, err
+}
+
+// ResyncBuffer is Resync for fully in-memory streams: data holds the
+// whole capture, recStart is the byte offset where the corrupt record
+// begins, and everything from recStart to the end of data is the scan
+// window. The boundary-confirmation rule and the Stats accounting are
+// identical to Scanner.Resync — a damaged capture salvaged through a
+// memory-mapped source must report the exact same ledger as the same
+// bytes streamed through a Scanner. On success the returned offset is
+// the accepted boundary (where decoding resumes); io.EOF means the
+// buffer ended without another boundary (torn tail) and the returned
+// offset is len(data).
+func ResyncBuffer(data []byte, recStart int, b Boundary, stats *Stats) (int, error) {
+	stats.CorruptRecords++
+	stats.ResyncScans++
+	tail := data[recStart:]
+	accept := func(skipped int) {
+		stats.SalvagedBytes += uint64(skipped)
+		stats.MaxLostRecords += uint64(skipped)/uint64(b.HdrLen) + 1
+	}
+	// As in Scanner.Resync, the corrupt record's own start is never a
+	// candidate: skipping at least one byte guarantees progress.
+	for i := 1; i+b.HdrLen <= len(tail); i++ {
+		n, ok := b.Plausible(tail[i : i+b.HdrLen])
+		if !ok {
+			continue
+		}
+		end := i + n
+		confirmed := false
+		if end+b.HdrLen <= len(tail) {
+			_, confirmed = b.Plausible(tail[end : end+b.HdrLen])
+		} else {
+			confirmed = len(tail) >= end
+		}
+		if confirmed {
+			accept(i)
+			return recStart + i, nil
+		}
+	}
+	accept(len(tail))
+	return len(data), io.EOF
 }
 
 // Resync recovers from a corrupt record detected at recStart. seed

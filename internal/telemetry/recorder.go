@@ -50,13 +50,17 @@ const (
 	StageMerge
 	// StageReduce is the end-of-run shard reduction.
 	StageReduce
+	// StageDecode is the shard-side record decode on the replay
+	// decode-after-scatter path: parsing batches of framed spans the
+	// ingest reader routed to the shard.
+	StageDecode
 
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"plan", "generate", "ingest", "scatter", "analyze",
-	"dissect", "sessions", "merge", "reduce",
+	"dissect", "sessions", "merge", "reduce", "decode",
 }
 
 // String returns the stage's track name.

@@ -232,7 +232,7 @@ func TestStageTable(t *testing.T) {
 // TestStageCounterNames pins the track vocabulary the trace checker
 // greps for.
 func TestStageCounterNames(t *testing.T) {
-	want := []string{"plan", "generate", "ingest", "scatter", "analyze", "dissect", "sessions", "merge", "reduce"}
+	want := []string{"plan", "generate", "ingest", "scatter", "analyze", "dissect", "sessions", "merge", "reduce", "decode"}
 	for i, w := range want {
 		if got := Stage(i).String(); got != w {
 			t.Fatalf("Stage(%d) = %q, want %q", i, got, w)

@@ -196,6 +196,13 @@ type Ingest struct {
 	BatchFill   Hist   `json:"batch_fill"`
 	BatchReuses uint64 `json:"batch_reuses"`
 	BatchAllocs uint64 `json:"batch_allocs"`
+	// Decode-after-scatter provenance (runtime: depends on the worker
+	// count and source capabilities, so excluded from Stream).
+	// DecodePath is "shard" when record decode ran on the shard
+	// workers, "inline" when the reader decoded sequentially; SpanBytes
+	// counts raw record-span bytes handed to shards on the span path.
+	DecodePath string `json:"decode_path,omitempty"`
+	SpanBytes  uint64 `json:"span_bytes,omitempty"`
 }
 
 // Merge folds o into i (commutative; a non-empty Format wins).
@@ -214,6 +221,10 @@ func (i *Ingest) Merge(o *Ingest) {
 	i.BatchFill.Merge(&o.BatchFill)
 	i.BatchReuses += o.BatchReuses
 	i.BatchAllocs += o.BatchAllocs
+	if i.DecodePath == "" {
+		i.DecodePath = o.DecodePath
+	}
+	i.SpanBytes += o.SpanBytes
 }
 
 // Engine counts the sharded engine's tap-merge machinery: batch sends,

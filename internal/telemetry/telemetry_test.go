@@ -103,8 +103,10 @@ func TestSnapshotMergeCommutes(t *testing.T) {
 	ab.Merge(fillSnapshot(2000))
 	ba := fillSnapshot(2000)
 	ba.Merge(fillSnapshot(100))
-	// Format differs (first non-empty wins) — align before comparing.
+	// Format and DecodePath differ (first non-empty wins) — align
+	// before comparing.
 	ba.Ingest.Format = ab.Ingest.Format
+	ba.Ingest.DecodePath = ab.Ingest.DecodePath
 	if !reflect.DeepEqual(ab, ba) {
 		t.Errorf("merge not commutative:\n a⊕b %+v\n b⊕a %+v", ab, ba)
 	}

@@ -1,0 +1,157 @@
+package telescope
+
+import (
+	"encoding/binary"
+	"io"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/salvage"
+)
+
+// Buffer is the QSND store reader over an in-memory byte slice — the
+// format logic behind the mmap-backed source (capture.OpenFile).
+// Framing is pure offset arithmetic and every span it hands out is a
+// subslice of the underlying data, so replay ingest over a mapped
+// checkpoint copies no payload bytes at all: the page cache is the
+// arena.
+//
+// Buffer mirrors Reader exactly — identical validation order, error
+// text, byte offsets, and salvage accounting (salvage.ResyncBuffer is
+// Scanner.Resync's in-memory twin) — so a damaged capture replayed
+// through either path reports the same ledger and fails with the same
+// terminal error. The one structural difference: because the whole
+// stream is in memory, a record is only framed once it is complete, so
+// TakeSpan never fails and spans are stable for the data's lifetime.
+type Buffer struct {
+	data     []byte
+	off      int
+	rec      uint64
+	header   bool
+	recStart int
+	pol      salvage.Policy
+	stats    salvage.Stats
+	span     []byte // framed by FrameNext, consumed by TakeSpan
+}
+
+// NewBuffer wraps data, which must be a complete QSND stream starting
+// at the file header.
+func NewBuffer(data []byte) *Buffer { return &Buffer{data: data} }
+
+// SetSalvage installs the degraded-ingest policy (see Reader).
+func (b *Buffer) SetSalvage(pol salvage.Policy) { b.pol = pol }
+
+// Salvage returns the skipped-record ledger accumulated so far.
+func (b *Buffer) Salvage() salvage.Stats { return b.stats }
+
+// Offset returns the byte position of the next record to be framed.
+func (b *Buffer) Offset() uint64 { return uint64(b.off) }
+
+// corruptf matches Reader.corruptf byte for byte.
+func (b *Buffer) corruptf(at uint64, format string, args ...any) error {
+	return corruptf(b.rec, at, format, args...)
+}
+
+// frame validates the file header lazily, then frames one complete
+// record at the current offset, leaving it in b.span. Validation
+// order, error text and offsets track Reader.readRecord; truncation
+// differs only in that the "stream" ends at len(data).
+func (b *Buffer) frame() (int, netmodel.Addr, error) {
+	if !b.header {
+		if len(b.data) == 0 {
+			return 0, 0, io.EOF
+		}
+		if len(b.data) < 8 {
+			return 0, 0, b.corruptf(uint64(len(b.data)),
+				"truncated file header (%d of %d bytes)", len(b.data), 8)
+		}
+		if magic := binary.LittleEndian.Uint32(b.data[0:]); magic != storeMagic {
+			return 0, 0, b.corruptf(0, "magic %#08x (want %#08x)", magic, storeMagic)
+		}
+		if v := binary.LittleEndian.Uint32(b.data[4:]); v != storeVersion {
+			return 0, 0, b.corruptf(4, "unsupported trace version %d (want %d)", v, storeVersion)
+		}
+		b.header = true
+		b.off = 8
+	}
+	b.recStart = b.off
+	rest := b.data[b.off:]
+	if len(rest) == 0 {
+		return 0, 0, io.EOF
+	}
+	if len(rest) < recHdrLen+2 {
+		return 0, 0, b.corruptf(uint64(b.recStart+len(rest)),
+			"truncated record header (%d of %d bytes)", len(rest), recHdrLen+2)
+	}
+	if rest[20] > byte(ProtoICMP) {
+		return 0, 0, b.corruptf(uint64(b.recStart), "unknown protocol %d", rest[20])
+	}
+	size := binary.LittleEndian.Uint16(rest[22:])
+	n := int(binary.LittleEndian.Uint16(rest[28:]))
+	if n > int(size) {
+		return 0, 0, b.corruptf(uint64(b.recStart),
+			"payload length %d exceeds datagram size %d", n, size)
+	}
+	if len(rest) < recHdrLen+2+n {
+		return 0, 0, b.corruptf(uint64(b.recStart+len(rest)),
+			"truncated payload (%d of %d bytes)", len(rest)-(recHdrLen+2), n)
+	}
+	spanLen := recHdrLen + 2 + n
+	b.span = rest[:spanLen:spanLen]
+	src := netmodel.Addr(binary.LittleEndian.Uint32(rest[8:]))
+	return spanLen, src, nil
+}
+
+// FrameNext frames the next record, returning its span length and
+// source address for shard routing; the span itself is collected with
+// TakeSpan. Corruption is salvaged per policy under the same gate as
+// Reader.ReadInto; io.EOF means a clean end of stream.
+func (b *Buffer) FrameNext() (int, netmodel.Addr, error) {
+	for {
+		spanLen, src, err := b.frame()
+		if err == nil {
+			return spanLen, src, nil
+		}
+		if err == io.EOF || !b.pol.SkipCorrupt || !b.header {
+			return 0, 0, err
+		}
+		resume, rerr := salvage.ResyncBuffer(b.data, b.recStart, qsndBoundary, &b.stats)
+		b.off = resume
+		if rerr != nil {
+			return 0, 0, io.EOF // torn tail: everything salvageable was framed
+		}
+	}
+}
+
+// TakeSpan returns the record framed by the last FrameNext and
+// advances past it. The span aliases the Buffer's data — stable for
+// the data's lifetime, never recycled — and is always complete
+// (framing already proved the bytes are present), so unlike
+// Reader.TakeSpan it cannot fail.
+func (b *Buffer) TakeSpan() []byte {
+	span := b.span
+	b.off += len(span)
+	b.rec++
+	return span
+}
+
+// ReadInto decodes the next record into p — the sequential path, used
+// by the single-shard replay feed. p.Payload aliases the Buffer's
+// data (nil for payload-less records), matching Reader's ownership
+// contract with a longer guarantee: the alias stays valid for the
+// data's lifetime.
+func (b *Buffer) ReadInto(p *Packet) error {
+	if _, _, err := b.FrameNext(); err != nil {
+		return err
+	}
+	DecodeRecord(b.TakeSpan(), p)
+	return nil
+}
+
+// Next implements capture.Source over freshly allocated packets.
+func (b *Buffer) Next() (*Packet, error) {
+	p := &Packet{}
+	if err := b.ReadInto(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

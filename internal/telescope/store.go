@@ -210,8 +210,14 @@ func (tr *Reader) Offset() uint64 { return tr.sc.Offset() }
 // corruptf builds an ErrBadTrace annotated with the failing record's
 // index and byte offset.
 func (tr *Reader) corruptf(at uint64, format string, args ...any) error {
+	return corruptf(tr.rec, at, format, args...)
+}
+
+// corruptf is the shared error constructor behind Reader and Buffer,
+// so both paths report corruption with byte-identical text.
+func corruptf(rec, at uint64, format string, args ...any) error {
 	return fmt.Errorf("telescope: %s at record %d, byte offset %d: %w",
-		fmt.Sprintf(format, args...), tr.rec, at, ErrBadTrace)
+		fmt.Sprintf(format, args...), rec, at, ErrBadTrace)
 }
 
 // readFull reads exactly len(b) bytes, advancing the offset, and
@@ -281,6 +287,118 @@ func (tr *Reader) ReadInto(p *Packet) error {
 			return io.EOF // torn tail: everything salvageable was read
 		}
 	}
+}
+
+// DecodeRecord decodes a complete QSND v2 record span — the fixed
+// header plus its payload, as framed by FrameNext/TakeSpan or a
+// Buffer — into p. The span must already be validated by the framer;
+// decode itself cannot fail. p.Payload aliases the span (nil for
+// payload-less records, matching ReadInto), so the span's owner
+// decides the lifetime. Safe for concurrent use: decoding touches no
+// shared state.
+func DecodeRecord(span []byte, p *Packet) {
+	*p = Packet{
+		TS:      Timestamp(binary.LittleEndian.Uint64(span[0:])),
+		Src:     netmodel.Addr(binary.LittleEndian.Uint32(span[8:])),
+		Dst:     netmodel.Addr(binary.LittleEndian.Uint32(span[12:])),
+		SrcPort: binary.LittleEndian.Uint16(span[16:]),
+		DstPort: binary.LittleEndian.Uint16(span[18:]),
+		Proto:   Proto(span[20]),
+		Flags:   span[21],
+		Size:    binary.LittleEndian.Uint16(span[22:]),
+		Weight:  binary.LittleEndian.Uint32(span[24:]),
+	}
+	if n := int(binary.LittleEndian.Uint16(span[28:])); n > 0 {
+		p.Payload = span[recHdrLen+2 : recHdrLen+2+n : recHdrLen+2+n]
+	}
+}
+
+// FrameNext reads and validates the next record's fixed header,
+// returning the full span length (header + payload) and the record's
+// source address for shard routing. The header bytes are retained; the
+// caller must complete the record with TakeSpan before the next
+// FrameNext. Corruption is salvaged per policy exactly as in ReadInto;
+// io.EOF means a clean end of stream.
+func (tr *Reader) FrameNext() (int, netmodel.Addr, error) {
+	for {
+		spanLen, src, err := tr.frameRecord()
+		if err == nil {
+			return spanLen, src, nil
+		}
+		if errors.Is(err, io.EOF) || !tr.sc.Pol.SkipCorrupt ||
+			!tr.header || !errors.Is(err, ErrBadTrace) {
+			return 0, 0, err
+		}
+		if rerr := tr.sc.Resync(tr.recStart, tr.suspect, qsndBoundary); rerr != nil {
+			return 0, 0, io.EOF // torn tail: everything salvageable was read
+		}
+	}
+}
+
+// frameRecord is readRecord's header half: file-header validation,
+// record-header read and sanity checks, with identical error text and
+// suspect-byte tracking — but no payload consumption.
+func (tr *Reader) frameRecord() (int, netmodel.Addr, error) {
+	if !tr.header {
+		fh := tr.scratch[:8]
+		if _, err := tr.readFull(fh, true, "file header"); err != nil {
+			return 0, 0, err
+		}
+		if magic := binary.LittleEndian.Uint32(fh[0:]); magic != storeMagic {
+			return 0, 0, tr.corruptf(0, "magic %#08x (want %#08x)", magic, storeMagic)
+		}
+		if v := binary.LittleEndian.Uint32(fh[4:]); v != storeVersion {
+			return 0, 0, tr.corruptf(4, "unsupported trace version %d (want %d)", v, storeVersion)
+		}
+		tr.header = true
+	}
+	recStart := tr.sc.Offset()
+	tr.recStart = recStart
+	hdr := &tr.scratch
+	if n, err := tr.readFull(hdr[:], true, "record header"); err != nil {
+		tr.suspect = append(tr.suspect[:0], hdr[:n]...)
+		return 0, 0, err
+	}
+	if hdr[20] > byte(ProtoICMP) {
+		tr.suspect = append(tr.suspect[:0], hdr[:]...)
+		return 0, 0, tr.corruptf(recStart, "unknown protocol %d", hdr[20])
+	}
+	size := binary.LittleEndian.Uint16(hdr[22:])
+	n := int(binary.LittleEndian.Uint16(hdr[28:]))
+	if n > int(size) {
+		tr.suspect = append(tr.suspect[:0], hdr[:]...)
+		return 0, 0, tr.corruptf(recStart, "payload length %d exceeds datagram size %d", n, size)
+	}
+	src := netmodel.Addr(binary.LittleEndian.Uint32(hdr[8:]))
+	return recHdrLen + 2 + n, src, nil
+}
+
+// TakeSpan completes the record framed by the last FrameNext into dst
+// (len(dst) must be the returned span length): the retained header is
+// copied and the payload read straight from the stream — the spans a
+// shard decodes later never pass through an intermediate buffer. On
+// payload truncation the salvage policy applies: if the resync scan
+// recovers a later boundary the framed record itself is unrecoverable
+// and TakeSpan returns salvage.ErrRecordLost (the caller drops the
+// span and keeps framing); a torn tail returns io.EOF after
+// accounting, exactly like ReadInto.
+func (tr *Reader) TakeSpan(dst []byte) ([]byte, error) {
+	copy(dst, tr.scratch[:])
+	if len(dst) > recHdrLen+2 {
+		if m, err := tr.readFull(dst[recHdrLen+2:], false, "payload"); err != nil {
+			tr.suspect = append(tr.suspect[:0], dst[:recHdrLen+2+m]...)
+			if errors.Is(err, io.EOF) || !tr.sc.Pol.SkipCorrupt ||
+				!errors.Is(err, ErrBadTrace) {
+				return nil, err
+			}
+			if rerr := tr.sc.Resync(tr.recStart, tr.suspect, qsndBoundary); rerr != nil {
+				return nil, io.EOF
+			}
+			return nil, salvage.ErrRecordLost
+		}
+	}
+	tr.rec++
+	return dst, nil
 }
 
 // readRecord decodes one record, tracking the suspect bytes a resync

@@ -617,7 +617,11 @@ func Replay(cfg Config, src capture.Source) (*Analysis, error) {
 	a.Telemetry = collectTelemetry(cfg, shards, pstats)
 	a.Telemetry.Ingest = sc.Telemetry()
 	a.Telemetry.Ingest.Format = capture.SourceFormat(src).String()
-	a.Telemetry.Ingest.DecodeDrops = capture.SourceSkipped(src)
+	// Reader-side skips add to whatever the decode side counted: on the
+	// sequential path the shards drop nothing and this is the whole
+	// number; on the span path it completes the shard drops to the same
+	// worker-invariant total.
+	a.Telemetry.Ingest.DecodeDrops += capture.SourceSkipped(src)
 	if sv := capture.SourceSalvage(src); sv != (capture.SalvageStats{}) {
 		a.Telemetry.Ingest.CorruptRecords = sv.CorruptRecords
 		a.Telemetry.Ingest.ResyncScans = sv.ResyncScans

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -105,6 +108,41 @@ func replayBytes(cfg Config, data []byte) (*Analysis, error) {
 	return Replay(cfg, src)
 }
 
+// openStream opens data through the io.Reader decoder.
+func openStream(t *testing.T, data []byte) capture.Source {
+	t.Helper()
+	src, err := capture.NewSource(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// openMmap round-trips data through a file and capture.OpenFile — the
+// memory-mapped zero-copy path on QSND checkpoints.
+func openMmap(t *testing.T, data []byte) capture.Source {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "capture.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	src, err := capture.OpenFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if c, ok := src.(io.Closer); ok {
+			_ = c.Close()
+		}
+	})
+	return src
+}
+
 // TestReplaySalvagedDegradedOracle is the PR's acceptance path for
 // both container formats: a capture with injected mid-file corruption
 // fails fast by default with the original terminal error; in salvage
@@ -136,16 +174,24 @@ func TestReplaySalvagedDegradedOracle(t *testing.T) {
 		t.Fatalf("fixture too small: %d records", len(clean))
 	}
 
-	for _, in := range []struct {
+	for _, tc := range []struct {
 		name   string
 		format capture.Format
 		data   []byte
-	}{{"qsnd", capture.FormatQSND, qsnd}, {"pcap", capture.FormatPcap, pcap}} {
-		t.Run(in.name, func(t *testing.T) {
-			bad, k := damageMidRecord(in.data, in.format)
+		open   func(t *testing.T, data []byte) capture.Source
+	}{
+		{"qsnd", capture.FormatQSND, qsnd, openStream},
+		{"pcap", capture.FormatPcap, pcap, openStream},
+		// The same damaged checkpoint through the mmap path: the
+		// in-buffer resync must account identically to the streamed
+		// Scanner's.
+		{"qsnd-mmap", capture.FormatQSND, qsnd, openMmap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad, k := damageMidRecord(tc.data, tc.format)
 
 			// Fail-fast (the zero policy) keeps the historical contract.
-			if _, err := replayBytes(cfg, bad); err == nil {
+			if _, err := Replay(cfg, tc.open(t, bad)); err == nil {
 				t.Fatal("fail-fast replay of damaged capture succeeded")
 			} else if !errors.Is(err, telescope.ErrBadTrace) && !errors.Is(err, capture.ErrBadPcap) {
 				t.Fatalf("fail-fast err = %v, want the format's corruption error", err)
@@ -175,7 +221,7 @@ func TestReplaySalvagedDegradedOracle(t *testing.T) {
 				var recheck bytes.Buffer
 				w := telescope.NewWriter(&recheck)
 				scfg.Trace = w
-				a, err := replayBytes(scfg, bad)
+				a, err := Replay(scfg, tc.open(t, bad))
 				if err != nil {
 					t.Fatalf("workers=%d: salvage replay failed: %v", workers, err)
 				}
@@ -249,26 +295,31 @@ func TestReplaySalvagedDegradedOracle(t *testing.T) {
 // replays every complete record and ends cleanly.
 func TestReplayTruncatedTail(t *testing.T) {
 	cfg, _, qsnd, pcap := salvageFixture(t)
-	for _, in := range []struct {
+	for _, tc := range []struct {
 		name string
 		data []byte
 		offs []uint64
-	}{{"qsnd", qsnd, qsndOffsets(qsnd)}, {"pcap", pcap, pcapOffsets(pcap)}} {
-		t.Run(in.name, func(t *testing.T) {
-			last := in.offs[len(in.offs)-1]
-			torn := in.data[:last+9] // tear inside the final record header
+		open func(t *testing.T, data []byte) capture.Source
+	}{
+		{"qsnd", qsnd, qsndOffsets(qsnd), openStream},
+		{"pcap", pcap, pcapOffsets(pcap), openStream},
+		{"qsnd-mmap", qsnd, qsndOffsets(qsnd), openMmap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			last := tc.offs[len(tc.offs)-1]
+			torn := tc.data[:last+9] // tear inside the final record header
 
-			if _, err := replayBytes(cfg, torn); err == nil {
+			if _, err := Replay(cfg, tc.open(t, torn)); err == nil {
 				t.Fatal("fail-fast replay of torn capture succeeded")
 			}
 
 			scfg := cfg
 			scfg.Salvage = capture.SalvagePolicy{SkipCorrupt: true}
-			a, err := replayBytes(scfg, torn)
+			a, err := Replay(scfg, tc.open(t, torn))
 			if err != nil {
 				t.Fatalf("salvage replay of torn tail failed: %v", err)
 			}
-			want := uint64(len(in.offs) - 1)
+			want := uint64(len(tc.offs) - 1)
 			if a.Telemetry.Ingest.Records != want {
 				t.Errorf("salvaged %d records, want the %d complete ones", a.Telemetry.Ingest.Records, want)
 			}
@@ -276,6 +327,37 @@ func TestReplayTruncatedTail(t *testing.T) {
 				t.Errorf("torn tail not accounted: %+v", in)
 			}
 		})
+	}
+}
+
+// TestSalvageLedgerMmapMatchesStream is the differential for the two
+// resync implementations: the in-buffer resync (mmap path) and the
+// streamed Scanner must account a damaged capture with the exact same
+// salvage ledger and produce the same record count, at every worker
+// count.
+func TestSalvageLedgerMmapMatchesStream(t *testing.T) {
+	cfg, _, qsnd, _ := salvageFixture(t)
+	bad, _ := damageMidRecord(qsnd, capture.FormatQSND)
+	for _, workers := range []int{1, 2, 8} {
+		scfg := cfg
+		scfg.Workers = workers
+		scfg.Salvage = capture.SalvagePolicy{SkipCorrupt: true}
+		stream, err := Replay(scfg, openStream(t, bad))
+		if err != nil {
+			t.Fatalf("workers=%d: stream replay: %v", workers, err)
+		}
+		mmap, err := Replay(scfg, openMmap(t, bad))
+		if err != nil {
+			t.Fatalf("workers=%d: mmap replay: %v", workers, err)
+		}
+		si, mi := stream.Telemetry.Ingest, mmap.Telemetry.Ingest
+		if si.Records != mi.Records ||
+			si.CorruptRecords != mi.CorruptRecords ||
+			si.ResyncScans != mi.ResyncScans ||
+			si.SalvagedBytes != mi.SalvagedBytes ||
+			si.SalvageMaxLost != mi.SalvageMaxLost {
+			t.Errorf("workers=%d: ledgers differ:\n stream %+v\n mmap   %+v", workers, si, mi)
+		}
 	}
 }
 

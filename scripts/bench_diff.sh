@@ -7,8 +7,10 @@
 #
 # Without an argument a fresh snapshot is recorded first via
 # bench_snapshot.sh (honouring BENCHTIME). The baseline is the
-# lexically-latest BENCH_*.json in the repo root — the snapshot each PR
-# checks in.
+# highest-numbered BENCH_PR<n>.json in the repo root — the snapshot
+# each PR checks in. Numeric, not lexical: BENCH_PR10.json outranks
+# BENCH_PR9.json. Snapshots that don't match BENCH_PR<n>.json fall
+# back to lexical order.
 #
 # Tolerances (percent, env-tunable):
 #   BENCH_TOL_ALLOCS  allocs/op growth            (default 20)
@@ -27,7 +29,24 @@ cd "$(dirname "$0")/.."
 tol_allocs="${BENCH_TOL_ALLOCS:-20}"
 tol_time="${BENCH_TOL_TIME:-20}"
 
-baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+# Pick the highest PR number, not the lexically-last name — `sort`
+# alone would freeze the baseline at BENCH_PR9.json forever once
+# BENCH_PR10.json lands (9 > 1 bytewise).
+baseline=""
+best=-1
+for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_PR}"
+    n="${n%.json}"
+    case "$n" in '' | *[!0-9]*) continue ;; esac
+    if [ "$n" -gt "$best" ]; then
+        best="$n"
+        baseline="$f"
+    fi
+done
+if [ -z "$baseline" ]; then
+    baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+fi
 if [ -z "$baseline" ]; then
     echo "bench_diff: no checked-in BENCH_*.json baseline found" >&2
     exit 1

@@ -2,7 +2,11 @@
 # bench_snapshot.sh — run the tracked perf benchmarks and write them as
 # JSON so the repo accumulates a perf trajectory PR over PR.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_PR8.json)
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The default output name is derived from the snapshots already checked
+# in: highest BENCH_PR<n>.json plus one, so each PR's run lands in a
+# fresh file instead of overwriting a stale hardcoded name.
 #
 # The JSON is a flat list of records:
 #   {"bench": name, "ns_per_op": float, "bytes_per_op": int,
@@ -11,16 +15,35 @@
 # in EXPERIMENTS.md; the CI invocation only guards against bit rot.
 set -eu
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-}"
 bench_re='Pipeline|Dissect|Replay|Scenario|Table1Floods'
 benchtime="${BENCHTIME:-1x}"
 
 cd "$(dirname "$0")/.."
 
+if [ -z "$out" ]; then
+    best=0
+    for f in BENCH_PR*.json; do
+        [ -e "$f" ] || continue
+        n="${f#BENCH_PR}"
+        n="${n%.json}"
+        case "$n" in '' | *[!0-9]*) continue ;; esac
+        [ "$n" -gt "$best" ] && best="$n"
+    done
+    out="BENCH_PR$((best + 1)).json"
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$bench_re" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
+# -cpu 1 keeps benchmark names suffix-free so they line up with the
+# checked-in baselines regardless of the runner's core count (on a
+# multi-core host `go test` would append -N and every comparison in
+# bench_diff.sh would silently become "new ... not gated"). The second
+# pass records the replay ingest benchmarks at GOMAXPROCS=8 — the
+# multi-core numbers land as distinct -8 entries.
+go test -run '^$' -bench "$bench_re" -benchmem -benchtime "$benchtime" -cpu 1 ./... | tee "$raw" >&2
+go test -run '^$' -bench 'Replay' -benchmem -benchtime "$benchtime" -cpu 8 . | tee -a "$raw" >&2
 
 awk '
 BEGIN { print "[" ; first = 1 }
