@@ -1,0 +1,98 @@
+package quicsand
+
+import (
+	"testing"
+
+	"quicsand/internal/detect"
+	"quicsand/internal/oracle"
+)
+
+// streamAlerts runs the full scenario month through the streaming
+// pipeline with the given detector configuration and returns the
+// complete alert stream (Close flushes every open episode).
+func streamAlerts(t *testing.T, cfg Config, dcfg detect.Config) []detect.Alert {
+	t.Helper()
+	final, err := StreamLive(StreamConfig{Config: cfg, Detect: &dcfg}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final.Alerts
+}
+
+// TestAlertOracle validates the sliding-window detectors' alert
+// stream against the ledger-derived bounds at zero tolerance: for
+// every flood built-in, each alert of a checked victim must sit inside
+// one of its scheduled flood clusters, and per-victim rate-alert
+// counts must land in the proven [guaranteed, cap] interval —
+// guaranteed clusters may not stay silent (DESIGN.md §17).
+func TestAlertOracle(t *testing.T) {
+	id := goldenIdentity(t)
+	dcfg := detect.Default()
+	for _, run := range goldenRuns {
+		if run.name == "paper-2021" || run.name == "versionneg-scan-campaign" {
+			continue // no QUIC flood victims scheduled at tiny scale
+		}
+		run := run
+		t.Run(run.name, func(t *testing.T) {
+			cfg := goldenConfig(run.name, run.scale, id, t)
+			cfg.Workers = 2
+			ae, err := ExpectAlerts(cfg, dcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Anti-vacuity of the expectation itself: the scenario must
+			// schedule at least one cluster dense enough that silence
+			// would be a detector bug, and at least one checked victim.
+			if ae.Guaranteed == 0 || len(ae.Victims) == 0 {
+				t.Fatalf("vacuous expectation: %d victims, %d guaranteed clusters",
+					len(ae.Victims), ae.Guaranteed)
+			}
+
+			alerts := streamAlerts(t, cfg, dcfg)
+			results := oracle.CheckAlerts(ae, alerts)
+			if n := oracle.CountViolations(results); n != 0 {
+				for _, r := range results {
+					if !r.OK || r.Detail {
+						t.Errorf("%s: want %s, got %s", r.Name, r.Want, r.Got)
+					}
+				}
+				t.Fatalf("alert stream violates %d checks", n)
+			}
+			// The containment group must actually have inspected
+			// victim alerts — zero inspected would pass vacuously.
+			victimAlerts := 0
+			for _, al := range alerts {
+				if ae.Victims[al.Src] != nil {
+					victimAlerts++
+				}
+			}
+			if victimAlerts == 0 {
+				t.Fatal("no victim alerts inspected (containment check vacuous)")
+			}
+		})
+	}
+}
+
+// TestAlertOracleDetectsDivergence guards the alert oracle's teeth,
+// mirroring TestOracleDetectsDivergence: a detector run with absurdly
+// perturbed thresholds must violate the default-threshold expectation
+// — guaranteed clusters go silent — otherwise TestAlertOracle is
+// vacuous.
+func TestAlertOracleDetectsDivergence(t *testing.T) {
+	id := goldenIdentity(t)
+	cfg := goldenConfig("handshake-flood-qfam", 0.002, id, t)
+	cfg.Workers = 2
+	ae, err := ExpectAlerts(cfg, detect.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae.Guaranteed == 0 {
+		t.Fatal("scenario schedules no guaranteed cluster; the twin proves nothing")
+	}
+	deaf := detect.Default()
+	deaf.RatePPS *= 1000 // RateCount ~ 30001: no window can cross it
+	alerts := streamAlerts(t, cfg, deaf)
+	if n := oracle.CountViolations(oracle.CheckAlerts(ae, alerts)); n == 0 {
+		t.Fatal("perturbed detector satisfied the strict expectation; alert checks are vacuous")
+	}
+}

@@ -1,0 +1,253 @@
+package quicsand
+
+import (
+	"fmt"
+
+	"quicsand/internal/ckpt"
+	"quicsand/internal/dosdetect"
+	"quicsand/internal/engine"
+	"quicsand/internal/sessions"
+	"quicsand/internal/telemetry"
+	"quicsand/internal/telescope"
+)
+
+// Binary streaming-checkpoint container (DESIGN.md §17). A checkpoint
+// stores the pipeline's full reducible state — everything the batch
+// reduction folds — plus the run parameters it was taken under, so a
+// daemon restarted from the file resumes mid-stream and still produces
+// the bit-identical full-run Analysis.
+//
+// Layout (all integers varint unless noted):
+//
+//	"QCKP" | version=1 | seed | scale (8B) | scenario name |
+//	researchThin | skipResearch | workers | position |
+//	workers × shard block | (end of input)
+//
+// A shard block is, in order: telescope counters, the two hourly
+// histograms, the timeout sweep, the common-vector detector, the QUIC
+// and common sessionizers, the dissector metrics (8 counters),
+// nonQUIC, the emitted-session list, and the shard's captured-packet
+// count. Decoders never panic: every malformed field fails with a
+// byte-offset-annotated error (internal/ckpt, FuzzCheckpoint).
+//
+// Detector (sliding-window) state is deliberately NOT serialized:
+// alerts are a drained stream, not reduced state, and a resumed
+// daemon's detectors warm back up within one window. The checkpoint
+// stores analysis state only.
+
+// checkpointMagic brands checkpoint files; version bumps on layout
+// changes.
+var checkpointMagic = []byte("QCKP")
+
+const checkpointVersion = 1
+
+const (
+	maxCkptWorkers  = 1 << 12
+	maxCkptSessions = 1 << 26
+	maxScenarioName = 1 << 10
+)
+
+// checkpointHeader is the decoded run-parameter preamble.
+type checkpointHeader struct {
+	seed         uint64
+	scale        float64
+	scenario     string
+	researchThin uint32
+	skipResearch bool
+	workers      int
+	position     uint64
+}
+
+// decodedShard is one shard block's parsed state, hooks and
+// classifiers still unwired (decode is a pure parse; ResumeStreamer
+// attaches the runtime closures).
+type decodedShard struct {
+	tel          *telescope.Telescope
+	hourlySource *telescope.HourlyCounter
+	hourlyType   *telescope.HourlyCounter
+	sweep        *sessions.TimeoutSweep
+	commonDet    *dosdetect.Detector
+	quicSz       *sessions.Sessionizer
+	commonSz     *sessions.Sessionizer
+	disMetrics   telemetry.Dissect
+	nonQUIC      uint64
+	sessions     []*sessions.Session
+	items        uint64
+}
+
+// Encode serializes the checkpoint. The stored clones are only read,
+// so Encode is repeatable and composes with Analysis().
+func (c *StreamCheckpoint) Encode() []byte {
+	w := &ckpt.Writer{}
+	w.Raw(checkpointMagic)
+	w.U64(checkpointVersion)
+	w.U64(c.cfg.Seed)
+	w.F64(c.cfg.Scale)
+	w.String(scenarioName(c.cfg.Config))
+	w.U64(uint64(c.cfg.ResearchThin))
+	w.Bool(c.cfg.SkipResearch)
+	w.U64(uint64(c.workers))
+	w.U64(c.position)
+	for i, sh := range c.shards {
+		sh.tel.EncodeTo(w)
+		sh.hourlySource.EncodeTo(w)
+		sh.hourlyType.EncodeTo(w)
+		sh.sweep.EncodeTo(w)
+		sh.commonDet.EncodeTo(w)
+		sh.quicSz.EncodeTo(w)
+		sh.commonSz.EncodeTo(w)
+		m := &sh.dis.Metrics
+		w.U64(m.Datagrams)
+		w.U64(m.Packets)
+		w.U64(m.ParseFailures)
+		w.U64(m.Decrypted)
+		w.U64(m.ClientHellos)
+		w.U64(m.OpenerHits)
+		w.U64(m.OpenerMisses)
+		w.U64(m.OpenerResets)
+		w.U64(sh.nonQUIC)
+		w.U64(uint64(len(sh.sessions)))
+		for _, s := range sh.sessions {
+			sessions.EncodeSession(w, s)
+		}
+		w.U64(c.counts[i])
+	}
+	return w.Bytes()
+}
+
+// decodeCheckpoint parses a checkpoint image. It is a pure parse —
+// hooks and classifiers stay nil — so FuzzCheckpoint can drive it
+// directly: any malformed input must error (offset-annotated), never
+// panic, and never be silently accepted.
+func decodeCheckpoint(data []byte) (checkpointHeader, []*decodedShard, error) {
+	var hdr checkpointHeader
+	r := ckpt.NewReader(data)
+	r.Expect(checkpointMagic, "checkpoint magic")
+	if v := r.U64(); r.Err() == nil && v != checkpointVersion {
+		r.Errorf("unsupported checkpoint version %d (want %d)", v, checkpointVersion)
+	}
+	hdr.seed = r.U64()
+	hdr.scale = r.F64()
+	hdr.scenario = r.String(maxScenarioName)
+	hdr.researchThin = uint32(r.Int(1 << 31))
+	hdr.skipResearch = r.Bool()
+	hdr.workers = r.Int(maxCkptWorkers)
+	if r.Err() == nil && hdr.workers < 1 {
+		r.Errorf("checkpoint workers %d (want >= 1)", hdr.workers)
+	}
+	hdr.position = r.U64()
+	if r.Err() != nil {
+		return hdr, nil, r.Err()
+	}
+
+	shards := make([]*decodedShard, 0, hdr.workers)
+	var total uint64
+	for i := 0; i < hdr.workers; i++ {
+		d := &decodedShard{}
+		d.tel = telescope.DecodeTelescope(r)
+		d.hourlySource = telescope.DecodeHourlyCounter(r, nil)
+		d.hourlyType = telescope.DecodeHourlyCounter(r, nil)
+		d.sweep = sessions.DecodeTimeoutSweep(r)
+		d.commonDet = dosdetect.DecodeDetector(r)
+		d.quicSz = sessions.DecodeSessionizer(r, nil, nil)
+		d.commonSz = sessions.DecodeSessionizer(r, nil, nil)
+		m := &d.disMetrics
+		m.Datagrams = r.U64()
+		m.Packets = r.U64()
+		m.ParseFailures = r.U64()
+		m.Decrypted = r.U64()
+		m.ClientHellos = r.U64()
+		m.OpenerHits = r.U64()
+		m.OpenerMisses = r.U64()
+		m.OpenerResets = r.U64()
+		d.nonQUIC = r.U64()
+		n := r.Int(maxCkptSessions)
+		for j := 0; j < n && r.Err() == nil; j++ {
+			s := sessions.DecodeSession(r)
+			if s == nil {
+				break
+			}
+			d.sessions = append(d.sessions, s)
+		}
+		d.items = r.U64()
+		total += d.items
+		if r.Err() != nil {
+			return hdr, nil, r.Err()
+		}
+		shards = append(shards, d)
+	}
+	if total != hdr.position {
+		r.Errorf("shard packet counts sum to %d, header position %d", total, hdr.position)
+		return hdr, nil, r.Err()
+	}
+	if r.Remaining() != 0 {
+		r.Errorf("%d trailing bytes after checkpoint", r.Remaining())
+		return hdr, nil, r.Err()
+	}
+	return hdr, shards, nil
+}
+
+// ResumeStreamer rebuilds a Streamer from an encoded checkpoint. cfg
+// must carry the recorded run's parameters (seed, scale, scenario,
+// thinning) — the substrate is re-prepared from them, exactly as
+// Replay rebuilds ground truth — and resolve to the checkpoint's
+// worker count, since shard state is partitioned by it. Sliding-window
+// detectors resume cold (see the package comment above). Driving the
+// remainder of the original stream (capture.Skip(src, position))
+// reproduces the full-run Analysis byte-for-byte.
+func ResumeStreamer(cfg StreamConfig, data []byte) (*Streamer, error) {
+	hdr, dec, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("quicsand: resume: %w", err)
+	}
+	if hdr.seed != cfg.Seed || hdr.scale != cfg.Scale {
+		return nil, fmt.Errorf("quicsand: resume: checkpoint is for seed=%d scale=%v, config has seed=%d scale=%v",
+			hdr.seed, hdr.scale, cfg.Seed, cfg.Scale)
+	}
+	if name := scenarioName(cfg.Config); hdr.scenario != name {
+		return nil, fmt.Errorf("quicsand: resume: checkpoint is for scenario %q, config has %q", hdr.scenario, name)
+	}
+	if hdr.researchThin != cfg.ResearchThin || hdr.skipResearch != cfg.SkipResearch {
+		return nil, fmt.Errorf("quicsand: resume: research-scan parameters differ (checkpoint thin=%d skip=%v, config thin=%d skip=%v)",
+			hdr.researchThin, hdr.skipResearch, cfg.ResearchThin, cfg.SkipResearch)
+	}
+	if workers := (engine.Config{Workers: cfg.Workers}).ResolveWorkers(); workers != hdr.workers {
+		return nil, fmt.Errorf("quicsand: resume: checkpoint has %d shards, config resolves to %d workers", hdr.workers, workers)
+	}
+	cfg.Workers = hdr.workers
+	s, err := NewStreamer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Swap the decoded state under each fresh shard and wire the
+	// runtime hooks the pure parse left nil. The worker goroutines are
+	// parked on empty channels; the first Offer's channel send orders
+	// these writes before any shard touches them.
+	for i, d := range dec {
+		sh := s.shards[i]
+		sh.tel = d.tel
+		sh.hourlySource = d.hourlySource
+		sh.hourlySource.Classify = sourceClassifier(s.tum, s.rwth)
+		sh.hourlyType = d.hourlyType
+		sh.hourlyType.Classify = typeClassifier
+		sh.sweep = d.sweep
+		sh.commonDet = d.commonDet
+		sh.quicSz = d.quicSz
+		sh.quicSz.Emit = func(sess *sessions.Session) {
+			sh.sessions = append(sh.sessions, sess)
+		}
+		sh.quicSz.GapRecorder = sh.sweep.RecordGap
+		sh.commonSz = d.commonSz
+		sh.commonSz.Emit = sh.commonDet.Offer
+		sh.dis.Metrics = d.disMetrics
+		sh.nonQUIC = d.nonQUIC
+		sh.sessions = d.sessions
+		if s.cfg.MaxActiveSessions > 0 {
+			sh.quicSz.MaxActive = s.cfg.MaxActiveSessions
+			sh.commonSz.MaxActive = s.cfg.MaxActiveSessions
+		}
+		s.counts[i] = d.items
+	}
+	s.position = hdr.position
+	return s, nil
+}

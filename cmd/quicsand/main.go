@@ -31,7 +31,11 @@
 // summarizes it as a per-stage time-sliced busy table, and -manifest
 // references the trace file. `replay -heartbeat DUR` logs the same
 // structured progress line telescoped emits, for long stored-month
-// replays.
+// replays. `replay -alerts FILE|-` routes the capture through the
+// streaming pipeline's sliding-window detectors (DESIGN.md §17),
+// appending closed alert episodes as JSON lines — the analysis output
+// is bit-identical to the batch replay; `-window DUR` and
+// `-detect-config FILE` tune the detector bank.
 //
 // -scenario selects the workload: a built-in scenario name
 // (`-scenario list` prints the registry), or a declarative spec file
@@ -66,6 +70,7 @@ import (
 
 	"quicsand"
 	"quicsand/internal/capture"
+	"quicsand/internal/detect"
 	"quicsand/internal/engine"
 	"quicsand/internal/scenario"
 	"quicsand/internal/telemetry"
@@ -554,11 +559,17 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	in := fs.String("i", "", "capture file to replay (required)")
 	fig := fs.String("fig", "headline", "section to print: all, headline, headline-json, 2..13, section6")
 	heartbeat := fs.Duration("heartbeat", 0, "progress-log interval on stderr (0 disables)")
+	alerts := fs.String("alerts", "", "stream through the sliding-window detectors, appending alerts as JSON lines to FILE (- = stdout)")
+	window := fs.Duration("window", 0, "detector sliding window for -alerts (0 = detector default)")
+	detectConfig := fs.String("detect-config", "", "detector-threshold JSON for -alerts")
 	if done, err := parseSim(fs, opts, args, stdout); done || err != nil {
 		return err
 	}
 	if *in == "" {
 		return errors.New("replay: -i FILE is required")
+	}
+	if *alerts == "" && (*window != 0 || *detectConfig != "") {
+		return errors.New("replay: -window and -detect-config require -alerts")
 	}
 	cfg, err := opts.config()
 	if err != nil {
@@ -593,7 +604,11 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 
 	var a *quicsand.Analysis
 	err = opts.profiled(func() (err error) {
-		a, err = quicsand.Replay(cfg, src)
+		if *alerts == "" {
+			a, err = quicsand.Replay(cfg, src)
+			return err
+		}
+		a, err = replayAlerts(cfg, src, *alerts, *window, *detectConfig, stdout, stderr)
 		return err
 	})
 	if hb != nil {
@@ -613,6 +628,50 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return renderFigure(a, *fig, stdout)
+}
+
+// replayAlerts is the `-alerts` replay path: the capture streams
+// through the incremental pipeline with a sliding-window detector bank,
+// alert episodes land as JSON lines on FILE (or stdout for "-"), and
+// the final checkpoint reduces to the same Analysis the batch replay
+// produces (the stream≡batch differential suite, DESIGN.md §17).
+func replayAlerts(cfg quicsand.Config, src capture.Source, path string, window time.Duration, detectPath string, stdout, stderr io.Writer) (*quicsand.Analysis, error) {
+	dcfg := detect.Default()
+	if detectPath != "" {
+		c, err := detect.LoadConfigFile(detectPath)
+		if err != nil {
+			return nil, err
+		}
+		dcfg = c
+	}
+	if window > 0 {
+		dcfg.Window = window
+	}
+	final, err := quicsand.StreamReplay(quicsand.StreamConfig{Config: cfg, Detect: &dcfg}, src, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	w := stdout
+	var f *os.File
+	if path != "-" {
+		if f, err = os.Create(path); err != nil {
+			return nil, err
+		}
+		w = f
+	}
+	if err := detect.WriteAlerts(w, final.Alerts); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, fmt.Errorf("alerts %s: %w", path, err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("alerts %s: %w", path, err)
+		}
+	}
+	fmt.Fprintf(stderr, "quicsand: replay: %d alerts (window=%s)\n", len(final.Alerts), dcfg.Window)
+	return final.Analysis(), nil
 }
 
 // closeSource releases source-owned resources (the QSND mmap) once the

@@ -494,3 +494,65 @@ func TestSalvageCLI(t *testing.T) {
 		t.Error("compare -i with two scenarios accepted")
 	}
 }
+
+// TestReplayAlertsCLI covers `replay -alerts`: the capture streams
+// through the sliding-window detectors, alert episodes land as JSON
+// lines, and the analysis output stays bit-identical to the batch
+// replay (modulo ingest provenance, which the streaming path does not
+// stamp). The flood built-in at golden scale is proven to alert
+// (TestAlertOracle), so an empty stream here is a regression.
+func TestReplayAlertsCLI(t *testing.T) {
+	dir := t.TempDir()
+	qsnd := filepath.Join(dir, "flood.qsnd")
+	alertFile := filepath.Join(dir, "alerts.jsonl")
+	sim := []string{"-seed", "97", "-scale", "0.002", "-scenario", "handshake-flood-qfam", "-fig", "headline-json"}
+
+	var direct, errOut bytes.Buffer
+	if err := run(append([]string{"record", "-o", qsnd, "-workers", "2"}, sim...), &direct, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	var plain bytes.Buffer
+	if err := run(append([]string{"replay", "-i", qsnd, "-workers", "2"}, sim...), &plain, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	var streamed bytes.Buffer
+	if err := run(append([]string{"replay", "-i", qsnd, "-workers", "2", "-alerts", alertFile}, sim...), &streamed, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if stripIngest(streamed.String()) != stripIngest(plain.String()) {
+		t.Errorf("streaming replay diverged from batch replay:\n--- batch ---\n%s\n--- stream ---\n%s",
+			plain.String(), streamed.String())
+	}
+	if !strings.Contains(errOut.String(), "alerts (window=1m0s)") {
+		t.Errorf("alert summary missing on stderr:\n%s", errOut.String())
+	}
+	data, err := os.ReadFile(alertFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("alert stream empty for a flood scenario")
+	}
+	sawRate := false
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("alert line %d not JSON: %v\n%s", i, err, line)
+		}
+		if obj["kind"] == "rate" {
+			sawRate = true
+		}
+	}
+	if !sawRate {
+		t.Errorf("no rate alert in stream:\n%s", data)
+	}
+
+	// -window spelled without -alerts is a loud error, not a no-op.
+	if err := run(append([]string{"replay", "-i", qsnd, "-window", "30s"}, sim...), &streamed, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "-alerts") {
+		t.Errorf("replay -window without -alerts: want a requires error, got %v", err)
+	}
+}

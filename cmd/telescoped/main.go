@@ -23,6 +23,18 @@
 // dropped counts logged (and folded into the manifest), the final
 // telemetry snapshot is flushed, and the process exits cleanly.
 //
+// Daemon mode (-window DUR) swaps the per-packet log for the full
+// streaming analysis pipeline (DESIGN.md §17): every datagram is mapped
+// into the telescope address model and fed to the incremental analyzer
+// with one sliding-window detector bank per shard. -alerts FILE|-
+// appends closed detector episodes as JSON lines, -checkpoint FILE
+// atomically rewrites the serialized pipeline state every
+// -checkpoint-every (resumable with matching -seed/-scale),
+// -mem-budget bounds per-shard session state by evicting the coldest
+// source, and -detect-config loads detector thresholds from JSON. Each
+// checkpoint also appends an analysis snapshot to the -manifest record.
+// Shutdown drains the stream and emits the final checkpoint.
+//
 // Point any QUIC client at it (or run cmd/quicsand's generated trace
 // through it) to watch the classification logic work on live traffic.
 package main
@@ -56,15 +68,31 @@ func main() {
 	manifest := flag.String("manifest", "", "write a machine-readable run manifest at shutdown")
 	record := flag.String("record", "", "record received datagrams to this capture file (.pcap/.cap = libpcap, else QSND)")
 	traceOut := flag.String("trace-out", "", "write the run's flight-recorder timeline as Chrome trace-event JSON at shutdown")
+	window := flag.Duration("window", 0, "daemon mode: run the full analysis pipeline with sliding-window detectors of this width (0 = classic per-packet log)")
+	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "daemon checkpoint interval (0 = final drain only)")
+	memBudget := flag.Int("mem-budget", 0, "daemon per-sessionizer active-session budget, coldest evicted past it (0 = unbounded)")
+	alerts := flag.String("alerts", "", "daemon: append detector alerts as JSON lines to FILE, or - for stdout")
+	checkpoint := flag.String("checkpoint", "", "daemon: atomically (re)write the latest checkpoint image to FILE")
+	detectConfig := flag.String("detect-config", "", "daemon: detector-threshold JSON (default thresholds when empty)")
+	seed := flag.Uint64("seed", 2021, "daemon: simulation-substrate seed stamped into checkpoints")
+	scale := flag.Float64("scale", 0.001, "daemon: simulation-substrate scale stamped into checkpoints")
 	flag.Parse()
 
 	opts := serveOpts{
-		workers:   *workers,
-		metrics:   *metrics,
-		heartbeat: *heartbeat,
-		manifest:  *manifest,
-		record:    *record,
-		traceOut:  *traceOut,
+		workers:      *workers,
+		metrics:      *metrics,
+		heartbeat:    *heartbeat,
+		manifest:     *manifest,
+		record:       *record,
+		traceOut:     *traceOut,
+		window:       *window,
+		ckptEvery:    *ckptEvery,
+		memBudget:    *memBudget,
+		alerts:       *alerts,
+		checkpoint:   *checkpoint,
+		detectConfig: *detectConfig,
+		seed:         *seed,
+		scale:        *scale,
 	}
 	if err := run(*listen, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "telescoped:", err)
@@ -76,6 +104,11 @@ func main() {
 // serves until the socket closes. The signal goroutine is reaped before
 // run returns (no leak), so tests can call it repeatedly.
 func run(listen string, opts serveOpts, out, diag io.Writer) error {
+	if opts.window <= 0 {
+		if err := opts.validateClassic(); err != nil {
+			return err
+		}
+	}
 	pc, err := net.ListenPacket("udp", listen)
 	if err != nil {
 		return err
@@ -98,7 +131,11 @@ func run(listen string, opts serveOpts, out, diag io.Writer) error {
 		}
 	}()
 
-	err = serve(opts, pc, out, diag)
+	if opts.window > 0 {
+		err = serveDaemon(opts, pc, out, diag)
+	} else {
+		err = serve(opts, pc, out, diag)
+	}
 	signal.Stop(stop)
 	close(done)
 	wg.Wait()
@@ -113,6 +150,33 @@ type serveOpts struct {
 	manifest  string // run-manifest path; "" disables
 	record    string // capture-file path; "" disables
 	traceOut  string // flight-recorder trace path; "" disables
+
+	// Daemon mode (-window > 0): the streaming analysis pipeline
+	// replaces the per-packet classification log.
+	window       time.Duration
+	ckptEvery    time.Duration // periodic checkpoints; 0 = final only
+	memBudget    int           // sessionizer MaxActive; 0 = unbounded
+	alerts       string        // alert JSON-lines path; "-" = out
+	checkpoint   string        // checkpoint-image path; "" disables
+	detectConfig string        // detector-threshold JSON path
+	seed         uint64        // substrate parameters stamped into
+	scale        float64       // checkpoints (resume must match them)
+}
+
+// validateClassic rejects daemon-only flags when -window is off, so a
+// typo'd invocation fails loudly instead of silently logging packets.
+func (o serveOpts) validateClassic() error {
+	switch {
+	case o.alerts != "":
+		return fmt.Errorf("-alerts requires -window")
+	case o.checkpoint != "":
+		return fmt.Errorf("-checkpoint requires -window")
+	case o.detectConfig != "":
+		return fmt.Errorf("-detect-config requires -window")
+	case o.memBudget != 0:
+		return fmt.Errorf("-mem-budget requires -window")
+	}
+	return nil
 }
 
 // datagram is one received UDP payload with its remote address.

@@ -1,0 +1,100 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+)
+
+// benchPackets builds a round-robin packet schedule over n sources,
+// one packet per millisecond — dense enough that every source's rate
+// episode opens during warmup and then only extends, which is the
+// daemon's steady state.
+func benchPackets(n int) []*telescope.Packet {
+	pkts := make([]*telescope.Packet, 4096)
+	for i := range pkts {
+		pkts[i] = &telescope.Packet{
+			Src:     netmodel.Addr(0x0a000000 + uint32(i%n)),
+			Dst:     netmodel.TelescopePrefix.Base,
+			SrcPort: 40000, DstPort: 443,
+			Proto: telescope.ProtoUDP, Size: 1200,
+		}
+	}
+	return pkts
+}
+
+// BenchmarkStreamingDetect measures the detector bank's per-packet
+// cost on the daemon steady state: every source resident, episodes
+// open and extending, no churn. This is the hot path a live telescope
+// pays per captured QUIC packet on top of sessionization.
+func BenchmarkStreamingDetect(b *testing.B) {
+	d := NewShard(Default())
+	pkts := benchPackets(64)
+	// Warm up: give every source window state and an open episode.
+	for i, p := range pkts {
+		p.TS = telescope.Timestamp(i)
+		d.Observe(p, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		p.TS = telescope.Timestamp(len(pkts) + i)
+		d.Observe(p, nil)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+}
+
+// TestStreamingDetectZeroAllocSteadyState is the allocation gate on
+// the same steady state: once a source's window state and episode
+// exist, Observe must not allocate — the daemon's per-packet cost is
+// pointer chasing and ring arithmetic, never garbage.
+func TestStreamingDetectZeroAllocSteadyState(t *testing.T) {
+	d := NewShard(Default())
+	pkts := benchPackets(64)
+	for i, p := range pkts {
+		p.TS = telescope.Timestamp(i)
+		d.Observe(p, nil)
+	}
+	ts := telescope.Timestamp(len(pkts))
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		p := pkts[i%len(pkts)]
+		p.TS = ts
+		d.Observe(p, nil)
+		i++
+		ts++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Observe allocates %.2f times per packet, want 0", avg)
+	}
+	if d.Metrics.AlertsOpened == 0 {
+		t.Fatal("steady state never opened an episode; the gate ran on a cold path")
+	}
+}
+
+// TestStreamingDetectWindowRollZeroAlloc extends the gate across
+// bucket boundaries: rolling the ring forward (including across a gap
+// of several buckets) reuses the fixed bucket array in place.
+func TestStreamingDetectWindowRollZeroAlloc(t *testing.T) {
+	cfg := Default()
+	cfg.Window = 600 * time.Millisecond
+	cfg.Buckets = 6
+	d := NewShard(cfg)
+	src := netmodel.Addr(0x0a000001)
+	p := &telescope.Packet{Src: src, Dst: netmodel.TelescopePrefix.Base,
+		SrcPort: 40000, DstPort: 443, Proto: telescope.ProtoUDP, Size: 1200}
+	p.TS = 0
+	d.Observe(p, nil)
+	ts := telescope.Timestamp(1)
+	avg := testing.AllocsPerRun(2000, func() {
+		p.TS = ts
+		d.Observe(p, nil)
+		ts += 150 // crosses a 100 ms bucket boundary most calls
+	})
+	if avg != 0 {
+		t.Fatalf("ring roll allocates %.2f times per packet, want 0", avg)
+	}
+}

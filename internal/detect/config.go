@@ -1,0 +1,173 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Config parameterizes the sliding-window detectors. The zero value
+// is not usable; start from Default.
+type Config struct {
+	// Window is the sliding-window width. Default 60s — the paper's
+	// per-minute intensity slot.
+	Window time.Duration `json:"-"`
+	// Buckets is the ring resolution: the window is Buckets fixed
+	// buckets and the effective guaranteed lookback is
+	// Window − Window/Buckets. 2..MaxBuckets. Default 6 (10 s
+	// buckets for the 60 s window).
+	Buckets int `json:"buckets"`
+	// RatePPS is the per-source rate threshold in packets/second; a
+	// rate alert opens when a window holds strictly more than
+	// RatePPS×Window packets. Default 0.5 — Moore et al.'s intensity
+	// criterion, matching the batch detector.
+	RatePPS float64 `json:"rate_pps"`
+	// MinInitialFraction opens an Initial-fraction alert when
+	// initials/quic ≥ this with at least MinPackets QUIC packets in
+	// the window. Default 0.9.
+	MinInitialFraction float64 `json:"min_initial_fraction"`
+	// MinCIDRatio opens a CID-ratio alert when distinct CIDs per QUIC
+	// packet ≥ this with at least MinPackets QUIC packets in the
+	// window. Default 0.5.
+	MinCIDRatio float64 `json:"min_cid_ratio"`
+	// MinPackets is the evidence floor for the two fraction
+	// detectors. Default 20.
+	MinPackets int `json:"min_packets"`
+	// MaxSources, when positive, bounds per-shard source state; the
+	// coldest source is evicted past it. 0 = unlimited.
+	MaxSources int `json:"max_sources"`
+}
+
+// Default returns the paper-derived detector configuration.
+func Default() Config {
+	return Config{
+		Window:             60 * time.Second,
+		Buckets:            6,
+		RatePPS:            0.5,
+		MinInitialFraction: 0.9,
+		MinCIDRatio:        0.5,
+		MinPackets:         20,
+	}
+}
+
+// RateCount is the packet count that triggers a rate alert:
+// strictly more than RatePPS over one full window, i.e.
+// floor(RatePPS×Window)+1. At defaults this is 31 — the same floor
+// the batch oracle derives for attack sessions.
+func (c *Config) RateCount() int {
+	return int(math.Floor(c.RatePPS*c.Window.Seconds())) + 1
+}
+
+// EffectiveWindow is the guaranteed lookback of the bucket ring:
+// Window minus one bucket width. Any interval of this length ending
+// at a packet is fully covered by that packet's window sum.
+func (c *Config) EffectiveWindow() time.Duration {
+	return c.Window - c.Window/time.Duration(c.Buckets)
+}
+
+// Validate checks the configuration invariants the shard math relies
+// on.
+func (c *Config) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("detect: window must be positive, got %v", c.Window)
+	}
+	if c.Buckets < 2 || c.Buckets > MaxBuckets {
+		return fmt.Errorf("detect: buckets must be in [2, %d], got %d", MaxBuckets, c.Buckets)
+	}
+	if c.Window.Milliseconds()/int64(c.Buckets) < 1 {
+		return fmt.Errorf("detect: window %v too narrow for %d buckets (bucket < 1ms)", c.Window, c.Buckets)
+	}
+	if !(c.RatePPS > 0) || math.IsInf(c.RatePPS, 0) {
+		return fmt.Errorf("detect: rate_pps must be a positive finite number, got %v", c.RatePPS)
+	}
+	if c.MinInitialFraction < 0 || c.MinInitialFraction > 1 || math.IsNaN(c.MinInitialFraction) {
+		return fmt.Errorf("detect: min_initial_fraction must be in [0, 1], got %v", c.MinInitialFraction)
+	}
+	if c.MinCIDRatio < 0 || c.MinCIDRatio > 1 || math.IsNaN(c.MinCIDRatio) {
+		return fmt.Errorf("detect: min_cid_ratio must be in [0, 1], got %v", c.MinCIDRatio)
+	}
+	if c.MinPackets < 1 {
+		return fmt.Errorf("detect: min_packets must be at least 1, got %d", c.MinPackets)
+	}
+	if c.MaxSources < 0 {
+		return fmt.Errorf("detect: max_sources must be non-negative, got %d", c.MaxSources)
+	}
+	return nil
+}
+
+// fileConfig is the on-disk form: window as a duration string, every
+// other knob optional with Default's value.
+type fileConfig struct {
+	Window             string   `json:"window"`
+	Buckets            *int     `json:"buckets"`
+	RatePPS            *float64 `json:"rate_pps"`
+	MinInitialFraction *float64 `json:"min_initial_fraction"`
+	MinCIDRatio        *float64 `json:"min_cid_ratio"`
+	MinPackets         *int     `json:"min_packets"`
+	MaxSources         *int     `json:"max_sources"`
+}
+
+// LoadConfig parses a detector-config JSON document. Unknown fields
+// are errors — a typoed knob must fail loudly, not silently keep its
+// default — and malformed input yields a clean error, never a panic
+// (FuzzLoadConfig). Omitted fields keep Default's values.
+func LoadConfig(data []byte) (Config, error) {
+	cfg := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var fc fileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("detect: %w", err)
+	}
+	var tail any
+	if err := dec.Decode(&tail); !errors.Is(err, io.EOF) {
+		return Config{}, fmt.Errorf("detect: trailing data after config document")
+	}
+	if fc.Window != "" {
+		d, err := time.ParseDuration(fc.Window)
+		if err != nil {
+			return Config{}, fmt.Errorf("detect: window: %w", err)
+		}
+		cfg.Window = d
+	}
+	if fc.Buckets != nil {
+		cfg.Buckets = *fc.Buckets
+	}
+	if fc.RatePPS != nil {
+		cfg.RatePPS = *fc.RatePPS
+	}
+	if fc.MinInitialFraction != nil {
+		cfg.MinInitialFraction = *fc.MinInitialFraction
+	}
+	if fc.MinCIDRatio != nil {
+		cfg.MinCIDRatio = *fc.MinCIDRatio
+	}
+	if fc.MinPackets != nil {
+		cfg.MinPackets = *fc.MinPackets
+	}
+	if fc.MaxSources != nil {
+		cfg.MaxSources = *fc.MaxSources
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfigFile reads and parses a detector-config file.
+func LoadConfigFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg, err := LoadConfig(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}

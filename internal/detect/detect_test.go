@@ -1,0 +1,161 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quicsand/internal/netmodel"
+	"quicsand/internal/telescope"
+)
+
+// testConfig is a tiny deterministic configuration: 1 s window over
+// two 500 ms buckets, RateCount = floor(2×1)+1 = 3, fraction detectors
+// parked behind an unreachable evidence floor so only the rate state
+// machine moves.
+func testConfig() Config {
+	return Config{
+		Window:             time.Second,
+		Buckets:            2,
+		RatePPS:            2,
+		MinInitialFraction: 0.9,
+		MinCIDRatio:        0.9,
+		MinPackets:         1 << 20,
+	}
+}
+
+func pkt(src netmodel.Addr, ts telescope.Timestamp) *telescope.Packet {
+	return &telescope.Packet{TS: ts, Src: src, Size: 100}
+}
+
+// TestRateEpisodeLifecycle drives the episode state machine through
+// its full contract: open at the threshold crossing, extend on every
+// same-source packet (peak tracked), survive an intra-window gap, and
+// close at the pre-silence packet once the source goes quiet for
+// longer than one window.
+func TestRateEpisodeLifecycle(t *testing.T) {
+	d := NewShard(testConfig())
+	src := netmodel.Addr(0x2c000001)
+
+	// Three packets inside one window cross RateCount=3 at t=200.
+	for _, ts := range []telescope.Timestamp{0, 100, 200} {
+		d.Observe(pkt(src, ts), nil)
+	}
+	if d.Metrics.AlertsOpened != 1 {
+		t.Fatalf("episodes opened = %d, want 1 (rate crossed at t=200)", d.Metrics.AlertsOpened)
+	}
+	// Extensions: an intra-window gap (500 ms < window) keeps the
+	// episode open however the windowed value wobbles.
+	d.Observe(pkt(src, 400), nil)
+	d.Observe(pkt(src, 900), nil)
+	if got := d.Drain(); got != nil {
+		t.Fatalf("episode closed while the source was active: %+v", got)
+	}
+
+	// Silence of 1600 ms > window closes at the previous packet (900),
+	// and the post-gap window restarts empty (1 < RateCount: no reopen).
+	d.Observe(pkt(src, 2500), nil)
+	alerts := d.Drain()
+	if len(alerts) != 1 {
+		t.Fatalf("drained %d alerts, want 1: %+v", len(alerts), alerts)
+	}
+	want := Alert{Kind: KindRate, Src: src, Start: 200, End: 900, Peak: 5, PeakTS: 900, Packets: 3}
+	if alerts[0] != want {
+		t.Errorf("alert = %+v, want %+v", alerts[0], want)
+	}
+	// Nothing else is open: a flush after the close drains nothing.
+	d.Flush()
+	if got := d.Drain(); got != nil {
+		t.Errorf("flush after close produced %+v", got)
+	}
+}
+
+// TestFlushClosesOpenEpisodes pins the end-of-stream rule: Flush
+// closes at the source's last packet, not at flush time.
+func TestFlushClosesOpenEpisodes(t *testing.T) {
+	d := NewShard(testConfig())
+	src := netmodel.Addr(7)
+	for _, ts := range []telescope.Timestamp{0, 100, 200, 600} {
+		d.Observe(pkt(src, ts), nil)
+	}
+	d.Flush()
+	alerts := d.Drain()
+	if len(alerts) != 1 || alerts[0].End != 600 || alerts[0].Start != 200 {
+		t.Fatalf("flush alerts = %+v, want one [200, 600] episode", alerts)
+	}
+	if d.Metrics.AlertsClosed != 1 {
+		t.Errorf("AlertsClosed = %d, want 1", d.Metrics.AlertsClosed)
+	}
+}
+
+// TestMaxSourcesEviction bounds window state: past MaxSources the
+// coldest source is evicted with its open episodes closed at its last
+// packet — alert evidence is never silently dropped.
+func TestMaxSourcesEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSources = 2
+	d := NewShard(cfg)
+	hot := netmodel.Addr(1)
+	for _, ts := range []telescope.Timestamp{0, 10, 20} {
+		d.Observe(pkt(hot, ts), nil) // open episode on the soon-coldest
+	}
+	d.Observe(pkt(netmodel.Addr(2), 100), nil)
+	d.Observe(pkt(netmodel.Addr(3), 200), nil) // third source: evict hot
+	if n := d.Sources(); n != 2 {
+		t.Errorf("tracked sources = %d, want 2 (budget)", n)
+	}
+	if d.Metrics.SourcesEvicted != 1 {
+		t.Errorf("SourcesEvicted = %d, want 1", d.Metrics.SourcesEvicted)
+	}
+	alerts := d.Drain()
+	if len(alerts) != 1 || alerts[0].Src != hot || alerts[0].End != 20 {
+		t.Fatalf("eviction alerts = %+v, want the hot source's episode closed at 20", alerts)
+	}
+}
+
+// TestMergeAlertsCanonical pins the cross-shard merge order: the
+// loser-tree merge of canonically sorted per-shard lists is itself in
+// canonical (Start, Src, Kind, End) order.
+func TestMergeAlertsCanonical(t *testing.T) {
+	a := []Alert{
+		{Kind: KindRate, Src: 2, Start: 10, End: 20},
+		{Kind: KindRate, Src: 1, Start: 30, End: 40},
+	}
+	b := []Alert{{Kind: KindInitialFraction, Src: 1, Start: 10, End: 15}}
+	merged := MergeAlerts(a, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d alerts, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if alertLess(&merged[i], &merged[i-1]) {
+			t.Fatalf("merge out of canonical order at %d: %+v", i, merged)
+		}
+	}
+	if merged[0].Src != 1 || merged[1].Src != 2 || merged[2].Src != 1 {
+		t.Errorf("merge order = %+v", merged)
+	}
+}
+
+// TestAlertJSONLines pins the -alerts stream format: human-readable
+// kind and dotted source, millisecond timestamps, one object per line.
+func TestAlertJSONLines(t *testing.T) {
+	var sb strings.Builder
+	alerts := []Alert{
+		{Kind: KindRate, Src: 0x01020304, Start: 5, End: 9, Peak: 3.5, PeakTS: 7, Packets: 4},
+		{Kind: KindCIDRatio, Src: 0x7f000001, Start: 6, End: 8},
+	}
+	if err := WriteAlerts(&sb, alerts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	want := `{"kind":"rate","src":"1.2.3.4","start_ms":5,"end_ms":9,"peak":3.5,"peak_ts_ms":7,"packets":4}`
+	if lines[0] != want {
+		t.Errorf("line 0 = %s, want %s", lines[0], want)
+	}
+	if !strings.Contains(lines[1], `"kind":"cid-ratio"`) || !strings.Contains(lines[1], `"src":"127.0.0.1"`) {
+		t.Errorf("line 1 = %s", lines[1])
+	}
+}

@@ -352,6 +352,16 @@ type Sessionizer struct {
 	// whatever the sweep cadence (which varies with shard count).
 	lastSeen map[netmodel.Addr]telescope.Timestamp
 
+	// MaxActive, when positive, is a hard budget on the active session
+	// map (daemon mode). Whenever an insert pushes the map past the
+	// budget, the coldest session — smallest End, ties toward the
+	// smallest source — is force-finished and counted in
+	// Metrics.BudgetEvicted. The eviction choice is deterministic for a
+	// given stream, but which packets land on which sessionizer depends
+	// on sharding, so budgeted runs trade the worker-count invariance
+	// for bounded memory.
+	MaxActive int
+
 	// Count of emitted sessions.
 	Emitted int
 
@@ -394,6 +404,9 @@ func (sz *Sessionizer) Observe(p *telescope.Packet, r *dissect.Result) {
 	if s == nil {
 		s = &Session{Src: p.Src, Start: p.TS, End: p.TS, curMinute: int64(p.TS) / 60000}
 		sz.active[p.Src] = s
+		if sz.MaxActive > 0 && len(sz.active) > sz.MaxActive {
+			sz.evictColdest()
+		}
 	}
 
 	s.End = p.TS
@@ -483,6 +496,29 @@ func (sz *Sessionizer) finish(s *Session) {
 		sz.Emit(s)
 	}
 }
+
+// evictColdest force-finishes the coldest active session: smallest
+// End, ties toward the smallest source address. The scan is linear,
+// which is fine at the small active-set sizes a budget implies.
+func (sz *Sessionizer) evictColdest() {
+	var victim *Session
+	for _, s := range sz.active {
+		if victim == nil || s.End < victim.End ||
+			(s.End == victim.End && s.Src < victim.Src) {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return
+	}
+	sz.Metrics.BudgetEvicted++
+	sz.finish(victim)
+	delete(sz.active, victim.Src)
+}
+
+// ActiveSessions returns the current size of the active session map —
+// the quantity MaxActive bounds.
+func (sz *Sessionizer) ActiveSessions() int { return len(sz.active) }
 
 // Flush emits all still-active sessions (end of stream).
 func (sz *Sessionizer) Flush() {

@@ -17,7 +17,8 @@ type LiveShard struct {
 	Packets atomic.Uint64
 	Bytes   atomic.Uint64
 	NonQUIC atomic.Uint64
-	_       [64 - 3*8]byte
+	Alerts  atomic.Uint64
+	_       [64 - 4*8]byte
 }
 
 // Live is a fixed set of per-shard live counter banks plus the run
@@ -50,6 +51,7 @@ type Progress struct {
 	Packets       uint64  `json:"packets"`
 	Bytes         uint64  `json:"bytes"`
 	NonQUIC       uint64  `json:"non_quic"`
+	Alerts        uint64  `json:"alerts"`
 	PacketsPerSec float64 `json:"packets_per_sec"`
 	Skew          float64 `json:"skew"`
 	HeapBytes     uint64  `json:"heap_bytes"`
@@ -67,6 +69,7 @@ func (l *Live) Progress() Progress {
 		p.Packets += counts[i]
 		p.Bytes += s.Bytes.Load()
 		p.NonQUIC += s.NonQUIC.Load()
+		p.Alerts += s.Alerts.Load()
 	}
 	if el := time.Since(l.start).Seconds(); el > 0 {
 		p.PacketsPerSec = float64(p.Packets) / el
@@ -81,8 +84,8 @@ func (l *Live) Progress() Progress {
 
 // String renders a Progress as one structured heartbeat log line.
 func (p Progress) String() string {
-	return fmt.Sprintf("progress packets=%d bytes=%d non_quic=%d rate=%.0f/s skew=%.2f heap=%dMiB goroutines=%d",
-		p.Packets, p.Bytes, p.NonQUIC, p.PacketsPerSec, p.Skew, p.HeapBytes>>20, p.Goroutines)
+	return fmt.Sprintf("progress packets=%d bytes=%d non_quic=%d alerts=%d rate=%.0f/s skew=%.2f heap=%dMiB goroutines=%d",
+		p.Packets, p.Bytes, p.NonQUIC, p.Alerts, p.PacketsPerSec, p.Skew, p.HeapBytes>>20, p.Goroutines)
 }
 
 // Heartbeat periodically samples a Live bank, logs the progress line,

@@ -66,6 +66,29 @@ type Manifest struct {
 	// run (`-trace-out`), empty when tracing was off.
 	TraceFile string    `json:"trace_file,omitempty"`
 	Telemetry *Snapshot `json:"telemetry,omitempty"`
+	// Snapshots records the streaming daemon's periodic checkpoints in
+	// order (telescoped -window), the last entry being the final drain.
+	Snapshots []StreamSnapshot `json:"snapshots,omitempty"`
+}
+
+// StreamSnapshot is one daemon checkpoint record: where in the stream
+// the checkpoint froze and the headline analysis totals it reduced to.
+type StreamSnapshot struct {
+	// ElapsedNS is time since the daemon started serving.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Position is the captured-packet count the checkpoint observed.
+	Position uint64 `json:"position"`
+	// Alerts counts detector episodes drained by this checkpoint;
+	// AlertsTotal accumulates them across the run.
+	Alerts      int `json:"alerts"`
+	AlertsTotal int `json:"alerts_total"`
+	// QUICSessions and TelescopeTotal are the reduced analysis totals
+	// at the checkpoint position.
+	QUICSessions   int    `json:"quic_sessions"`
+	TelescopeTotal uint64 `json:"telescope_total"`
+	// Checkpoint names the file the serialized image was written to
+	// (empty when -checkpoint was off).
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // WriteFile writes the manifest as indented JSON, stamping build

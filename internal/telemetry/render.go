@@ -22,6 +22,17 @@ func (s *Snapshot) Text() string {
 	if x := &s.Sessions; x.Emitted > 0 {
 		fmt.Fprintf(&b, "  sessions: %d emitted (%d gap-split, %d swept, %d flushed), %d set spills\n",
 			x.Emitted, x.TimeoutSplits, x.SweepEvicted, x.FlushEmitted, x.SetSpills)
+		if x.BudgetEvicted > 0 {
+			fmt.Fprintf(&b, "            %d budget-evicted\n", x.BudgetEvicted)
+		}
+	}
+	if dt := &s.Detect; dt.Observed > 0 {
+		fmt.Fprintf(&b, "  detect:   %d observed, alerts %d opened / %d closed, %d sources tracked",
+			dt.Observed, dt.AlertsOpened, dt.AlertsClosed, dt.SourcesTracked)
+		if dt.SourcesEvicted > 0 {
+			fmt.Fprintf(&b, ", %d evicted", dt.SourcesEvicted)
+		}
+		b.WriteByte('\n')
 	}
 	if g := &s.Generate; g.EventsPlanned > 0 {
 		fmt.Fprintf(&b, "  generate: %d/%d events emitted, %d packets, payload cache %d hit / %d miss",
@@ -111,6 +122,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	promCounter(w, p("sessions_timeout_splits_total"), "Sessions closed inline by a timeout gap.", x.TimeoutSplits)
 	promCounter(w, p("sessions_sweep_evicted_total"), "Sessions closed by the lazy expiry sweep.", x.SweepEvicted)
 	promCounter(w, p("sessions_flush_emitted_total"), "Sessions force-closed at end of stream.", x.FlushEmitted)
+	promCounter(w, p("sessions_budget_evicted_total"), "Sessions force-closed by the memory budget.", x.BudgetEvicted)
 	promCounter(w, p("sessions_set_spills_total"), "Inline anatomy sets spilled to maps.", x.SetSpills)
 
 	g := &s.Generate
@@ -145,4 +157,11 @@ func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	t := &s.Trace
 	promCounter(w, p("trace_written_total"), "Checkpoint records written.", t.Written)
 	promCounter(w, p("trace_dropped_total"), "Checkpoint records dropped after a write error.", t.Dropped)
+
+	dt := &s.Detect
+	promCounter(w, p("detect_observed_total"), "QUIC-candidate packets offered to the detectors.", dt.Observed)
+	promCounter(w, p("detect_alerts_opened_total"), "Alert episodes opened.", dt.AlertsOpened)
+	promCounter(w, p("detect_alerts_closed_total"), "Alert episodes closed.", dt.AlertsClosed)
+	promCounter(w, p("detect_sources_tracked_total"), "Distinct sources given window state.", dt.SourcesTracked)
+	promCounter(w, p("detect_sources_evicted_total"), "Cold source states dropped by the source budget.", dt.SourcesEvicted)
 }

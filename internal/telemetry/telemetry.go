@@ -124,6 +124,10 @@ type Sessions struct {
 	SweepEvicted uint64 `json:"sweep_evicted"`
 	// FlushEmitted counts sessions force-closed at end of stream.
 	FlushEmitted uint64 `json:"flush_emitted"`
+	// BudgetEvicted counts sessions force-closed because the active set
+	// exceeded the sessionizer's hard memory budget (daemon mode); the
+	// coldest session is evicted first. Zero when no budget is set.
+	BudgetEvicted uint64 `json:"budget_evicted,omitempty"`
 	// SetSpills counts inline anatomy sets (peer addrs/ports, SCIDs,
 	// versions) that outgrew their inline arms and spilled to a map —
 	// the compact-session optimization's miss counter.
@@ -136,7 +140,36 @@ func (s *Sessions) Merge(o *Sessions) {
 	s.TimeoutSplits += o.TimeoutSplits
 	s.SweepEvicted += o.SweepEvicted
 	s.FlushEmitted += o.FlushEmitted
+	s.BudgetEvicted += o.BudgetEvicted
 	s.SetSpills += o.SetSpills
+}
+
+// Detect counts the sliding-window detector's work (internal/detect).
+// Observed/alert counters are stream-derived for a fixed window config
+// (per-source windows see the same packets on any shard layout);
+// SourcesEvicted is only nonzero under a source budget, which makes
+// results depend on per-shard residency and is therefore runtime-class.
+type Detect struct {
+	// Observed counts QUIC-candidate packets offered to the detectors.
+	Observed uint64 `json:"observed"`
+	// AlertsOpened / AlertsClosed count alert episodes started and
+	// finished (closed ≤ opened until the final flush).
+	AlertsOpened uint64 `json:"alerts_opened"`
+	AlertsClosed uint64 `json:"alerts_closed"`
+	// SourcesTracked counts distinct sources ever given window state.
+	SourcesTracked uint64 `json:"sources_tracked"`
+	// SourcesEvicted counts cold source states dropped to stay under
+	// the detector's source budget (runtime: shard-residency dependent).
+	SourcesEvicted uint64 `json:"sources_evicted,omitempty"`
+}
+
+// Merge folds o into d (commutative).
+func (d *Detect) Merge(o *Detect) {
+	d.Observed += o.Observed
+	d.AlertsOpened += o.AlertsOpened
+	d.AlertsClosed += o.AlertsClosed
+	d.SourcesTracked += o.SourcesTracked
+	d.SourcesEvicted += o.SourcesEvicted
 }
 
 // Generate counts the background-radiation generator's work: one
@@ -285,6 +318,7 @@ type Snapshot struct {
 	Ingest   Ingest   `json:"ingest"`
 	Engine   Engine   `json:"engine"`
 	Trace    Trace    `json:"trace"`
+	Detect   Detect   `json:"detect"`
 }
 
 // Merge folds o into s. All component merges commute; ShardPackets
@@ -306,6 +340,7 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Ingest.Merge(&o.Ingest)
 	s.Engine.Merge(&o.Engine)
 	s.Trace.Merge(&o.Trace)
+	s.Detect.Merge(&o.Detect)
 }
 
 // Skew returns the shard balance ratio max/mean of ShardPackets

@@ -31,6 +31,7 @@ import (
 	"quicsand/internal/activescan"
 	"quicsand/internal/capture"
 	"quicsand/internal/correlate"
+	"quicsand/internal/detect"
 	"quicsand/internal/dissect"
 	"quicsand/internal/dosdetect"
 	"quicsand/internal/engine"
@@ -203,6 +204,10 @@ type pipelineShard struct {
 	sessions     []*sessions.Session
 	nonQUIC      uint64
 
+	// det is the shard's sliding-window detector bank (streaming
+	// mode only; nil in batch runs keeps the hot path unchanged).
+	det *detect.Shard
+
 	// Flight-recorder state (DESIGN.md §15): the shard's ring plus the
 	// open slice's dissect/sessions sub-stage accumulators. nil ring —
 	// the default — reduces every instrumented site to one branch.
@@ -345,8 +350,43 @@ func (sh *pipelineShard) process(p *telescope.Packet) bool {
 		sh.hourlyType.Capture(p)
 		sh.sweep.RecordSource(p.Src)
 		sh.observe(sh.quicSz, p, res)
+		if sh.det != nil {
+			sh.det.Observe(p, res)
+			if sh.live != nil {
+				sh.live.Alerts.Store(sh.det.Metrics.AlertsOpened)
+			}
+		}
 	}
 	return true
+}
+
+// clone snapshots the shard's analysis state without disturbing it:
+// counter structures clone deeply, emitted sessions (immutable after
+// emission) are shared behind a copied slice header, and the
+// sessionizer clones re-wire their emit hooks onto the copy. The
+// detector bank is intentionally not cloned — alerts are a drained
+// stream, not reduced state. The clone is what Checkpoint reduces
+// while ingest continues on the original.
+func (sh *pipelineShard) clone() *pipelineShard {
+	c := &pipelineShard{
+		internet:     sh.internet,
+		tel:          sh.tel.Clone(),
+		hourlySource: sh.hourlySource.Clone(),
+		hourlyType:   sh.hourlyType.Clone(),
+		sweep:        sh.sweep.Clone(),
+		commonDet:    sh.commonDet.Clone(),
+		nonQUIC:      sh.nonQUIC,
+	}
+	if len(sh.sessions) > 0 {
+		c.sessions = append(make([]*sessions.Session, 0, len(sh.sessions)), sh.sessions...)
+	}
+	c.quicSz = sh.quicSz.Clone(func(s *sessions.Session) {
+		c.sessions = append(c.sessions, s)
+	}, c.sweep.RecordGap)
+	c.commonSz = sh.commonSz.Clone(c.commonDet.Offer, nil)
+	c.dis = dissect.NewDissector()
+	c.dis.Metrics = sh.dis.Metrics
+	return c
 }
 
 func (sh *pipelineShard) flush() {
@@ -480,6 +520,9 @@ func collectTelemetry(cfg Config, shards []*pipelineShard, pstats *engine.Stats)
 		snap.Dissect.Merge(&sh.dis.Metrics)
 		snap.Sessions.Merge(&sh.quicSz.Metrics)
 		snap.Sessions.Merge(&sh.commonSz.Metrics)
+		if sh.det != nil {
+			snap.Detect.Merge(&sh.det.Metrics)
+		}
 	}
 	snap.ShardPackets = append([]uint64(nil), pstats.ShardItems...)
 	snap.Engine = pstats.Engine

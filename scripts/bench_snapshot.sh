@@ -16,7 +16,7 @@
 set -eu
 
 out="${1:-}"
-bench_re='Pipeline|Dissect|Replay|Scenario|Table1Floods'
+bench_re='Pipeline|Dissect|Replay|Scenario|Table1Floods|Streaming'
 benchtime="${BENCHTIME:-1x}"
 
 cd "$(dirname "$0")/.."

@@ -1,0 +1,60 @@
+package quicsand
+
+import (
+	"testing"
+
+	"quicsand/internal/detect"
+	"quicsand/internal/telescope"
+)
+
+// BenchmarkStreamingPipeline is the incremental twin of
+// BenchmarkPipeline: the same month at the same scale, pushed through
+// Offer with the detector bank armed. The delta against the batch
+// number is the streaming overhead (per-packet dispatch, alert
+// tracking) the daemon pays for incremental operation.
+func BenchmarkStreamingPipeline(b *testing.B) {
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		dcfg := detect.Default()
+		final, err := StreamLive(StreamConfig{Config: benchPipelineCfg(0), Detect: &dcfg}, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(final.Analysis().QUICSessions) == 0 {
+			b.Fatal("empty run")
+		}
+		total += final.Position()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "packets/s")
+}
+
+// BenchmarkStreamingCheckpoint prices the daemon's periodic snapshot:
+// "checkpoint" is the barrier plus commutative clone-and-reduce of all
+// shard state, "encode" the serialization of the resulting image. Both
+// run against a fully-ingested month, the worst case for state size.
+func BenchmarkStreamingCheckpoint(b *testing.B) {
+	s, err := NewStreamer(StreamConfig{Config: benchPipelineCfg(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Generator().Feeds(1, true)[0].Run(func(p *telescope.Packet) { s.Offer(p) })
+	b.Run("checkpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ck := s.Checkpoint(); ck.Position() == 0 {
+				b.Fatal("empty checkpoint")
+			}
+		}
+	})
+	b.Run("encode", func(b *testing.B) {
+		ck := s.Checkpoint()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			img := ck.Encode()
+			if len(img) == 0 {
+				b.Fatal("empty image")
+			}
+			b.SetBytes(int64(len(img)))
+		}
+	})
+}
